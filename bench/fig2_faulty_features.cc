@@ -1,0 +1,42 @@
+// Figure 2: proportion of faulty processors with each defective feature, over the 27
+// studied processors. Proportions sum to more than 1 because one part can have defects in
+// several features (Observation 5). Paper values (read off the figure): ALU ~0.30,
+// VecUnit ~0.33, FPU ~0.41, Cache ~0.26, TrxMem ~0.22.
+
+#include <iostream>
+#include <set>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/fault/catalog.h"
+
+int main() {
+  using namespace sdc;
+  PrintExperimentHeader("Figure 2", "proportion of processors with a faulty feature");
+
+  const auto catalog = StudyCatalog();
+  int counts[kFeatureCount] = {};
+  for (const FaultyProcessorInfo& info : catalog) {
+    std::set<Feature> features;
+    for (const Defect& defect : info.defects) {
+      features.insert(defect.feature);
+    }
+    for (Feature feature : features) {
+      ++counts[static_cast<int>(feature)];
+    }
+  }
+
+  const double paper[kFeatureCount] = {0.30, 0.33, 0.41, 0.26, 0.22};
+  TextTable table({"feature", "faulty processors", "measured proportion", "paper (approx)"});
+  double total_proportion = 0.0;
+  for (int feature = 0; feature < kFeatureCount; ++feature) {
+    const double proportion = static_cast<double>(counts[feature]) / catalog.size();
+    total_proportion += proportion;
+    table.AddRow({FeatureName(static_cast<Feature>(feature)), std::to_string(counts[feature]),
+                  FormatDouble(proportion, 3), FormatDouble(paper[feature], 2)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nsum of proportions: " << FormatDouble(total_proportion, 3)
+            << " (> 1 because defects span multiple features, Observation 5)\n";
+  return 0;
+}

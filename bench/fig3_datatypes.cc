@@ -1,0 +1,52 @@
+// Figure 3: proportion of faulty processors whose SDCs affect each operation datatype.
+// Observation 6: all datatypes are impacted and floating-point datatypes involve the most
+// faulty processors. Proportions are over the 19 computation-type processors of the study
+// catalog (consistency SDCs have no datatype).
+
+#include <iostream>
+#include <set>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/fault/catalog.h"
+
+int main() {
+  using namespace sdc;
+  PrintExperimentHeader("Figure 3", "proportion of processors per affected datatype");
+
+  const auto catalog = StudyCatalog();
+  const DataType types[] = {DataType::kInt16,   DataType::kInt32, DataType::kUInt32,
+                            DataType::kFloat32, DataType::kFloat64, DataType::kBit,
+                            DataType::kByte,    DataType::kBin16, DataType::kBin32,
+                            DataType::kBin64,   DataType::kFloat80};
+  TextTable table({"datatype", "faulty processors", "proportion"});
+  double float_share = 0.0;
+  double best_int_share = 0.0;
+  for (DataType type : types) {
+    int count = 0;
+    for (const FaultyProcessorInfo& info : catalog) {
+      bool affected = false;
+      for (const Defect& defect : info.defects) {
+        if (defect.type() == SdcType::kComputation && defect.AffectsType(type) &&
+            !defect.affected_types.empty()) {
+          affected = true;
+        }
+      }
+      count += affected ? 1 : 0;
+    }
+    const double proportion = static_cast<double>(count) / catalog.size();
+    if (type == DataType::kFloat64) {
+      float_share = proportion;
+    }
+    if (type == DataType::kInt32) {
+      best_int_share = proportion;
+    }
+    table.AddRow({DataTypeName(type), std::to_string(count), FormatDouble(proportion, 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nObservation 6 check: f64 proportion (" << FormatDouble(float_share, 3)
+            << ") >= i32 proportion (" << FormatDouble(best_int_share, 3)
+            << ") -- floating point most impacted: "
+            << (float_share >= best_int_share ? "yes" : "NO") << "\n";
+  return 0;
+}

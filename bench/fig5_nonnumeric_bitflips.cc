@@ -1,0 +1,96 @@
+// Figure 5: bitflip positions of non-numerical datatypes (bin32, bin64). Unlike numerical
+// types, all positions carry a comparable amount of flips (Observation 7's caveat).
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/analysis/bitflip.h"
+#include "src/common/table.h"
+#include "src/fault/catalog.h"
+
+namespace {
+
+using namespace sdc;
+
+void Report(const std::vector<SdcRecord>& records, DataType type) {
+  const BitflipStats stats = AnalyzeBitflips(records, type);
+  std::cout << "\n--- " << DataTypeName(type) << ": " << stats.record_count << " records, "
+            << stats.total_flips << " flips ---\n";
+  if (stats.total_flips == 0) {
+    std::cout << "(no records)\n";
+    return;
+  }
+  const int width = BitWidth(type);
+  const int band = width / 8;
+  TextTable table({"bit band", "0->1", "1->0", "total"});
+  double min_band = 1.0;
+  double max_band = 0.0;
+  for (int lo = 0; lo < width; lo += band) {
+    double up = 0.0;
+    double down = 0.0;
+    for (int bit = lo; bit < std::min(lo + band, width); ++bit) {
+      up += stats.FractionAt(bit, true);
+      down += stats.FractionAt(bit, false);
+    }
+    min_band = std::min(min_band, up + down);
+    max_band = std::max(max_band, up + down);
+    table.AddRow({"[" + std::to_string(lo) + "," + std::to_string(lo + band) + ")",
+                  FormatDouble(up, 3), FormatDouble(down, 3), FormatDouble(up + down, 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "max band / min band: "
+            << FormatDouble(min_band > 0 ? max_band / min_band : 0.0, 2)
+            << " -- every band carries flips (numeric types leave high bands empty);\n"
+            << "residual structure comes from per-defect fixed patterns (Observation 8)\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace sdc;
+  PrintExperimentHeader("Figure 5", "bitflips of non-numerical datatypes");
+  const TestSuite suite = TestSuite::BuildFull();
+
+  {
+    FaultyMachine machine(FindInCatalog("MIX1"), 78);
+    auto records = CollectRecords(suite, machine, "loop.logic_xor.bin32.n480", 2, 58.0, 900.0);
+    FaultyMachine machine2(FindInCatalog("MIX2"), 79);
+    auto more = CollectRecords(suite, machine2, "loop.popcount.bin16.n480", 0, 58.0, 600.0);
+    records.insert(records.end(), more.begin(), more.end());
+    Report(records, DataType::kBin32);
+  }
+  {
+    // bin64 aggregates every catalog part whose computation defects touch bin64 payloads;
+    // their fixed patterns land at different positions, so the aggregate is position-
+    // uniform the way the paper's cross-processor data is.
+    std::vector<SdcRecord> records;
+    for (const FaultyProcessorInfo& info : StudyCatalog()) {
+      bool affects = false;
+      OpKind op = OpKind::kHashStep;
+      for (const Defect& defect : info.defects) {
+        if (defect.type() == SdcType::kComputation &&
+            defect.AffectsType(DataType::kBin64) && !defect.affected_types.empty()) {
+          affects = true;
+          for (OpKind candidate : {OpKind::kHashStep, OpKind::kLogicXor, OpKind::kLogicOr,
+                                   OpKind::kPopcount}) {
+            if (defect.AffectsOp(candidate)) {
+              op = candidate;
+              break;
+            }
+          }
+        }
+      }
+      if (!affects) {
+        continue;
+      }
+      FaultyMachine machine(info, 80);
+      const std::string testcase_id = "loop." + OpKindName(op) + ".bin64.n480";
+      auto batch = CollectRecords(suite, machine, testcase_id, 0, 58.0, 600.0);
+      records.insert(records.end(), batch.begin(), batch.end());
+    }
+    Report(records, DataType::kBin64);
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 7: number of flipped bits per SDC among records of pattern-bearing settings.
+// Paper: mostly one bit (0.72 .. 0.98 depending on datatype), some two, a few more.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/analysis/bitflip.h"
+#include "src/common/table.h"
+#include "src/fault/catalog.h"
+
+namespace {
+
+using namespace sdc;
+
+struct Source {
+  const char* cpu_id;
+  const char* testcase_id;
+  int pcore;
+};
+
+}  // namespace
+
+int main() {
+  using namespace sdc;
+  PrintExperimentHeader("Figure 7", "number of flipped bits in SDCs with bitflip patterns");
+  const TestSuite suite = TestSuite::BuildFull();
+
+  const struct {
+    DataType type;
+    std::vector<Source> sources;
+    const char* paper;
+  } rows[] = {
+      {DataType::kFloat32,
+       {{"SIMD1", "vec.vec_fma_f32.f32.l8.n128", 5}, {"MIX1", "vec.vec_fma_f32.f32.l4.n32", 0}},
+       "0.98 / 0.02 / 0"},
+      {DataType::kFloat64,
+       {{"FPU1", "lib.math.fp_arctan.f64.n256", 1}, {"FPU3", "loop.fp_mul.f64.n480", 11}},
+       "0.90 / 0.08 / 0.02"},
+      {DataType::kFloat80,
+       {{"FPU1", "lib.math.fp_arctan.f64x.n256", 1}, {"FPU2", "lib.math.fp_arctan.f64x.n1024", 0}},
+       "0.72 / 0.20 / 0.08"},
+      {DataType::kInt32,
+       {{"MIX1", "loop.int_mul.i32.n480", 0}, {"MIX2", "loop.int_mul.i32.n224", 1}},
+       "0.91 / 0.09 / 0"},
+      {DataType::kByte,
+       {{"MIX1", "lib.string.transform.b1024", 0}, {"MIX2", "loop.popcount.byte.n480", 2}},
+       "0.96 / 0.04 / 0 (bin8)"},
+  };
+
+  TextTable table({"datatype", "records", "1 flip", "2 flips", ">2 flips", "paper"});
+  for (const auto& row : rows) {
+    std::vector<SdcRecord> records;
+    for (const Source& source : row.sources) {
+      FaultyMachine machine(FindInCatalog(source.cpu_id), 91);
+      const auto batch =
+          CollectRecords(suite, machine, source.testcase_id, source.pcore, 58.0, 600.0);
+      records.insert(records.end(), batch.begin(), batch.end());
+    }
+    const auto distribution = FlipCountDistribution(records, row.type);
+    size_t count = 0;
+    for (const SdcRecord& record : records) {
+      count += record.type == row.type ? 1 : 0;
+    }
+    table.AddRow({DataTypeName(row.type), std::to_string(count),
+                  FormatDouble(distribution[0], 2), FormatDouble(distribution[1], 2),
+                  FormatDouble(distribution[2], 2), row.paper});
+  }
+  table.Print(std::cout);
+  return 0;
+}

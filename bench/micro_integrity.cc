@@ -1,0 +1,108 @@
+// Microbenchmarks (google-benchmark) for the integrity substrate: CRC32, FNV hashing,
+// SECDED ECC, and Reed-Solomon erasure coding.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/integrity/crc32.h"
+#include "src/integrity/ecc.h"
+#include "src/integrity/erasure.h"
+#include "src/integrity/hash.h"
+
+namespace sdc {
+namespace {
+
+std::vector<uint8_t> RandomBytes(size_t size, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> data(size);
+  for (auto& byte : data) {
+    byte = static_cast<uint8_t>(rng.Next());
+  }
+  return data;
+}
+
+void BM_Crc32Table(benchmark::State& state) {
+  const auto data = RandomBytes(static_cast<size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc32Table)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_Crc32Bitwise(benchmark::State& state) {
+  const auto data = RandomBytes(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32Bitwise(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc32Bitwise)->Arg(1024);
+
+void BM_Fnv1a64(benchmark::State& state) {
+  const auto data = RandomBytes(static_cast<size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Fnv1a64(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Fnv1a64)->Arg(64)->Arg(4096);
+
+void BM_EccEncode(benchmark::State& state) {
+  uint64_t value = 0x0123456789abcdefull;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EccEncode(value));
+    ++value;
+  }
+}
+BENCHMARK(BM_EccEncode);
+
+void BM_EccDecodeCorrect(benchmark::State& state) {
+  EccWord word = EccEncode(0xdeadbeefcafef00dull);
+  EccFlipBit(word, 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EccDecode(word));
+  }
+}
+BENCHMARK(BM_EccDecodeCorrect);
+
+void BM_RsEncode(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  ReedSolomon rs(k, m);
+  std::vector<std::vector<uint8_t>> data(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    data[i] = RandomBytes(4096, 10 + i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.Encode(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * k * 4096);
+}
+BENCHMARK(BM_RsEncode)->Args({4, 2})->Args({10, 4});
+
+void BM_RsReconstruct(benchmark::State& state) {
+  ReedSolomon rs(4, 2);
+  std::vector<std::vector<uint8_t>> data(4);
+  for (int i = 0; i < 4; ++i) {
+    data[i] = RandomBytes(4096, 20 + i);
+  }
+  const auto parity = rs.Encode(data);
+  std::vector<std::vector<uint8_t>> shards = {data[0], data[1], data[2], data[3],
+                                              parity[0], parity[1]};
+  std::vector<bool> present(6, true);
+  present[0] = present[2] = false;
+  shards[0].clear();
+  shards[2].clear();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.Reconstruct(shards, present));
+  }
+}
+BENCHMARK(BM_RsReconstruct);
+
+}  // namespace
+}  // namespace sdc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Microbenchmarks (google-benchmark) for the simulation substrate: testcase batch
+// execution on healthy vs defective machines (the corruption hook's overhead), thermal
+// stepping, and the coherent-bus handoff path.
+
+#include <benchmark/benchmark.h>
+
+#include "src/fault/catalog.h"
+#include "src/fault/machine.h"
+#include "src/toolchain/registry.h"
+
+namespace sdc {
+namespace {
+
+void RunKernelOnce(const TestSuite& suite, FaultyMachine& machine, int index, Rng& rng,
+                   std::vector<SdcRecord>& records) {
+  TestContext context;
+  context.machine = &machine;
+  context.rng = &rng;
+  context.records = &records;
+  context.max_records = 16;
+  context.cpu_id = machine.info().cpu_id;
+  context.lcores = {0};
+  if (suite.info(index).multithreaded) {
+    context.lcores.push_back(machine.cpu().spec().threads_per_core);
+  }
+  suite.at(index).RunBatch(context);
+}
+
+void BM_KernelHealthy(benchmark::State& state, const char* testcase_id) {
+  static const TestSuite suite = TestSuite::BuildFull();
+  FaultyMachine machine(MakeArchSpec("M2"));
+  const int index = suite.IndexOf(testcase_id);
+  Rng rng(1);
+  std::vector<SdcRecord> records;
+  for (auto _ : state) {
+    RunKernelOnce(suite, machine, index, rng, records);
+    records.clear();
+  }
+}
+BENCHMARK_CAPTURE(BM_KernelHealthy, matmul_f64, "app.matmul.f64.n16.l8");
+BENCHMARK_CAPTURE(BM_KernelHealthy, crc_vector, "lib.crc32.vector.b4096");
+BENCHMARK_CAPTURE(BM_KernelHealthy, arctan, "lib.math.fp_arctan.f64.n256");
+BENCHMARK_CAPTURE(BM_KernelHealthy, tx_invariant, "mt.tx.invariant.r50");
+
+void BM_KernelFaulty(benchmark::State& state, const char* testcase_id) {
+  static const TestSuite suite = TestSuite::BuildFull();
+  FaultyMachine machine(FindInCatalog("MIX1"), 5);
+  machine.cpu().SetTimeScale(1e5);
+  const int index = suite.IndexOf(testcase_id);
+  Rng rng(1);
+  std::vector<SdcRecord> records;
+  for (auto _ : state) {
+    RunKernelOnce(suite, machine, index, rng, records);
+    records.clear();
+  }
+}
+BENCHMARK_CAPTURE(BM_KernelFaulty, matmul_f64, "app.matmul.f64.n16.l8");
+BENCHMARK_CAPTURE(BM_KernelFaulty, crc_vector, "lib.crc32.vector.b4096");
+
+void BM_ThermalAdvance(benchmark::State& state) {
+  ThermalModel thermal(static_cast<int>(state.range(0)));
+  std::vector<double> utilization(static_cast<size_t>(state.range(0)), 0.7);
+  for (auto _ : state) {
+    thermal.Advance(1.0, utilization);
+    benchmark::DoNotOptimize(thermal.core_temperature(0));
+  }
+}
+BENCHMARK(BM_ThermalAdvance)->Arg(8)->Arg(32);
+
+void BM_CoherentHandoff(benchmark::State& state) {
+  FaultyMachine machine(MakeArchSpec("M2"));
+  CoherentBus& bus = machine.bus();
+  uint64_t value = 0;
+  for (auto _ : state) {
+    bus.Write(0, 1, ++value);
+    benchmark::DoNotOptimize(bus.Read(2, 1));
+  }
+}
+BENCHMARK(BM_CoherentHandoff);
+
+void BM_FullSuiteBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    TestSuite suite = TestSuite::BuildFull();
+    benchmark::DoNotOptimize(suite.size());
+  }
+}
+BENCHMARK(BM_FullSuiteBuild);
+
+}  // namespace
+}  // namespace sdc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Table 3: hardware details and error information of the named faulty processors. For each
+// part the harness runs a full-suite adequate sweep and reports the measured defective-core
+// count, failed-testcase count (raw and by kernel family -- this suite is parametrically
+// redundant, so the family count is the number comparable to the paper's #err), SDC type,
+// impacted workloads, and impacted datatypes.
+
+#include <iostream>
+#include <set>
+
+#include "bench/bench_util.h"
+#include "src/common/table.h"
+#include "src/fault/catalog.h"
+
+int main() {
+  using namespace sdc;
+  PrintExperimentHeader("Table 3", "faulty processor inventory (named Table 3 parts)");
+  const TestSuite suite = TestSuite::BuildFull();
+
+  TextTable table({"CPU id", "arch", "age(Y)", "#pcore", "#err", "#err-fam", "SDC type",
+                   "impacted datatypes"});
+  for (const char* cpu_id : {"MIX1", "MIX2", "SIMD1", "SIMD2", "FPU1", "FPU2", "FPU3",
+                             "FPU4", "CNST1", "CNST2"}) {
+    const FaultyProcessorInfo info = FindInCatalog(cpu_id);
+    FaultyMachine machine(info, 1234);
+    const RunReport report = AdequateSweep(suite, machine, 30.0);
+
+    std::set<int> defective_pcores;
+    for (const TestcaseResult& result : report.results) {
+      for (size_t pcore = 0; pcore < result.errors_per_pcore.size(); ++pcore) {
+        if (result.errors_per_pcore[pcore] > 0) {
+          defective_pcores.insert(static_cast<int>(pcore));
+        }
+      }
+    }
+    // Impacted datatypes: checked datatypes of failed testcases that the part's defects can
+    // corrupt (record storage is capped, so records alone under-report the spread).
+    std::set<std::string> datatypes;
+    for (const TestcaseResult& result : report.results) {
+      if (!result.failed()) {
+        continue;
+      }
+      const int index = suite.IndexOf(result.testcase_id);
+      for (DataType type : suite.info(index).types) {
+        for (const Defect& defect : info.defects) {
+          if (defect.type() == SdcType::kComputation && defect.AffectsType(type) &&
+              !defect.affected_types.empty()) {
+            datatypes.insert(DataTypeName(type));
+          }
+        }
+      }
+    }
+    std::string datatype_list;
+    for (const std::string& name : datatypes) {
+      datatype_list += name + ";";
+    }
+    table.AddRow({info.cpu_id, info.arch, FormatDouble(info.age_years, 2),
+                  std::to_string(defective_pcores.size()),
+                  std::to_string(report.failed_testcase_ids().size()),
+                  std::to_string(FailedFamilies(report).size()),
+                  SdcTypeName(info.sdc_type()), datatype_list});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nimpacted workload families per part:\n";
+  for (const char* cpu_id : {"MIX1", "FPU1", "CNST1"}) {
+    FaultyMachine machine(FindInCatalog(cpu_id), 1234);
+    const RunReport report = AdequateSweep(suite, machine, 30.0);
+    std::cout << "  " << cpu_id << ": ";
+    for (const std::string& family : FailedFamilies(report)) {
+      std::cout << family << " ";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\npaper reference (#pcore / #err): MIX1 16/25, MIX2 16/24, SIMD1 1/5,\n"
+               "SIMD2 1/1, FPU1 1/3, FPU2 1/3, FPU3 1/2, FPU4 1/1, CNST1 1/9, CNST2 24/8\n";
+  return 0;
+}

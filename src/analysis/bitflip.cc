@@ -1,0 +1,109 @@
+#include "src/analysis/bitflip.h"
+
+#include <cmath>
+
+namespace sdc {
+
+double BitflipStats::ZeroToOneFraction() const {
+  if (total_flips == 0) {
+    return 0.0;
+  }
+  uint64_t up = 0;
+  for (uint64_t count : zero_to_one) {
+    up += count;
+  }
+  return static_cast<double>(up) / static_cast<double>(total_flips);
+}
+
+double BitflipStats::FractionAt(int bit, bool zero_to_one_direction) const {
+  if (total_flips == 0) {
+    return 0.0;
+  }
+  const auto& counts = zero_to_one_direction ? zero_to_one : one_to_zero;
+  return static_cast<double>(counts[bit]) / static_cast<double>(total_flips);
+}
+
+double BitflipStats::FractionPartShare() const {
+  if (!IsFloatingPoint(type) || total_flips == 0) {
+    return 0.0;
+  }
+  const int fraction_bits = FractionBits(type);
+  uint64_t in_fraction = 0;
+  for (int bit = 0; bit < fraction_bits; ++bit) {
+    in_fraction += zero_to_one[bit] + one_to_zero[bit];
+  }
+  return static_cast<double>(in_fraction) / static_cast<double>(total_flips);
+}
+
+BitflipStats AnalyzeBitflips(const std::vector<SdcRecord>& records, DataType type) {
+  BitflipStats stats;
+  stats.type = type;
+  const int width = BitWidth(type);
+  stats.zero_to_one.assign(static_cast<size_t>(width), 0);
+  stats.one_to_zero.assign(static_cast<size_t>(width), 0);
+  for (const SdcRecord& record : records) {
+    if (record.sdc_type != SdcType::kComputation || record.type != type) {
+      continue;
+    }
+    ++stats.record_count;
+    const Word128 mask = record.FlipMask();
+    for (int bit = 0; bit < width; ++bit) {
+      if (!mask.GetBit(bit)) {
+        continue;
+      }
+      ++stats.total_flips;
+      if (record.expected.GetBit(bit)) {
+        ++stats.one_to_zero[bit];
+      } else {
+        ++stats.zero_to_one[bit];
+      }
+    }
+  }
+  return stats;
+}
+
+std::vector<double> PrecisionLosses(const std::vector<SdcRecord>& records, DataType type) {
+  std::vector<double> losses;
+  for (const SdcRecord& record : records) {
+    if (record.sdc_type != SdcType::kComputation || record.type != type) {
+      continue;
+    }
+    const double loss = RelativePrecisionLoss(type, record.expected, record.actual);
+    if (std::isfinite(loss)) {
+      losses.push_back(loss);
+    }
+  }
+  return losses;
+}
+
+std::vector<double> FlipCountDistribution(const std::vector<SdcRecord>& records,
+                                          DataType type) {
+  uint64_t counts[3] = {0, 0, 0};
+  uint64_t total = 0;
+  for (const SdcRecord& record : records) {
+    if (record.sdc_type != SdcType::kComputation || record.type != type) {
+      continue;
+    }
+    const int flips = record.FlipMask().Popcount();
+    if (flips <= 0) {
+      continue;
+    }
+    ++total;
+    if (flips == 1) {
+      ++counts[0];
+    } else if (flips == 2) {
+      ++counts[1];
+    } else {
+      ++counts[2];
+    }
+  }
+  std::vector<double> distribution(3, 0.0);
+  if (total > 0) {
+    for (int i = 0; i < 3; ++i) {
+      distribution[i] = static_cast<double>(counts[i]) / static_cast<double>(total);
+    }
+  }
+  return distribution;
+}
+
+}  // namespace sdc

@@ -1,0 +1,44 @@
+// Bit-level analysis of computation SDC records (Section 4.2): per-bit flip position
+// histograms with flip direction (Figures 4 and 5), relative precision losses (Figure 4 CDF
+// rows), and flip-count distributions.
+
+#ifndef SDC_SRC_ANALYSIS_BITFLIP_H_
+#define SDC_SRC_ANALYSIS_BITFLIP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bits.h"
+#include "src/toolchain/testcase.h"
+
+namespace sdc {
+
+struct BitflipStats {
+  DataType type = DataType::kInt32;
+  uint64_t record_count = 0;
+  uint64_t total_flips = 0;
+  std::vector<uint64_t> zero_to_one;  // per bit index
+  std::vector<uint64_t> one_to_zero;  // per bit index
+
+  // Fraction of all flips that went 0 -> 1 (the paper measures 51.08% overall).
+  double ZeroToOneFraction() const;
+  // Fraction of all flips at `bit`, by direction.
+  double FractionAt(int bit, bool zero_to_one_direction) const;
+  // Fraction of flips landing in the fraction (mantissa) part; floating types only.
+  double FractionPartShare() const;
+};
+
+// Computes per-bit flip statistics over the records of datatype `type`.
+BitflipStats AnalyzeBitflips(const std::vector<SdcRecord>& records, DataType type);
+
+// Relative precision losses |actual-expected|/|expected| of the records of `type`
+// (numeric types only; infinite losses are skipped).
+std::vector<double> PrecisionLosses(const std::vector<SdcRecord>& records, DataType type);
+
+// Histogram of flipped-bit counts: index 0 -> 1 flip, 1 -> 2 flips, 2 -> more than 2.
+std::vector<double> FlipCountDistribution(const std::vector<SdcRecord>& records,
+                                          DataType type);
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_ANALYSIS_BITFLIP_H_

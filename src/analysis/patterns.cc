@@ -1,0 +1,48 @@
+#include "src/analysis/patterns.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace sdc {
+
+PatternAnalysis MinePatterns(const std::vector<SdcRecord>& records, double threshold) {
+  PatternAnalysis analysis;
+  std::unordered_map<Word128, uint64_t, Word128Hash> mask_counts;
+  for (const SdcRecord& record : records) {
+    if (record.sdc_type != SdcType::kComputation) {
+      continue;
+    }
+    ++analysis.record_count;
+    ++mask_counts[record.FlipMask()];
+  }
+  if (analysis.record_count == 0) {
+    return analysis;
+  }
+  uint64_t patterned = 0;
+  for (const auto& [mask, count] : mask_counts) {
+    const double share =
+        static_cast<double>(count) / static_cast<double>(analysis.record_count);
+    if (share >= threshold) {
+      analysis.patterns.push_back({mask, share});
+      patterned += count;
+    }
+  }
+  std::sort(analysis.patterns.begin(), analysis.patterns.end(),
+            [](const MinedPattern& a, const MinedPattern& b) { return a.share > b.share; });
+  analysis.patterned_record_fraction =
+      static_cast<double>(patterned) / static_cast<double>(analysis.record_count);
+  return analysis;
+}
+
+std::vector<SdcRecord> FilterSetting(const std::vector<SdcRecord>& records,
+                                     const std::string& testcase_id, int pcore) {
+  std::vector<SdcRecord> out;
+  for (const SdcRecord& record : records) {
+    if (record.testcase_id == testcase_id && (pcore < 0 || record.pcore == pcore)) {
+      out.push_back(record);
+    }
+  }
+  return out;
+}
+
+}  // namespace sdc

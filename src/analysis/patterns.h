@@ -1,0 +1,36 @@
+// Bitflip-pattern mining (Observation 8 / Figure 6): a pattern is an XOR mask shared by at
+// least a threshold share (5% in the paper) of a setting's SDC records, where a setting is a
+// (testcase, processor) pair.
+
+#ifndef SDC_SRC_ANALYSIS_PATTERNS_H_
+#define SDC_SRC_ANALYSIS_PATTERNS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/bits.h"
+#include "src/toolchain/testcase.h"
+
+namespace sdc {
+
+struct MinedPattern {
+  Word128 mask;
+  double share = 0.0;  // fraction of the setting's records bearing exactly this mask
+};
+
+struct PatternAnalysis {
+  uint64_t record_count = 0;
+  std::vector<MinedPattern> patterns;      // masks with share >= threshold
+  double patterned_record_fraction = 0.0;  // fraction of records matching any mined pattern
+};
+
+// Mines patterns over the computation records in `records` (pre-filtered to one setting).
+PatternAnalysis MinePatterns(const std::vector<SdcRecord>& records, double threshold = 0.05);
+
+// Convenience: selects the records of one setting (testcase id + optionally one pcore).
+std::vector<SdcRecord> FilterSetting(const std::vector<SdcRecord>& records,
+                                     const std::string& testcase_id, int pcore = -1);
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_ANALYSIS_PATTERNS_H_

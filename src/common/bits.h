@@ -1,0 +1,105 @@
+// Bit-level views of the operand datatypes studied in the paper (Section 4.2).
+//
+// SDC records compare an expected result with an actual result at the bit level. The paper
+// covers integer types (i16, i32, ui32), IEEE-754 floats (f32, f64) plus x87 80-bit extended
+// floats (f64x), and non-numerical payloads (bit, byte, bin16/32/64). All values are carried
+// in a 128-bit container (`Word128`) so one analysis pipeline serves every type, including the
+// 80-bit one.
+//
+// The 80-bit encoding is produced portably from `long double` with frexpl/ldexpl instead of
+// relying on the x87 in-memory layout; the result matches the x87 format (sign, 15-bit biased
+// exponent, explicit integer bit, 63 fraction bits) for normal values.
+
+#ifndef SDC_SRC_COMMON_BITS_H_
+#define SDC_SRC_COMMON_BITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sdc {
+
+// Operand datatypes, matching Figure 3's x-axis.
+enum class DataType {
+  kInt16,
+  kInt32,
+  kUInt32,
+  kFloat32,
+  kFloat64,
+  kFloat80,  // "float64x" in the paper: x87 extended double
+  kBit,
+  kByte,
+  kBin16,
+  kBin32,
+  kBin64,
+};
+
+// Number of value bits in the representation of `type` (80 for kFloat80).
+int BitWidth(DataType type);
+
+// True for IEEE-style floating-point types (f32/f64/f80).
+bool IsFloatingPoint(DataType type);
+
+// True for types whose bit positions carry numeric significance (ints + floats). The paper
+// calls the rest "non-numerical" (bit/byte/bin*), for which bitflips are position-uniform.
+bool IsNumeric(DataType type);
+
+// Short display name matching the paper's figures ("i32", "f64", "bin32", ...).
+std::string DataTypeName(DataType type);
+
+// 128-bit little-endian bit container. Bit 0 is the least significant bit of `lo`.
+struct Word128 {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  friend bool operator==(const Word128&, const Word128&) = default;
+
+  Word128 operator^(const Word128& other) const { return {lo ^ other.lo, hi ^ other.hi}; }
+  Word128 operator&(const Word128& other) const { return {lo & other.lo, hi & other.hi}; }
+  Word128 operator|(const Word128& other) const { return {lo | other.lo, hi | other.hi}; }
+
+  bool GetBit(int index) const;
+  void SetBit(int index, bool value);
+  void FlipBit(int index);
+  int Popcount() const;
+  bool IsZero() const { return lo == 0 && hi == 0; }
+};
+
+// Hash suitable for using masks as map keys.
+struct Word128Hash {
+  size_t operator()(const Word128& w) const;
+};
+
+// --- Conversions between native values and Word128 bit images. ---
+
+Word128 BitsOfInt16(int16_t value);
+Word128 BitsOfInt32(int32_t value);
+Word128 BitsOfUInt32(uint32_t value);
+Word128 BitsOfFloat(float value);
+Word128 BitsOfDouble(double value);
+// Encodes into the 80-bit x87 extended format (normal and zero values; infinities and NaNs
+// are encoded as the maximum-exponent patterns).
+Word128 BitsOfFloat80(long double value);
+Word128 BitsOfRaw(uint64_t value, int width_bits);
+
+int16_t Int16FromBits(const Word128& bits);
+int32_t Int32FromBits(const Word128& bits);
+uint32_t UInt32FromBits(const Word128& bits);
+float FloatFromBits(const Word128& bits);
+double DoubleFromBits(const Word128& bits);
+long double Float80FromBits(const Word128& bits);
+uint64_t RawFromBits(const Word128& bits);
+
+// Index of the first fraction (mantissa) bit and the number of fraction bits for a floating
+// type, in Word128 bit coordinates. For kFloat80 the explicit integer bit (bit 63) is NOT
+// counted as fraction.
+int FractionBits(DataType type);
+int ExponentBits(DataType type);
+
+// Relative precision loss |actual - expected| / |expected| evaluated in long double; returns
+// +inf when expected == 0 and actual != 0, and 0 when both are equal. Only meaningful for
+// numeric types.
+double RelativePrecisionLoss(DataType type, const Word128& expected, const Word128& actual);
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_COMMON_BITS_H_

@@ -1,0 +1,133 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+#include <cstddef>
+
+namespace sdc {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Mix64(uint64_t value) {
+  uint64_t state = value;
+  return SplitMix64(state);
+}
+
+Rng::Rng(uint64_t seed) : seed_(seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(s);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  // Lemire's multiply-shift. Bias is < bound / 2^64, irrelevant at our scales.
+  const unsigned __int128 product = static_cast<unsigned __int128>(Next()) * bound;
+  return static_cast<uint64_t>(product >> 64);
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBelow(span));
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return NextDouble() < p;
+}
+
+double Rng::NextExponential(double rate) {
+  // -log(1 - u) is in (0, inf); 1 - NextDouble() is in (0, 1].
+  return -std::log(1.0 - NextDouble()) / rate;
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  const double u2 = NextDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * M_PI * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::NextGaussian(double mean, double stddev) { return mean + stddev * NextGaussian(); }
+
+uint64_t Rng::NextPoisson(double mean) {
+  if (mean <= 0.0) {
+    return 0;
+  }
+  if (mean > 64.0) {
+    const double v = NextGaussian(mean, std::sqrt(mean));
+    return v <= 0.0 ? 0 : static_cast<uint64_t>(std::llround(v));
+  }
+  const double limit = std::exp(-mean);
+  uint64_t count = 0;
+  double product = NextDouble();
+  while (product > limit) {
+    ++count;
+    product *= NextDouble();
+  }
+  return count;
+}
+
+size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    total += w;
+  }
+  if (total <= 0.0) {
+    return 0;
+  }
+  double pick = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    pick -= weights[i];
+    if (pick < 0.0) {
+      return i;
+    }
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork(uint64_t tag) { return Rng(Mix64(seed_ ^ Mix64(tag))); }
+
+}  // namespace sdc

@@ -1,0 +1,136 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace sdc {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double Variance(const std::vector<double>& values) {
+  if (values.size() < 2) {
+    return 0.0;
+  }
+  const double mean = Mean(values);
+  double sum = 0.0;
+  for (double v : values) {
+    sum += (v - mean) * (v - mean);
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) { return std::sqrt(Variance(values)); }
+
+double PearsonCorrelation(const std::vector<double>& xs, const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    return 0.0;
+  }
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) {
+    return 0.0;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+LinearFit FitLeastSquares(const std::vector<double>& xs, const std::vector<double>& ys) {
+  LinearFit fit;
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    return fit;
+  }
+  const double mx = Mean(xs);
+  const double my = Mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+  }
+  if (sxx <= 0.0) {
+    return fit;
+  }
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r = PearsonCorrelation(xs, ys);
+  return fit;
+}
+
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double position = q * static_cast<double>(values.size() - 1);
+  const size_t below = static_cast<size_t>(position);
+  const size_t above = std::min(below + 1, values.size() - 1);
+  const double fraction = position - static_cast<double>(below);
+  return values[below] * (1.0 - fraction) + values[above] * fraction;
+}
+
+double FractionAtOrBelow(const std::vector<double>& values, double threshold) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  size_t count = 0;
+  for (double v : values) {
+    if (v <= threshold) {
+      ++count;
+    }
+  }
+  return static_cast<double>(count) / static_cast<double>(values.size());
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {}
+
+void Histogram::Add(double value) { AddN(value, 1); }
+
+void Histogram::AddN(double value, uint64_t count) {
+  if (counts_.empty()) {
+    return;
+  }
+  double position = (value - lo_) / width_;
+  if (position < 0.0) {
+    position = 0.0;
+  }
+  size_t bin = static_cast<size_t>(position);
+  if (bin >= counts_.size()) {
+    bin = counts_.size() - 1;
+  }
+  counts_[bin] += count;
+  total_ += count;
+}
+
+double Histogram::Fraction(size_t bin) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+}
+
+double Histogram::BinCenter(size_t bin) const {
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+}  // namespace sdc

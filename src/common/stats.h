@@ -1,0 +1,68 @@
+// Small statistics toolkit used by the analysis library and the experiment harnesses:
+// summary statistics, Pearson correlation, ordinary least squares, histograms and CDFs.
+
+#ifndef SDC_SRC_COMMON_STATS_H_
+#define SDC_SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sdc {
+
+// Mean of `values`; 0 for an empty input.
+double Mean(const std::vector<double>& values);
+
+// Population variance; 0 for fewer than two samples.
+double Variance(const std::vector<double>& values);
+
+double StdDev(const std::vector<double>& values);
+
+// Pearson correlation coefficient of paired samples. Returns 0 when either side is constant
+// or the inputs are shorter than two pairs. Inputs must be the same length.
+double PearsonCorrelation(const std::vector<double>& xs, const std::vector<double>& ys);
+
+// Ordinary least squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r = 0.0;  // Pearson correlation of the fitted pairs
+
+  double Predict(double x) const { return slope * x + intercept; }
+};
+
+// Fits `ys` against `xs`; returns a zero fit when the input is degenerate.
+LinearFit FitLeastSquares(const std::vector<double>& xs, const std::vector<double>& ys);
+
+// Linear interpolated quantile (q in [0, 1]) of an unsorted sample; 0 for empty input.
+double Quantile(std::vector<double> values, double q);
+
+// Fraction of samples <= threshold; this is the empirical CDF evaluated at `threshold`.
+double FractionAtOrBelow(const std::vector<double>& values, double threshold);
+
+// Fixed-width histogram over [lo, hi); samples outside the range are clamped to the edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double value);
+  void AddN(double value, uint64_t count);
+
+  size_t bin_count() const { return counts_.size(); }
+  uint64_t count(size_t bin) const { return counts_[bin]; }
+  uint64_t total() const { return total_; }
+  // Fraction of all samples in `bin`; 0 when the histogram is empty.
+  double Fraction(size_t bin) const;
+  // Center x-value of `bin`.
+  double BinCenter(size_t bin) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_COMMON_STATS_H_

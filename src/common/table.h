@@ -1,0 +1,39 @@
+// Plain-text table rendering for the experiment harnesses. Each bench binary prints rows in
+// the same layout as the paper's tables/figures; this keeps that output aligned and uniform.
+
+#ifndef SDC_SRC_COMMON_TABLE_H_
+#define SDC_SRC_COMMON_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sdc {
+
+// Column-aligned ASCII table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  // Renders with a header underline; short rows are padded with empty cells.
+  void Print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats with the given number of decimals, e.g. FormatDouble(3.14159, 2) == "3.14".
+std::string FormatDouble(double value, int decimals);
+
+// Formats a fraction as basis-points-of-percent, the paper's "per ten thousand" unit:
+// 3.61e-4 -> "3.610 permyriad".
+std::string FormatPermyriad(double fraction, int decimals = 3);
+
+// Formats a fraction as a percentage: 0.0488 -> "4.880%".
+std::string FormatPercent(double fraction, int decimals = 3);
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_COMMON_TABLE_H_

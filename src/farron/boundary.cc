@@ -1,0 +1,42 @@
+#include "src/farron/boundary.h"
+
+namespace sdc {
+
+AdaptiveBoundary::AdaptiveBoundary(double initial_celsius, size_t window_size,
+                                   double raise_step_celsius)
+    : boundary_celsius_(initial_celsius), window_size_(window_size),
+      raise_step_celsius_(raise_step_celsius) {}
+
+BoundaryDecision AdaptiveBoundary::Observe(double temperature_celsius) {
+  const bool exceeds = temperature_celsius > boundary_celsius_;
+  // A sample counts as boundary pressure when it exceeds the boundary outright, or when an
+  // active backoff is what pins it just below (otherwise throttling would hide a workload
+  // whose normal temperature sits above the boundary, and the boundary could never learn).
+  constexpr double kRecoveryMargin = 2.0;
+  const bool pressure =
+      exceeds ||
+      (backoff_active_ && temperature_celsius > boundary_celsius_ - kRecoveryMargin);
+  window_.push_back(pressure);
+  if (window_.size() > window_size_) {
+    window_.pop_front();
+  }
+  if (!exceeds) {
+    backoff_active_ = false;
+    return BoundaryDecision::kNormal;
+  }
+  size_t pressured = 0;
+  for (bool sample : window_) {
+    pressured += sample ? 1 : 0;
+  }
+  if (adaptive_ && window_.size() >= window_size_ && pressured * 2 > window_.size()) {
+    // Persistent pressure: this temperature is normal for the application here; learn it
+    // instead of punishing the workload (Section 7.1).
+    boundary_celsius_ += raise_step_celsius_;
+    backoff_active_ = false;
+    return BoundaryDecision::kRaised;
+  }
+  backoff_active_ = true;
+  return BoundaryDecision::kBackoff;
+}
+
+}  // namespace sdc

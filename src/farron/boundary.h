@@ -1,0 +1,50 @@
+// Adaptive temperature boundary (Section 7.1).
+//
+// Farron keeps a window of recent temperature samples. When a sample exceeds the current
+// workload-backoff boundary, the controller checks the window: if more than half of the
+// recorded samples exceed the boundary, the temperature is evidently normal for this
+// application in this environment, so the boundary is raised instead of punishing the
+// workload; otherwise workload backoff engages until the temperature drops back under the
+// boundary. This is how Farron "autonomously learns the standard working temperature".
+
+#ifndef SDC_SRC_FARRON_BOUNDARY_H_
+#define SDC_SRC_FARRON_BOUNDARY_H_
+
+#include <cstddef>
+#include <deque>
+
+namespace sdc {
+
+enum class BoundaryDecision {
+  kNormal,   // temperature under the boundary; run at full speed
+  kBackoff,  // boundary exceeded abnormally; throttle the workload
+  kRaised,   // boundary exceeded persistently; boundary learned upward instead
+};
+
+class AdaptiveBoundary {
+ public:
+  AdaptiveBoundary(double initial_celsius, size_t window_size, double raise_step_celsius = 1.0);
+
+  // Records one temperature sample and returns the control decision.
+  BoundaryDecision Observe(double temperature_celsius);
+
+  double boundary_celsius() const { return boundary_celsius_; }
+  size_t window_fill() const { return window_.size(); }
+
+  // Disables the adaptive raise (ablation: fixed boundary).
+  void set_adaptive(bool adaptive) { adaptive_ = adaptive; }
+
+ private:
+  double boundary_celsius_;
+  size_t window_size_;
+  double raise_step_celsius_;
+  bool adaptive_ = true;
+  bool backoff_active_ = false;
+  // One entry per observation: whether the sample showed boundary pressure (exceeding, or
+  // held just below the boundary by an active backoff).
+  std::deque<bool> window_;
+};
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_FARRON_BOUNDARY_H_

@@ -1,0 +1,69 @@
+#include "src/farron/longitudinal.h"
+
+namespace sdc {
+
+LifecycleReport RunLifecycle(Farron& farron, FaultyMachine& machine, const TestSuite& suite,
+                             const LifecycleConfig& config) {
+  LifecycleReport report;
+  DefectInjector* injector = machine.injector();
+
+  // Month 0: pre-production testing (defects with onset 0 are live; wear-out defects are
+  // still dormant).
+  if (injector != nullptr) {
+    injector->set_age_months(0.0);
+  }
+  const FarronRoundSummary pre_production = farron.RunPreProduction();
+  {
+    LifecyclePeriod period;
+    period.month = 0.0;
+    period.tested = true;
+    period.detected = pre_production.report.any_error();
+    period.masked_cores = farron.pool().masked_count();
+    period.deprecated = pre_production.processor_deprecated;
+    if (period.detected) {
+      report.first_detection_month = 0.0;
+    }
+    report.periods.push_back(period);
+  }
+
+  const double interval = farron.config().regular_period_months;
+  for (double month = interval; month <= config.horizon_months + 1e-9; month += interval) {
+    LifecyclePeriod period;
+    period.month = month;
+    if (farron.pool().processor_deprecated()) {
+      period.deprecated = true;
+      period.masked_cores = farron.pool().masked_count();
+      report.periods.push_back(period);
+      continue;  // the part is out of service; nothing runs on it
+    }
+    // The interval's application workload, with defects at the interval's ending age --
+    // a defect whose onset falls inside the interval corrupts the application *before*
+    // the round at the interval boundary can catch it (Observation 2's exposure window).
+    if (injector != nullptr) {
+      injector->set_age_months(month);
+    }
+    const ProtectionReport app = SimulateProtectedWorkload(
+        farron, machine, suite, config.workload, config.app_hours_per_interval, true);
+    period.app_sdc_events = app.sdc_events;
+    period.backoff_seconds = app.backoff_seconds;
+    report.total_app_sdc_events += app.sdc_events;
+    // The regular round at the end of the interval sees defects aged to `month`.
+    if (injector != nullptr) {
+      injector->set_age_months(month);
+    }
+    const FarronRoundSummary round = farron.RunRegularRound(config.app_features);
+    period.tested = true;
+    period.detected = round.report.any_error();
+    period.masked_cores = farron.pool().masked_count();
+    period.deprecated = round.processor_deprecated;
+    if (period.detected && report.first_detection_month < 0.0) {
+      report.first_detection_month = month;
+    }
+    report.periods.push_back(period);
+  }
+  report.deprecated = farron.pool().processor_deprecated();
+  report.final_masked_cores = farron.pool().masked_count();
+  return report;
+}
+
+}  // namespace sdc

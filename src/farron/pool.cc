@@ -1,0 +1,33 @@
+#include "src/farron/pool.h"
+
+#include <cstddef>
+
+namespace sdc {
+
+ReliablePool::ReliablePool(int physical_cores)
+    : masked_(static_cast<size_t>(physical_cores), false) {}
+
+void ReliablePool::MaskCore(int pcore) { masked_[pcore] = true; }
+
+int ReliablePool::masked_count() const {
+  int count = 0;
+  for (bool masked : masked_) {
+    count += masked ? 1 : 0;
+  }
+  return count;
+}
+
+std::vector<int> ReliablePool::UsableCores() const {
+  std::vector<int> cores;
+  if (processor_deprecated()) {
+    return cores;
+  }
+  for (size_t pcore = 0; pcore < masked_.size(); ++pcore) {
+    if (!masked_[pcore]) {
+      cores.push_back(static_cast<int>(pcore));
+    }
+  }
+  return cores;
+}
+
+}  // namespace sdc

@@ -1,0 +1,37 @@
+// Reliable resource pool with fine-grained decommission (Section 7.1, Observation 4).
+//
+// Farron masks individual defective physical cores and keeps the remainder in service; a
+// processor with more than two defective cores is deprecated entirely, following the
+// paper's observation that multi-core defects usually mean a processor-wide problem.
+
+#ifndef SDC_SRC_FARRON_POOL_H_
+#define SDC_SRC_FARRON_POOL_H_
+
+#include <vector>
+
+namespace sdc {
+
+class ReliablePool {
+ public:
+  explicit ReliablePool(int physical_cores);
+
+  // Removes a core from the reliable pool. Idempotent.
+  void MaskCore(int pcore);
+
+  bool IsMasked(int pcore) const { return masked_[pcore]; }
+  int masked_count() const;
+  int total_cores() const { return static_cast<int>(masked_.size()); }
+
+  // More than two defective cores: deprecate the whole processor (Section 7.1).
+  bool processor_deprecated() const { return masked_count() > 2; }
+
+  // Cores still considered reliable (empty when the processor is deprecated).
+  std::vector<int> UsableCores() const;
+
+ private:
+  std::vector<bool> masked_;
+};
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_FARRON_POOL_H_

@@ -1,0 +1,126 @@
+#include "src/farron/priorities.h"
+
+#include <algorithm>
+#include <string>
+
+namespace sdc {
+
+std::string TestPriorityName(TestPriority priority) {
+  switch (priority) {
+    case TestPriority::kBasic:
+      return "basic";
+    case TestPriority::kActive:
+      return "active";
+    case TestPriority::kSuspected:
+      return "suspected";
+  }
+  return "?";
+}
+
+PriorityTracker::PriorityTracker(const TestSuite* suite)
+    : suite_(suite), priorities_(suite->size(), TestPriority::kBasic) {}
+
+void PriorityTracker::MarkActiveFromHistory(const std::vector<std::string>& testcase_ids) {
+  for (const std::string& id : testcase_ids) {
+    const int index = suite_->IndexOf(id);
+    if (index >= 0 && priorities_[index] == TestPriority::kBasic) {
+      priorities_[index] = TestPriority::kActive;
+    }
+  }
+}
+
+void PriorityTracker::MarkSuspected(const std::string& testcase_id) {
+  const int index = suite_->IndexOf(testcase_id);
+  if (index >= 0) {
+    priorities_[index] = TestPriority::kSuspected;
+  }
+}
+
+void PriorityTracker::AbsorbReport(const RunReport& report) {
+  for (const std::string& id : report.failed_testcase_ids()) {
+    MarkSuspected(id);
+  }
+}
+
+size_t PriorityTracker::CountWithPriority(TestPriority priority) const {
+  return static_cast<size_t>(
+      std::count(priorities_.begin(), priorities_.end(), priority));
+}
+
+std::vector<size_t> PriorityTracker::IndicesWithPriority(TestPriority priority) const {
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < priorities_.size(); ++i) {
+    if (priorities_[i] == priority) {
+      indices.push_back(i);
+    }
+  }
+  return indices;
+}
+
+bool PriorityTracker::FeatureRelevant(Feature feature,
+                                      const std::vector<Feature>& app_features) const {
+  if (app_features.empty()) {
+    return true;
+  }
+  return std::find(app_features.begin(), app_features.end(), feature) != app_features.end();
+}
+
+std::vector<TestPlanEntry> PriorityTracker::BuildRegularPlan(
+    const std::vector<Feature>& app_features, const PriorityPlanParams& params) const {
+  std::vector<TestPlanEntry> plan;
+  plan.reserve(suite_->size());
+  // Suspected first, then active, then the best-effort sweep -- so the most likely
+  // detections happen earliest in the round.
+  for (TestPriority wanted :
+       {TestPriority::kSuspected, TestPriority::kActive, TestPriority::kBasic}) {
+    for (size_t i = 0; i < priorities_.size(); ++i) {
+      if (priorities_[i] != wanted) {
+        continue;
+      }
+      double seconds = params.basic_seconds;
+      if (wanted == TestPriority::kSuspected) {
+        seconds = params.suspected_seconds;  // always fully tested, feature-relevant or not
+      } else if (wanted == TestPriority::kActive &&
+                 FeatureRelevant(suite_->info(i).target, app_features)) {
+        seconds = params.active_seconds;
+      }
+      plan.push_back({i, seconds * params.duration_scale});
+    }
+  }
+  return plan;
+}
+
+void PriorityTracker::Save(std::ostream& out) const {
+  for (size_t i = 0; i < priorities_.size(); ++i) {
+    if (priorities_[i] != TestPriority::kBasic) {
+      out << TestPriorityName(priorities_[i]) << "\t" << suite_->info(i).id << "\n";
+    }
+  }
+}
+
+void PriorityTracker::Load(std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      continue;
+    }
+    const std::string priority = line.substr(0, tab);
+    const std::string id = line.substr(tab + 1);
+    if (priority == "suspected") {
+      MarkSuspected(id);
+    } else if (priority == "active") {
+      MarkActiveFromHistory({id});
+    }
+  }
+}
+
+double PriorityTracker::PlanSeconds(const std::vector<TestPlanEntry>& plan) {
+  double total = 0.0;
+  for (const TestPlanEntry& entry : plan) {
+    total += entry.duration_seconds;
+  }
+  return total;
+}
+
+}  // namespace sdc

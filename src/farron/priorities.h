@@ -1,0 +1,83 @@
+// Testcase prioritization (Section 7.1 / Observation 11).
+//
+// Three priority levels: "basic" testcases have never found a fault in large-scale history;
+// "active" testcases have proven track records against some defective feature; "suspected"
+// testcases have detected errors on this very processor. Regular-test plans allocate most
+// resources to suspected and active testcases whose targeted feature the protected
+// application actually uses, and sweep the rest in best-effort mode.
+
+#ifndef SDC_SRC_FARRON_PRIORITIES_H_
+#define SDC_SRC_FARRON_PRIORITIES_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/toolchain/framework.h"
+#include "src/toolchain/registry.h"
+
+namespace sdc {
+
+enum class TestPriority {
+  kBasic,
+  kActive,
+  kSuspected,
+};
+
+std::string TestPriorityName(TestPriority priority);
+
+struct PriorityPlanParams {
+  double suspected_seconds = 60.0;
+  double active_seconds = 40.0;
+  double basic_seconds = 1.3;  // best-effort sweep
+  // Global scale on all durations (adaptive test-duration knob: lower temperature
+  // boundaries need less testing, Section 7.1).
+  double duration_scale = 1.0;
+};
+
+class PriorityTracker {
+ public:
+  // `suite` must outlive the tracker. All testcases start as basic.
+  explicit PriorityTracker(const TestSuite* suite);
+
+  // Seeds "active" priorities from fleet history (testcase ids that found faults in
+  // large-scale tests). Unknown ids are ignored.
+  void MarkActiveFromHistory(const std::vector<std::string>& testcase_ids);
+
+  // Promotes a testcase to "suspected" after it failed on this processor.
+  void MarkSuspected(const std::string& testcase_id);
+
+  // Promotes every failed testcase of `report` to suspected.
+  void AbsorbReport(const RunReport& report);
+
+  TestPriority priority(size_t index) const { return priorities_[index]; }
+  size_t CountWithPriority(TestPriority priority) const;
+  std::vector<size_t> IndicesWithPriority(TestPriority priority) const;
+
+  // Builds a prioritized regular-test plan: suspected and active testcases whose target
+  // feature appears in `app_features` (empty = all features) get full slices, everything
+  // else gets the best-effort slice. Suspected cases are scheduled first.
+  std::vector<TestPlanEntry> BuildRegularPlan(const std::vector<Feature>& app_features,
+                                              const PriorityPlanParams& params) const;
+
+  // Total duration of a plan in seconds.
+  static double PlanSeconds(const std::vector<TestPlanEntry>& plan);
+
+  // Persistence: history data is the whole point of prioritization (Observation 11), so
+  // priorities survive process restarts. Save writes one "priority<TAB>id" line per
+  // non-basic testcase; Load restores them (unknown ids are ignored, and suspected beats
+  // active on conflict).
+  void Save(std::ostream& out) const;
+  void Load(std::istream& in);
+
+ private:
+  bool FeatureRelevant(Feature feature, const std::vector<Feature>& app_features) const;
+
+  const TestSuite* suite_;
+  std::vector<TestPriority> priorities_;
+};
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_FARRON_PRIORITIES_H_

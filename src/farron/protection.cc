@@ -1,0 +1,127 @@
+#include "src/farron/protection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/toolchain/testcase.h"
+
+namespace sdc {
+
+ProtectionReport SimulateProtectedWorkload(Farron& farron, FaultyMachine& machine,
+                                           const TestSuite& suite, const WorkloadSpec& spec,
+                                           double hours, bool protect) {
+  ProtectionReport report;
+  report.simulated_hours = hours;
+  Processor& cpu = machine.cpu();
+  Testcase& kernel = suite.at(spec.kernel_case_index);
+  // Batch granularity ~0.5 s of represented execution keeps the control loop fine enough to
+  // clip short excursions while staying cheap to simulate.
+  cpu.SetTimeScale(2e5);
+
+  std::vector<int> usable = farron.pool().UsableCores();
+  if (usable.empty()) {
+    // Deprecated processor: the workload would run elsewhere; nothing to simulate.
+    return report;
+  }
+  const int smt = cpu.spec().threads_per_core;
+  int app_pcore = usable.front();
+  for (int pcore : usable) {
+    if (pcore == spec.preferred_pcore) {
+      app_pcore = pcore;
+    }
+  }
+  Rng rng(spec.seed);
+  std::vector<SdcRecord> records;
+  TestContext context;
+  context.machine = &machine;
+  context.rng = &rng;
+  context.records = &records;
+  context.max_records = 4096;
+  context.cpu_id = machine.info().cpu_id;
+  context.lcores = {app_pcore * smt};
+  if (kernel.info().multithreaded) {
+    int partner = (app_pcore + 1) % cpu.spec().physical_cores;
+    for (int pcore : usable) {
+      if (pcore != app_pcore) {
+        partner = pcore;
+        break;
+      }
+    }
+    context.lcores.push_back(partner * smt);
+  }
+
+  auto set_utilization = [&](double utilization) {
+    machine.SetAllCoreUtilization(0.0);
+    for (int pcore : usable) {
+      cpu.SetCoreUtilization(pcore, utilization);
+    }
+  };
+  set_utilization(spec.base_utilization);
+  cpu.thermal().SettleToSteadyState(
+      std::vector<double>(static_cast<size_t>(cpu.spec().physical_cores), 0.0));
+
+  const double end_seconds = cpu.now_seconds() + hours * 3600.0;
+  double burst_until = -1.0;
+  bool throttled = false;
+  while (cpu.now_seconds() < end_seconds) {
+    // Workload phase: steady load with occasional sustained bursts.
+    if (cpu.now_seconds() > burst_until && rng.NextBernoulli(spec.burst_probability)) {
+      burst_until = cpu.now_seconds() + spec.burst_seconds;
+    }
+    const bool bursting = cpu.now_seconds() <= burst_until;
+    double base = spec.base_utilization;
+    if (spec.diurnal_amplitude > 0.0) {
+      base += spec.diurnal_amplitude *
+              std::sin(2.0 * M_PI * cpu.now_seconds() / spec.diurnal_period_seconds);
+      base = std::clamp(base, 0.0, 1.0);
+    }
+    double utilization = bursting ? spec.burst_utilization : base;
+    if (throttled) {
+      utilization = std::min(utilization, farron.backoff_utilization());
+    }
+    set_utilization(utilization);
+
+    kernel.RunBatch(context);
+    double busy = 0.0;
+    for (int lcore : context.lcores) {
+      busy = std::max(busy, cpu.ConsumeBusySeconds(cpu.pcore_of(lcore)));
+    }
+    busy = std::max(busy, 1e-8);
+    // Throttled or lightly loaded execution stretches the same work over more wall time.
+    const double dt = busy * cpu.time_scale() / std::max(utilization, 0.05);
+    cpu.AdvanceSeconds(dt);
+    if (throttled) {
+      report.backoff_seconds += dt;
+    }
+
+    double hottest = 0.0;
+    for (int pcore : usable) {
+      hottest = std::max(hottest, cpu.core_temperature(pcore));
+    }
+    report.max_temperature = std::max(report.max_temperature, hottest);
+    if (protect) {
+      const Farron::ControlAction action = farron.ControlStep(hottest);
+      const bool should_throttle = action == Farron::ControlAction::kWorkloadBackoff;
+      if (action == Farron::ControlAction::kCoolingBoosted) {
+        ++report.cooling_boosts;
+      }
+      if (should_throttle != throttled && farron.event_log() != nullptr) {
+        farron.event_log()->Record(
+            should_throttle ? EventKind::kBackoffEngaged : EventKind::kBackoffReleased,
+            cpu.now_seconds(), machine.info().cpu_id, -1, hottest);
+      }
+      if (should_throttle && !throttled) {
+        ++report.backoff_engagements;
+      }
+      throttled = should_throttle;
+    }
+  }
+  report.sdc_events = context.errors_found;
+  report.final_boundary = farron.boundary().boundary_celsius();
+  report.final_cooling_boost = cpu.thermal().cooling_boost();
+  set_utilization(spec.base_utilization);
+  return report;
+}
+
+}  // namespace sdc

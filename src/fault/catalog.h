@@ -1,0 +1,74 @@
+// Catalog of faulty processors.
+//
+// Two producers live here:
+//  * StudyCatalog(): the 27 processors the paper studies in depth (Section 2.4), including
+//    the ten Table 3 details by name (MIX1/MIX2, SIMD1/2, FPU1-4, CNST1/2). Defect
+//    parameters are calibrated so the downstream analyses reproduce the paper's figures:
+//    feature mix (Fig 2), datatype mix (Fig 3), bitflip structure (Figs 4-7), temperature
+//    response (Fig 8, including MIX1's 59C minimum trigger and FPU2's 48-56C band), and the
+//    trigger-temperature/frequency relation (Fig 9).
+//  * GenerateRandomDefects(): defect sets for the synthetic million-CPU fleet, drawn from
+//    the same parameter distributions, used by the screening pipeline (Tables 1 and 2).
+
+#ifndef SDC_SRC_FAULT_CATALOG_H_
+#define SDC_SRC_FAULT_CATALOG_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/fault/defect.h"
+#include "src/sim/processor.h"
+
+namespace sdc {
+
+// Number of micro-architectures in the fleet (M1..M9, Table 2).
+constexpr int kArchCount = 9;
+
+// Name of architecture index 0..8 ("M1".."M9").
+std::string ArchName(int arch_index);
+
+// Processor model for an architecture: core counts and clocks vary across generations.
+ProcessorSpec MakeArchSpec(int arch_index);
+ProcessorSpec MakeArchSpec(const std::string& arch_name);
+
+// A faulty processor: identity, fleet age, hardware model, and its defects.
+struct FaultyProcessorInfo {
+  std::string cpu_id;
+  std::string arch;
+  double age_years = 0.0;
+  ProcessorSpec spec;
+  std::vector<Defect> defects;
+
+  // Union of SDC types across defects; the paper observes each faulty processor exhibits
+  // exactly one type (Section 4.1), which the catalog preserves.
+  SdcType sdc_type() const;
+  // Number of distinct affected physical cores (Table 3's #pcore).
+  int defective_pcore_count() const;
+};
+
+// The 27 processors studied in depth. Deterministic; the ten Table 3 parts come first.
+std::vector<FaultyProcessorInfo> StudyCatalog();
+
+// Looks up a catalog entry by cpu_id; aborts if absent (programming error).
+FaultyProcessorInfo FindInCatalog(const std::string& cpu_id);
+
+// Non-aborting lookup for user-facing inputs (the CLI); nullopt when unknown.
+std::optional<FaultyProcessorInfo> TryFindInCatalog(const std::string& cpu_id);
+
+// Draws a defect set for one faulty fleet processor of the given architecture. Used by the
+// population generator; parameters follow the same distributions as the study catalog.
+// `deployed` marks defects that may develop after deployment (onset_months > 0).
+std::vector<Defect> GenerateRandomDefects(Rng& rng, int arch_index, int pcore_count);
+
+// Draws the minimum-trigger temperature and matching base rate for a defect so that the
+// population follows Figure 9's relation: log10(frequency at trigger) falls linearly with
+// the trigger temperature (fit r ~= -0.83). `ops_per_second` is the nominal execution rate
+// of the affected op under test, used to convert frequency/minute to per-op rate.
+void SampleTriggerAndRate(Rng& rng, double ops_per_second, double* min_trigger_celsius,
+                          double* base_log10_rate);
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_FAULT_CATALOG_H_

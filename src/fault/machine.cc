@@ -1,0 +1,28 @@
+#include "src/fault/machine.h"
+
+namespace sdc {
+
+FaultyMachine::FaultyMachine(const FaultyProcessorInfo& info, uint64_t seed)
+    : info_(info),
+      cpu_(info.spec),
+      bus_(cpu_, kSharedCells),
+      txmem_(cpu_, kSharedCells),
+      injector_(std::make_unique<DefectInjector>(info.defects, seed)) {
+  injector_->set_age_months(info.age_years * 12.0);
+  cpu_.SetCorruptionHook(injector_.get());
+}
+
+FaultyMachine::FaultyMachine(const ProcessorSpec& spec)
+    : info_{.cpu_id = "healthy", .arch = spec.arch, .age_years = 0.0, .spec = spec,
+            .defects = {}},
+      cpu_(spec),
+      bus_(cpu_, kSharedCells),
+      txmem_(cpu_, kSharedCells) {}
+
+void FaultyMachine::SetAllCoreUtilization(double utilization) {
+  for (int pcore = 0; pcore < cpu_.spec().physical_cores; ++pcore) {
+    cpu_.SetCoreUtilization(pcore, utilization);
+  }
+}
+
+}  // namespace sdc

@@ -1,0 +1,50 @@
+// FaultyMachine bundles one simulated processor with its memory-system models and (when the
+// part is faulty) a DefectInjector wired in as the corruption hook. Everything above this
+// layer -- the test toolchain, Farron, the workload simulator -- drives machines through this
+// bundle.
+
+#ifndef SDC_SRC_FAULT_MACHINE_H_
+#define SDC_SRC_FAULT_MACHINE_H_
+
+#include <memory>
+
+#include "src/fault/catalog.h"
+#include "src/fault/injector.h"
+#include "src/sim/coherence.h"
+#include "src/sim/processor.h"
+#include "src/sim/txmem.h"
+
+namespace sdc {
+
+class FaultyMachine {
+ public:
+  // Shared-memory cells available to coherence / transactional testcases.
+  static constexpr size_t kSharedCells = 4096;
+
+  // A machine with the catalog part's defects installed. `seed` drives defect activation.
+  FaultyMachine(const FaultyProcessorInfo& info, uint64_t seed);
+
+  // A healthy machine of the given model.
+  explicit FaultyMachine(const ProcessorSpec& spec);
+
+  Processor& cpu() { return cpu_; }
+  CoherentBus& bus() { return bus_; }
+  TxMemory& txmem() { return txmem_; }
+  // Null for a healthy machine.
+  DefectInjector* injector() { return injector_.get(); }
+  const FaultyProcessorInfo& info() const { return info_; }
+
+  // Convenience: marks every physical core busy/idle (burn-in, background stress).
+  void SetAllCoreUtilization(double utilization);
+
+ private:
+  FaultyProcessorInfo info_;
+  Processor cpu_;
+  CoherentBus bus_;
+  TxMemory txmem_;
+  std::unique_ptr<DefectInjector> injector_;
+};
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_FAULT_MACHINE_H_

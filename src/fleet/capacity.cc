@@ -1,0 +1,69 @@
+#include "src/fleet/capacity.h"
+
+#include <set>
+#include <unordered_map>
+
+namespace sdc {
+
+int DefectiveCoreCount(const FleetProcessor& processor) {
+  const int total = MakeArchSpec(processor.arch_index).physical_cores;
+  std::set<int> cores;
+  for (const Defect& defect : processor.defects) {
+    if (defect.affected_pcores.empty()) {
+      return total;
+    }
+    cores.insert(defect.affected_pcores.begin(), defect.affected_pcores.end());
+  }
+  return static_cast<int>(cores.size());
+}
+
+CapacityReport SimulateCapacityRetention(const FleetPopulation& fleet,
+                                         const ScreeningStats& stats,
+                                         const ScreeningConfig& config) {
+  CapacityReport report;
+  std::unordered_map<uint64_t, const FleetProcessor*> by_serial;
+  for (const FleetProcessor& processor : fleet.processors()) {
+    report.fleet_cores +=
+        static_cast<uint64_t>(MakeArchSpec(processor.arch_index).physical_cores);
+    if (processor.faulty) {
+      by_serial.emplace(processor.serial, &processor);
+    }
+  }
+  const int periods =
+      static_cast<int>(config.horizon_months / config.regular_period_months);
+  report.timeline.resize(static_cast<size_t>(periods) + 1);
+  for (int period = 0; period <= periods; ++period) {
+    report.timeline[period].month =
+        static_cast<double>(period) * config.regular_period_months;
+  }
+  for (const ProcessorOutcome& outcome : stats.detections) {
+    if (outcome.stage != TestStage::kRegular) {
+      continue;  // pre-production: the part never carried production load
+    }
+    const auto it = by_serial.find(outcome.serial);
+    if (it == by_serial.end()) {
+      continue;
+    }
+    const FleetProcessor& processor = *it->second;
+    const int total_cores = MakeArchSpec(processor.arch_index).physical_cores;
+    const int defective = DefectiveCoreCount(processor);
+    ++report.production_detections;
+    const uint64_t baseline_loss = static_cast<uint64_t>(total_cores);
+    uint64_t fine_loss = static_cast<uint64_t>(defective);
+    if (defective > 2) {
+      fine_loss = static_cast<uint64_t>(total_cores);  // deprecation rule
+      ++report.parts_deprecated_fine;
+    }
+    report.baseline_cores_lost += baseline_loss;
+    report.fine_grained_cores_lost += fine_loss;
+    const int period =
+        static_cast<int>(outcome.month / config.regular_period_months);
+    for (size_t p = static_cast<size_t>(period); p < report.timeline.size(); ++p) {
+      report.timeline[p].baseline_cores_lost += baseline_loss;
+      report.timeline[p].fine_grained_cores_lost += fine_loss;
+    }
+  }
+  return report;
+}
+
+}  // namespace sdc

@@ -1,0 +1,193 @@
+#include "src/fleet/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace sdc {
+
+std::string StageName(TestStage stage) {
+  switch (stage) {
+    case TestStage::kFactory:
+      return "factory";
+    case TestStage::kDatacenter:
+      return "datacenter";
+    case TestStage::kReinstall:
+      return "re-install";
+    case TestStage::kRegular:
+      return "regular";
+  }
+  return "?";
+}
+
+uint64_t ScreeningStats::total_detected() const {
+  uint64_t total = 0;
+  for (uint64_t count : detected_by_stage) {
+    total += count;
+  }
+  return total;
+}
+
+double ScreeningStats::StageRate(TestStage stage) const {
+  if (tested == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(detected_by_stage[static_cast<int>(stage)]) /
+         static_cast<double>(tested);
+}
+
+double ScreeningStats::TotalRate() const {
+  if (tested == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(total_detected()) / static_cast<double>(tested);
+}
+
+double ScreeningStats::ArchRate(int arch_index) const {
+  if (tested_by_arch[arch_index] == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(detected_by_arch[arch_index]) /
+         static_cast<double>(tested_by_arch[arch_index]);
+}
+
+double ScreeningStats::PreProductionRate() const {
+  return StageRate(TestStage::kFactory) + StageRate(TestStage::kDatacenter) +
+         StageRate(TestStage::kReinstall);
+}
+
+int RegularGroupOf(uint64_t serial, const ScreeningConfig& config) {
+  const int groups = config.regular_groups < 1 ? 1 : config.regular_groups;
+  return static_cast<int>(Mix64(serial) % static_cast<uint64_t>(groups));
+}
+
+double RegularRoundMonth(uint64_t serial, int cycle, const ScreeningConfig& config) {
+  const int groups = config.regular_groups < 1 ? 1 : config.regular_groups;
+  const double offset = config.regular_period_months *
+                        static_cast<double>(RegularGroupOf(serial, config)) /
+                        static_cast<double>(groups);
+  return static_cast<double>(cycle) * config.regular_period_months + offset;
+}
+
+ScreeningPipeline::ScreeningPipeline(const TestSuite* suite) : suite_(suite) {}
+
+int ScreeningPipeline::MatchingTestcases(const Defect& defect) const {
+  int matches = 0;
+  for (size_t i = 0; i < suite_->size(); ++i) {
+    const TestcaseInfo& info = suite_->info(i);
+    bool op_match = false;
+    for (OpKind op : info.ops) {
+      if (defect.AffectsOp(op)) {
+        op_match = true;
+        break;
+      }
+    }
+    if (!op_match) {
+      continue;
+    }
+    if (defect.type() == SdcType::kComputation) {
+      bool type_match = false;
+      for (DataType type : info.types) {
+        if (defect.AffectsType(type)) {
+          type_match = true;
+          break;
+        }
+      }
+      if (!type_match) {
+        continue;
+      }
+    }
+    ++matches;
+  }
+  return matches;
+}
+
+double ScreeningPipeline::ExpectedErrors(const Defect& defect, const StageParams& stage,
+                                         int pcores) const {
+  const int matching = MatchingTestcases(defect);
+  if (matching == 0) {
+    return 0.0;
+  }
+  // Sequential per-core testing: each core gets an equal share of each testcase's duration.
+  const double minutes_per_core =
+      stage.per_case_seconds * static_cast<double>(matching) /
+      static_cast<double>(pcores) / 60.0;
+  double expected = 0.0;
+  for (int pcore = 0; pcore < pcores; ++pcore) {
+    expected += defect.OccurrenceFrequencyPerMinute(stage.temperature_celsius,
+                                                    defect.intensity_ref, pcore) *
+                minutes_per_core;
+  }
+  return expected;
+}
+
+ScreeningStats ScreeningPipeline::Run(const FleetPopulation& fleet,
+                                      const ScreeningConfig& config) const {
+  ScreeningStats stats;
+  Rng rng(config.seed);
+  for (const FleetProcessor& processor : fleet.processors()) {
+    ++stats.tested;
+    ++stats.tested_by_arch[processor.arch_index];
+    if (!processor.faulty) {
+      continue;
+    }
+    ++stats.faulty;
+    if (!processor.toolchain_detectable) {
+      continue;  // escapes every stage (Section 2.3's false negatives)
+    }
+    const int pcores = MakeArchSpec(processor.arch_index).physical_cores;
+
+    // Pre-computed per-stage detection probabilities across the part's defects (a part is
+    // detected when any defect reproduces).
+    auto stage_probability = [&](const StageParams& stage, double age_months) {
+      double survive = 1.0;
+      for (const Defect& defect : processor.defects) {
+        if (defect.onset_months > age_months) {
+          continue;  // not yet developed
+        }
+        const double expected = ExpectedErrors(defect, stage, pcores);
+        survive *= 1.0 - stage.catch_factor * (1.0 - std::exp(-expected));
+      }
+      return 1.0 - survive;
+    };
+
+    bool detected = false;
+    TestStage detected_stage = TestStage::kFactory;
+    double detected_month = 0.0;
+    const TestStage pre_production[] = {TestStage::kFactory, TestStage::kDatacenter,
+                                        TestStage::kReinstall};
+    for (TestStage stage : pre_production) {
+      if (rng.NextBernoulli(
+              stage_probability(config.stages[static_cast<int>(stage)], 0.0))) {
+        detected = true;
+        detected_stage = stage;
+        break;
+      }
+    }
+    if (!detected) {
+      for (int cycle = 1;; ++cycle) {
+        const double month = RegularRoundMonth(processor.serial, cycle, config);
+        if (month > config.horizon_months) {
+          break;
+        }
+        if (rng.NextBernoulli(stage_probability(
+                config.stages[static_cast<int>(TestStage::kRegular)], month))) {
+          detected = true;
+          detected_stage = TestStage::kRegular;
+          detected_month = month;
+          break;
+        }
+      }
+    }
+    if (detected) {
+      ++stats.detected_by_stage[static_cast<int>(detected_stage)];
+      ++stats.detected_by_arch[processor.arch_index];
+      stats.detections.push_back({processor.serial, processor.arch_index, true,
+                                  detected_stage, detected_month});
+    }
+  }
+  return stats;
+}
+
+}  // namespace sdc

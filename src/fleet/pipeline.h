@@ -1,0 +1,111 @@
+// Four-stage screening pipeline (Figure 1): factory delivery, datacenter delivery, system
+// re-installation, and regular in-production tests every three months over the study
+// horizon. Detection per stage uses the closed-form expected-error count the defect model
+// implies -- the same activation law the op-level simulation evaluates -- so fleet-scale
+// statistics stay consistent with the deep-dive experiments without simulating 10^6
+// processors at operation granularity.
+//
+// Per stage, the expected number of errors for a defect is
+//   E = sum_cores frequency(T_stage, nominal intensity, core) * matching-testcase minutes
+// and the detection probability is catch_factor * (1 - exp(-E)). The catch factor models
+// how much of the stage's test program overlaps the toolchain's SDC sensitivity (factory
+// HVM tests are weak SDC detectors; the re-install full-suite run is the strong one --
+// which is exactly why Table 1's re-install column dominates).
+
+#ifndef SDC_SRC_FLEET_PIPELINE_H_
+#define SDC_SRC_FLEET_PIPELINE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fleet/population.h"
+#include "src/toolchain/registry.h"
+
+namespace sdc {
+
+enum class TestStage {
+  kFactory = 0,
+  kDatacenter = 1,
+  kReinstall = 2,
+  kRegular = 3,
+};
+
+constexpr int kStageCount = 4;
+
+std::string StageName(TestStage stage);
+
+struct StageParams {
+  double per_case_seconds = 60.0;     // equal allocation across the suite's testcases
+  double temperature_celsius = 58.0;  // effective core temperature while testing
+  double catch_factor = 1.0;          // SDC sensitivity of this stage's test program
+};
+
+struct ScreeningConfig {
+  std::array<StageParams, kStageCount> stages = {{
+      {30.0, 57.0, 0.24},    // factory: manufacturer tests, partial SDC overlap
+      {15.0, 50.0, 0.11},   // datacenter delivery: quick acceptance checks
+      {90.0, 66.0, 0.97},    // re-install: first full-suite burn-in run
+      {60.0, 58.0, 0.48},    // each regular round: full suite, production thermals
+  }};
+  double horizon_months = 32.0;
+  double regular_period_months = 3.0;
+  // Regular tests run in groups (Section 2.4: "testing for each group lasts about 2 weeks,
+  // and testing for the whole fleet needs months"): the fleet is partitioned into this many
+  // groups and each group's round is offset by an equal share of the period. 1 = every
+  // machine tests at the same month boundaries.
+  int regular_groups = 6;
+  uint64_t seed = 77;
+};
+
+// Group a processor's regular tests belong to, and the absolute month of its round in a
+// given cycle. Deterministic in the serial number.
+int RegularGroupOf(uint64_t serial, const ScreeningConfig& config);
+double RegularRoundMonth(uint64_t serial, int cycle, const ScreeningConfig& config);
+
+struct ProcessorOutcome {
+  uint64_t serial = 0;
+  int arch_index = 0;
+  bool detected = false;
+  TestStage stage = TestStage::kFactory;
+  double month = 0.0;  // detection time (0 for pre-production stages)
+};
+
+struct ScreeningStats {
+  uint64_t tested = 0;
+  uint64_t faulty = 0;
+  std::array<uint64_t, kStageCount> detected_by_stage{};
+  std::array<uint64_t, kArchCount> tested_by_arch{};
+  std::array<uint64_t, kArchCount> detected_by_arch{};
+  std::vector<ProcessorOutcome> detections;  // one entry per detected faulty part
+
+  uint64_t total_detected() const;
+  double StageRate(TestStage stage) const;   // detections at stage / tested
+  double TotalRate() const;                  // all detections / tested
+  double ArchRate(int arch_index) const;     // detections / tested within one arch
+  double PreProductionRate() const;          // factory + datacenter + re-install
+};
+
+class ScreeningPipeline {
+ public:
+  // `suite` provides testcase metadata for matching-minutes computation; it must outlive
+  // the pipeline.
+  explicit ScreeningPipeline(const TestSuite* suite);
+
+  ScreeningStats Run(const FleetPopulation& fleet, const ScreeningConfig& config) const;
+
+  // Expected error count for `defect` under one full-suite pass at the stage's settings on
+  // a processor with `pcores` physical cores. Exposed for tests and calibration.
+  double ExpectedErrors(const Defect& defect, const StageParams& stage, int pcores) const;
+
+  // Number of suite testcases whose op kinds and datatypes can expose `defect`.
+  int MatchingTestcases(const Defect& defect) const;
+
+ private:
+  const TestSuite* suite_;
+};
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_FLEET_PIPELINE_H_

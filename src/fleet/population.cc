@@ -1,0 +1,46 @@
+#include "src/fleet/population.h"
+
+#include "src/common/rng.h"
+
+namespace sdc {
+
+FleetPopulation FleetPopulation::Generate(const PopulationConfig& config) {
+  FleetPopulation fleet;
+  fleet.config_ = config;
+  fleet.processors_.reserve(config.processor_count);
+  Rng rng(config.seed);
+  std::vector<double> shares(config.arch_share.begin(), config.arch_share.end());
+  for (uint64_t serial = 0; serial < config.processor_count; ++serial) {
+    FleetProcessor processor;
+    processor.serial = serial;
+    processor.arch_index = static_cast<int>(rng.NextWeighted(shares));
+    const double prevalence =
+        config.detected_rate[processor.arch_index] / config.detectability;
+    processor.faulty = rng.NextBernoulli(prevalence);
+    if (processor.faulty) {
+      const int pcores = MakeArchSpec(processor.arch_index).physical_cores;
+      processor.defects = GenerateRandomDefects(rng, processor.arch_index, pcores);
+      processor.toolchain_detectable = !rng.NextBernoulli(config.undetectable_share);
+    }
+    fleet.processors_.push_back(std::move(processor));
+  }
+  return fleet;
+}
+
+uint64_t FleetPopulation::faulty_count() const {
+  uint64_t count = 0;
+  for (const FleetProcessor& processor : processors_) {
+    count += processor.faulty ? 1 : 0;
+  }
+  return count;
+}
+
+uint64_t FleetPopulation::CountByArch(int arch_index) const {
+  uint64_t count = 0;
+  for (const FleetProcessor& processor : processors_) {
+    count += processor.arch_index == arch_index ? 1 : 0;
+  }
+  return count;
+}
+
+}  // namespace sdc

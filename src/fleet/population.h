@@ -1,0 +1,62 @@
+// Synthetic production fleet (Section 2.4): >1M processors across the nine
+// micro-architectures, with per-architecture latent defect prevalence calibrated so the
+// *detected* failure rates land on Table 2 (and their weighted mean on Table 1's 3.61
+// permyriad total). Faulty parts carry concrete Defect models drawn from the same
+// distributions as the study catalog; a small share is undetectable by the toolchain
+// (Section 2.3 observes such escapes).
+
+#ifndef SDC_SRC_FLEET_POPULATION_H_
+#define SDC_SRC_FLEET_POPULATION_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/fault/catalog.h"
+
+namespace sdc {
+
+struct FleetProcessor {
+  uint64_t serial = 0;
+  int arch_index = 0;
+  bool faulty = false;
+  bool toolchain_detectable = true;  // false: fails only under conditions no testcase covers
+  std::vector<Defect> defects;       // non-empty only for faulty parts
+};
+
+struct PopulationConfig {
+  uint64_t processor_count = 1'000'000;
+  // Fleet share per architecture; sums to 1.
+  std::array<double, kArchCount> arch_share = {0.10, 0.10, 0.12, 0.06, 0.08,
+                                               0.14, 0.10, 0.16, 0.14};
+  // Detected failure-rate targets per architecture (Table 2), as fractions.
+  std::array<double, kArchCount> detected_rate = {4.619e-4, 0.352e-4, 2.649e-4,
+                                                  0.082e-4, 0.759e-4, 3.251e-4,
+                                                  1.599e-4, 9.290e-4, 4.646e-4};
+  // Overall share of faulty parts the pipeline eventually detects; true prevalence is
+  // detected_rate / detectability. Calibrated against the screening pipeline: tricky
+  // defects (high trigger temperature) routinely escape every stage.
+  double detectability = 0.74;
+  // Share of faulty parts no testcase can expose (complex multi-thread scenarios).
+  double undetectable_share = 0.04;
+  uint64_t seed = 20210101;
+};
+
+class FleetPopulation {
+ public:
+  static FleetPopulation Generate(const PopulationConfig& config);
+
+  const std::vector<FleetProcessor>& processors() const { return processors_; }
+  const PopulationConfig& config() const { return config_; }
+
+  uint64_t faulty_count() const;
+  uint64_t CountByArch(int arch_index) const;
+
+ private:
+  PopulationConfig config_;
+  std::vector<FleetProcessor> processors_;
+};
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_FLEET_POPULATION_H_

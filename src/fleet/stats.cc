@@ -1,0 +1,80 @@
+#include "src/fleet/stats.h"
+
+#include <cmath>
+
+namespace sdc {
+namespace {
+
+bool TestcaseMatchesDefect(const TestcaseInfo& info, const Defect& defect) {
+  bool op_match = false;
+  for (OpKind op : info.ops) {
+    if (defect.AffectsOp(op)) {
+      op_match = true;
+      break;
+    }
+  }
+  if (!op_match) {
+    return false;
+  }
+  if (defect.type() == SdcType::kComputation) {
+    for (DataType type : info.types) {
+      if (defect.AffectsType(type)) {
+        return true;
+      }
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+TestcaseEffectiveness ComputeTestcaseEffectiveness(const TestSuite& suite,
+                                                   const FleetPopulation& fleet,
+                                                   const StageParams& stage) {
+  TestcaseEffectiveness effectiveness;
+  effectiveness.total_testcases = suite.size();
+  // The faulty slice is tiny; extract it once instead of rescanning the million-part fleet
+  // per testcase.
+  std::vector<const FleetProcessor*> faulty;
+  for (const FleetProcessor& processor : fleet.processors()) {
+    if (processor.faulty && processor.toolchain_detectable) {
+      faulty.push_back(&processor);
+    }
+  }
+  for (size_t i = 0; i < suite.size(); ++i) {
+    const TestcaseInfo& info = suite.info(i);
+    bool effective = false;
+    for (const FleetProcessor* faulty_processor : faulty) {
+      const FleetProcessor& processor = *faulty_processor;
+      const int pcores = MakeArchSpec(processor.arch_index).physical_cores;
+      for (const Defect& defect : processor.defects) {
+        if (!TestcaseMatchesDefect(info, defect)) {
+          continue;
+        }
+        double expected = 0.0;
+        const double minutes_per_core =
+            stage.per_case_seconds / static_cast<double>(pcores) / 60.0;
+        for (int pcore = 0; pcore < pcores; ++pcore) {
+          expected += defect.OccurrenceFrequencyPerMinute(stage.temperature_celsius,
+                                                          defect.intensity_ref, pcore) *
+                      minutes_per_core;
+        }
+        if (1.0 - std::exp(-expected) >= 0.5) {
+          effective = true;
+          break;
+        }
+      }
+      if (effective) {
+        break;
+      }
+    }
+    if (effective) {
+      ++effectiveness.effective_testcases;
+      effectiveness.effective_ids.push_back(info.id);
+    }
+  }
+  return effectiveness;
+}
+
+}  // namespace sdc

@@ -1,0 +1,32 @@
+// Fleet-level testcase effectiveness (Observation 11): with detailed logs for the faulty
+// parts, count how many of the suite's 633 testcases ever detect an error.
+
+#ifndef SDC_SRC_FLEET_STATS_H_
+#define SDC_SRC_FLEET_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/fleet/pipeline.h"
+#include "src/fleet/population.h"
+
+namespace sdc {
+
+struct TestcaseEffectiveness {
+  size_t total_testcases = 0;
+  size_t effective_testcases = 0;        // detected at least one fault
+  std::vector<std::string> effective_ids;
+
+  size_t ineffective_testcases() const { return total_testcases - effective_testcases; }
+};
+
+// Evaluates which testcases would detect any of `fleet`'s detectable faulty parts under the
+// given stage settings (expected-error threshold of one half error per run counts as a
+// detection opportunity).
+TestcaseEffectiveness ComputeTestcaseEffectiveness(const TestSuite& suite,
+                                                   const FleetPopulation& fleet,
+                                                   const StageParams& stage);
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_FLEET_STATS_H_

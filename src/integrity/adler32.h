@@ -1,0 +1,29 @@
+// Adler-32 (RFC 1950) and CRC-64/ECMA checksums: lighter and heavier companions to CRC32
+// in the integrity substrate, each with a processor-routed variant for the toolchain's
+// checksum testcases.
+
+#ifndef SDC_SRC_INTEGRITY_ADLER32_H_
+#define SDC_SRC_INTEGRITY_ADLER32_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/sim/processor.h"
+
+namespace sdc {
+
+// Adler-32 over `data` (initial value 1).
+uint32_t Adler32(std::span<const uint8_t> data);
+
+// Adler-32 with the per-block running sums routed through the simulated processor.
+uint32_t Adler32OnProcessor(Processor& cpu, int lcore, std::span<const uint8_t> data);
+
+// CRC-64/ECMA-182 (reflected, init/final 0xFFFF...).
+uint64_t Crc64(std::span<const uint8_t> data);
+
+// CRC-64 with one routed op per 8-byte block.
+uint64_t Crc64OnProcessor(Processor& cpu, int lcore, std::span<const uint8_t> data);
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_INTEGRITY_ADLER32_H_

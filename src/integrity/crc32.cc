@@ -1,0 +1,77 @@
+#include "src/integrity/crc32.h"
+
+#include <array>
+
+namespace sdc {
+namespace {
+
+constexpr uint32_t kPolynomial = 0xEDB88320u;  // reflected IEEE 802.3
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPolynomial : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+inline uint32_t Step(uint32_t crc, uint8_t byte) {
+  return (crc >> 8) ^ Table()[(crc ^ byte) & 0xffu];
+}
+
+}  // namespace
+
+uint32_t Crc32(std::span<const uint8_t> data) {
+  uint32_t crc = 0xFFFFFFFFu;
+  for (uint8_t byte : data) {
+    crc = Step(crc, byte);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32Bitwise(std::span<const uint8_t> data) {
+  uint32_t crc = 0xFFFFFFFFu;
+  for (uint8_t byte : data) {
+    crc ^= byte;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPolynomial : crc >> 1;
+    }
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32OnProcessor(Processor& cpu, int lcore, std::span<const uint8_t> data) {
+  uint32_t crc = 0xFFFFFFFFu;
+  for (uint8_t byte : data) {
+    crc = cpu.ExecuteU32(lcore, OpKind::kCrc32Step, Step(crc, byte));
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32VectorOnProcessor(Processor& cpu, int lcore, std::span<const uint8_t> data) {
+  uint32_t crc = 0xFFFFFFFFu;
+  size_t index = 0;
+  while (index + 8 <= data.size()) {
+    uint32_t block_crc = crc;
+    for (size_t i = 0; i < 8; ++i) {
+      block_crc = Step(block_crc, data[index + i]);
+    }
+    crc = cpu.ExecuteU32(lcore, OpKind::kVecCrc, block_crc);
+    index += 8;
+  }
+  for (; index < data.size(); ++index) {
+    crc = cpu.ExecuteU32(lcore, OpKind::kCrc32Step, Step(crc, data[index]));
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace sdc

@@ -1,0 +1,34 @@
+// CRC32 (IEEE 802.3 polynomial, reflected) with three implementations:
+//  * Crc32(): table-driven host computation (the reference).
+//  * Crc32Bitwise(): bit-serial computation used to cross-check the table.
+//  * Crc32OnProcessor() / Crc32VectorOnProcessor(): the same computation routed through a
+//    simulated processor's scalar or vector datapath, so a defective part corrupts checksum
+//    results exactly like the production incidents of Section 2.2 (and like Observation 12's
+//    warning that checksum code itself engages vulnerable features).
+
+#ifndef SDC_SRC_INTEGRITY_CRC32_H_
+#define SDC_SRC_INTEGRITY_CRC32_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/sim/processor.h"
+
+namespace sdc {
+
+// CRC32 of `data` (initial value 0xFFFFFFFF, final XOR 0xFFFFFFFF).
+uint32_t Crc32(std::span<const uint8_t> data);
+
+// Bit-serial reference implementation.
+uint32_t Crc32Bitwise(std::span<const uint8_t> data);
+
+// Scalar CRC through the simulated processor: one kCrc32Step op per input byte.
+uint32_t Crc32OnProcessor(Processor& cpu, int lcore, std::span<const uint8_t> data);
+
+// Vector-accelerated CRC through the simulated processor: one kVecCrc op per 8-byte block
+// (tail bytes go through the scalar path). Mirrors carryless-multiply CRC kernels.
+uint32_t Crc32VectorOnProcessor(Processor& cpu, int lcore, std::span<const uint8_t> data);
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_INTEGRITY_CRC32_H_

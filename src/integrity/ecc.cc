@@ -1,0 +1,132 @@
+#include "src/integrity/ecc.h"
+
+#include <array>
+
+namespace sdc {
+namespace {
+
+// Internal layout: Hamming positions 1..71, with parity bits at the powers of two
+// (1, 2, 4, 8, 16, 32, 64) and data bits filling the remaining 64 positions in ascending
+// order. Position 0 holds the overall (SECDED) parity over positions 1..71.
+constexpr int kCodeBits = 72;
+
+bool IsPowerOfTwo(int value) { return value > 0 && (value & (value - 1)) == 0; }
+
+using CodeArray = std::array<uint8_t, kCodeBits>;
+
+CodeArray ToArray(const EccWord& word) {
+  CodeArray bits{};
+  int data_index = 0;
+  for (int position = 1; position < kCodeBits; ++position) {
+    if (!IsPowerOfTwo(position)) {
+      bits[position] = static_cast<uint8_t>((word.data >> data_index) & 1u);
+      ++data_index;
+    }
+  }
+  bits[0] = word.check & 1u;
+  int check_index = 1;
+  for (int position = 1; position < kCodeBits; position <<= 1) {
+    bits[position] = static_cast<uint8_t>((word.check >> check_index) & 1u);
+    ++check_index;
+  }
+  return bits;
+}
+
+EccWord FromArray(const CodeArray& bits) {
+  EccWord word;
+  int data_index = 0;
+  for (int position = 1; position < kCodeBits; ++position) {
+    if (!IsPowerOfTwo(position)) {
+      word.data |= static_cast<uint64_t>(bits[position]) << data_index;
+      ++data_index;
+    }
+  }
+  word.check = bits[0] & 1u;
+  int check_index = 1;
+  for (int position = 1; position < kCodeBits; position <<= 1) {
+    word.check = static_cast<uint8_t>(word.check | (bits[position] & 1u) << check_index);
+    ++check_index;
+  }
+  return word;
+}
+
+int Syndrome(const CodeArray& bits) {
+  int syndrome = 0;
+  for (int position = 1; position < kCodeBits; ++position) {
+    if (bits[position]) {
+      syndrome ^= position;
+    }
+  }
+  return syndrome;
+}
+
+uint8_t OverallParity(const CodeArray& bits) {
+  uint8_t parity = 0;
+  for (int position = 0; position < kCodeBits; ++position) {
+    parity ^= bits[position];
+  }
+  return parity;
+}
+
+}  // namespace
+
+EccWord EccEncode(uint64_t data) {
+  EccWord raw;
+  raw.data = data;
+  raw.check = 0;
+  CodeArray bits = ToArray(raw);
+  // Set each Hamming parity bit so the syndrome over its covered positions is zero.
+  for (int parity_position = 1; parity_position < kCodeBits; parity_position <<= 1) {
+    uint8_t parity = 0;
+    for (int position = 1; position < kCodeBits; ++position) {
+      if ((position & parity_position) != 0 && position != parity_position) {
+        parity ^= bits[position];
+      }
+    }
+    bits[parity_position] = parity;
+  }
+  // Overall parity makes the whole 72-bit word even.
+  bits[0] = 0;
+  bits[0] = OverallParity(bits);
+  return FromArray(bits);
+}
+
+EccDecodeResult EccDecode(const EccWord& word) {
+  CodeArray bits = ToArray(word);
+  const int syndrome = Syndrome(bits);
+  const uint8_t parity = OverallParity(bits);
+  EccDecodeResult result;
+  if (syndrome == 0 && parity == 0) {
+    result.status = EccStatus::kClean;
+    result.data = word.data;
+    return result;
+  }
+  if (parity != 0) {
+    if (syndrome >= kCodeBits) {
+      // Odd parity with a syndrome outside the codeword: an odd (>= 3) number of flips.
+      // Uncorrectable; report as detected.
+      result.status = EccStatus::kDoubleDetected;
+      result.data = word.data;
+      return result;
+    }
+    // Odd overall parity: a single-bit error at `syndrome` (0 means the overall parity bit).
+    bits[syndrome] ^= 1u;
+    result.status = EccStatus::kCorrected;
+    result.data = FromArray(bits).data;
+    return result;
+  }
+  // Even parity with a non-zero syndrome: two bits flipped; uncorrectable.
+  result.status = EccStatus::kDoubleDetected;
+  result.data = word.data;
+  return result;
+}
+
+void EccFlipBit(EccWord& word, int position) {
+  if (position < 64) {
+    word.data ^= (uint64_t{1} << position);
+  } else {
+    word.check = static_cast<uint8_t>(word.check ^ (1u << (position - 64)));
+  }
+}
+
+}  // namespace sdc

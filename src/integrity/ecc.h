@@ -1,0 +1,43 @@
+// Hamming(72,64) SECDED: single-error-correcting, double-error-detecting code over a 64-bit
+// word, the scheme processor caches and register files use (Observation 12 discusses why it
+// is insufficient against CPU SDCs: corruption before encoding is invisible, and multi-bit
+// flips exceed its correction capability).
+
+#ifndef SDC_SRC_INTEGRITY_ECC_H_
+#define SDC_SRC_INTEGRITY_ECC_H_
+
+#include <cstdint>
+
+namespace sdc {
+
+// A 72-bit codeword: 64 data bits + 8 check bits.
+struct EccWord {
+  uint64_t data = 0;
+  uint8_t check = 0;
+
+  friend bool operator==(const EccWord&, const EccWord&) = default;
+};
+
+enum class EccStatus {
+  kClean,           // no error detected
+  kCorrected,       // single-bit error corrected
+  kDoubleDetected,  // two-bit error detected, uncorrectable
+};
+
+struct EccDecodeResult {
+  EccStatus status = EccStatus::kClean;
+  uint64_t data = 0;  // corrected data (valid for kClean and kCorrected)
+};
+
+// Encodes 64 data bits into a SECDED codeword.
+EccWord EccEncode(uint64_t data);
+
+// Decodes a (possibly corrupted) codeword.
+EccDecodeResult EccDecode(const EccWord& word);
+
+// Flips bit `position` (0..71) of a codeword: 0..63 address data bits, 64..71 check bits.
+void EccFlipBit(EccWord& word, int position);
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_INTEGRITY_ECC_H_

@@ -1,0 +1,191 @@
+#include "src/integrity/erasure.h"
+
+#include <array>
+#include <cstdlib>
+
+namespace sdc {
+namespace gf256 {
+namespace {
+
+constexpr int kPolynomial = 0x11D;
+
+struct Tables {
+  std::array<uint8_t, 512> exp{};
+  std::array<int, 256> log{};
+
+  Tables() {
+    int value = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[i] = static_cast<uint8_t>(value);
+      log[value] = i;
+      value <<= 1;
+      if (value & 0x100) {
+        value ^= kPolynomial;
+      }
+    }
+    for (int i = 255; i < 512; ++i) {
+      exp[i] = exp[i - 255];
+    }
+    log[0] = -1;
+  }
+};
+
+const Tables& T() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint8_t Mul(uint8_t a, uint8_t b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  return T().exp[T().log[a] + T().log[b]];
+}
+
+uint8_t Inv(uint8_t a) {
+  if (a == 0) {
+    std::abort();  // inverse of zero is a programming error
+  }
+  return T().exp[255 - T().log[a]];
+}
+
+uint8_t Div(uint8_t a, uint8_t b) { return Mul(a, Inv(b)); }
+
+}  // namespace gf256
+
+ReedSolomon::ReedSolomon(int data_shards, int parity_shards)
+    : k_(data_shards), m_(parity_shards) {
+  if (k_ < 1 || m_ < 0 || k_ + m_ > 128) {
+    std::abort();  // construction bound violated
+  }
+}
+
+std::vector<uint8_t> ReedSolomon::MatrixRow(int row) const {
+  std::vector<uint8_t> out(static_cast<size_t>(k_), 0);
+  if (row < k_) {
+    out[row] = 1;  // identity: data shards pass through
+    return out;
+  }
+  // Cauchy block: element (i, j) = 1 / (x_i ^ y_j) with x_i = k + i, y_j = j. All x and y
+  // values are distinct in [0, k+m), so every square subselection is invertible.
+  const uint8_t x = static_cast<uint8_t>(row);
+  for (int j = 0; j < k_; ++j) {
+    out[j] = gf256::Inv(static_cast<uint8_t>(x ^ static_cast<uint8_t>(j)));
+  }
+  return out;
+}
+
+std::vector<std::vector<uint8_t>> ReedSolomon::Encode(
+    const std::vector<std::vector<uint8_t>>& data) const {
+  const size_t shard_size = data.empty() ? 0 : data[0].size();
+  std::vector<std::vector<uint8_t>> parity(static_cast<size_t>(m_),
+                                           std::vector<uint8_t>(shard_size, 0));
+  for (int p = 0; p < m_; ++p) {
+    const std::vector<uint8_t> row = MatrixRow(k_ + p);
+    for (int j = 0; j < k_; ++j) {
+      const uint8_t coefficient = row[j];
+      const std::vector<uint8_t>& shard = data[j];
+      for (size_t b = 0; b < shard_size; ++b) {
+        parity[p][b] ^= gf256::Mul(coefficient, shard[b]);
+      }
+    }
+  }
+  return parity;
+}
+
+std::vector<std::vector<uint8_t>> ReedSolomon::EncodeOnProcessor(
+    Processor& cpu, int lcore, const std::vector<std::vector<uint8_t>>& data) const {
+  const size_t shard_size = data.empty() ? 0 : data[0].size();
+  std::vector<std::vector<uint8_t>> parity(static_cast<size_t>(m_),
+                                           std::vector<uint8_t>(shard_size, 0));
+  for (int p = 0; p < m_; ++p) {
+    const std::vector<uint8_t> row = MatrixRow(k_ + p);
+    for (int j = 0; j < k_; ++j) {
+      const uint8_t coefficient = row[j];
+      const std::vector<uint8_t>& shard = data[j];
+      for (size_t b = 0; b < shard_size; ++b) {
+        const uint8_t product = gf256::Mul(coefficient, shard[b]);
+        const uint8_t routed = static_cast<uint8_t>(
+            cpu.ExecuteRaw(lcore, OpKind::kVecGf256, product, DataType::kByte));
+        parity[p][b] ^= routed;
+      }
+    }
+  }
+  return parity;
+}
+
+std::optional<std::vector<std::vector<uint8_t>>> ReedSolomon::Reconstruct(
+    const std::vector<std::vector<uint8_t>>& shards, const std::vector<bool>& present) const {
+  // Pick the first k surviving shards and build the k x k system they satisfy.
+  std::vector<int> rows;
+  for (int i = 0; i < k_ + m_ && static_cast<int>(rows.size()) < k_; ++i) {
+    if (present[i]) {
+      rows.push_back(i);
+    }
+  }
+  if (static_cast<int>(rows.size()) < k_) {
+    return std::nullopt;
+  }
+  size_t shard_size = 0;
+  for (int row : rows) {
+    shard_size = shards[row].size();
+    break;
+  }
+  // Invert the submatrix by Gauss-Jordan over GF(256).
+  std::vector<std::vector<uint8_t>> matrix(static_cast<size_t>(k_));
+  std::vector<std::vector<uint8_t>> inverse(static_cast<size_t>(k_),
+                                            std::vector<uint8_t>(static_cast<size_t>(k_), 0));
+  for (int i = 0; i < k_; ++i) {
+    matrix[i] = MatrixRow(rows[i]);
+    inverse[i][i] = 1;
+  }
+  for (int column = 0; column < k_; ++column) {
+    int pivot = -1;
+    for (int row = column; row < k_; ++row) {
+      if (matrix[row][column] != 0) {
+        pivot = row;
+        break;
+      }
+    }
+    if (pivot < 0) {
+      return std::nullopt;  // unreachable with a Cauchy construction
+    }
+    std::swap(matrix[column], matrix[pivot]);
+    std::swap(inverse[column], inverse[pivot]);
+    const uint8_t inv_pivot = gf256::Inv(matrix[column][column]);
+    for (int j = 0; j < k_; ++j) {
+      matrix[column][j] = gf256::Mul(matrix[column][j], inv_pivot);
+      inverse[column][j] = gf256::Mul(inverse[column][j], inv_pivot);
+    }
+    for (int row = 0; row < k_; ++row) {
+      if (row == column || matrix[row][column] == 0) {
+        continue;
+      }
+      const uint8_t factor = matrix[row][column];
+      for (int j = 0; j < k_; ++j) {
+        matrix[row][j] ^= gf256::Mul(factor, matrix[column][j]);
+        inverse[row][j] ^= gf256::Mul(factor, inverse[column][j]);
+      }
+    }
+  }
+  // data = inverse * surviving, row by row.
+  std::vector<std::vector<uint8_t>> data(static_cast<size_t>(k_),
+                                         std::vector<uint8_t>(shard_size, 0));
+  for (int i = 0; i < k_; ++i) {
+    for (int j = 0; j < k_; ++j) {
+      const uint8_t coefficient = inverse[i][j];
+      if (coefficient == 0) {
+        continue;
+      }
+      const std::vector<uint8_t>& shard = shards[rows[j]];
+      for (size_t b = 0; b < shard_size; ++b) {
+        data[i][b] ^= gf256::Mul(coefficient, shard[b]);
+      }
+    }
+  }
+  return data;
+}
+
+}  // namespace sdc

@@ -1,0 +1,61 @@
+// Reed-Solomon erasure coding over GF(256) with a Cauchy generator matrix.
+//
+// RS(k, m) encodes k data shards into m parity shards; any k of the k+m shards reconstruct
+// the data. The paper (Observation 12) warns that EC recovers *lost* data but cannot detect
+// *corrupted* data -- and that production EC kernels lean on vector units, one of the
+// vulnerable features -- so a CPU SDC during encoding propagates corruption into otherwise
+// healthy shards. EncodeOnProcessor() routes the GF multiplies through the simulated
+// processor to demonstrate exactly that.
+
+#ifndef SDC_SRC_INTEGRITY_ERASURE_H_
+#define SDC_SRC_INTEGRITY_ERASURE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/sim/processor.h"
+
+namespace sdc {
+
+// GF(2^8) arithmetic with the 0x11D (AES-unrelated, storage-standard) polynomial.
+namespace gf256 {
+uint8_t Mul(uint8_t a, uint8_t b);
+uint8_t Div(uint8_t a, uint8_t b);  // b must be non-zero
+uint8_t Inv(uint8_t a);             // a must be non-zero
+}  // namespace gf256
+
+class ReedSolomon {
+ public:
+  // Requires 1 <= k, 0 <= m, and k + m <= 128 (Cauchy construction bound used here).
+  ReedSolomon(int data_shards, int parity_shards);
+
+  int data_shards() const { return k_; }
+  int parity_shards() const { return m_; }
+
+  // Computes `m` parity shards from `k` equal-length data shards.
+  std::vector<std::vector<uint8_t>> Encode(
+      const std::vector<std::vector<uint8_t>>& data) const;
+
+  // Same computation with every GF multiply-accumulate routed through the simulated
+  // processor's vector unit (kVecGf256), one op per output byte block.
+  std::vector<std::vector<uint8_t>> EncodeOnProcessor(
+      Processor& cpu, int lcore, const std::vector<std::vector<uint8_t>>& data) const;
+
+  // Reconstructs the full set of k data shards from any >= k surviving shards.
+  // `shards` has k+m entries; a missing shard is an empty vector, mirrored by
+  // `present[i] == false`. Returns std::nullopt when fewer than k shards survive.
+  std::optional<std::vector<std::vector<uint8_t>>> Reconstruct(
+      const std::vector<std::vector<uint8_t>>& shards, const std::vector<bool>& present) const;
+
+ private:
+  // Row `row` of the (k+m) x k encoding matrix: identity on top, Cauchy below.
+  std::vector<uint8_t> MatrixRow(int row) const;
+
+  int k_;
+  int m_;
+};
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_INTEGRITY_ERASURE_H_

@@ -1,0 +1,41 @@
+#include "src/integrity/hash.h"
+
+namespace sdc {
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+}  // namespace
+
+uint64_t Fnv1a64(std::span<const uint8_t> data) {
+  uint64_t hash = kFnvOffset;
+  for (uint8_t byte : data) {
+    hash = (hash ^ byte) * kFnvPrime;
+  }
+  return hash;
+}
+
+uint64_t MurmurMix64(uint64_t key) {
+  key ^= key >> 33;
+  key *= 0xff51afd7ed558ccdull;
+  key ^= key >> 33;
+  key *= 0xc4ceb9fe1a85ec53ull;
+  key ^= key >> 33;
+  return key;
+}
+
+uint64_t Fnv1a64OnProcessor(Processor& cpu, int lcore, std::span<const uint8_t> data) {
+  uint64_t hash = kFnvOffset;
+  size_t index = 0;
+  while (index < data.size()) {
+    const size_t block_end = std::min(index + 8, data.size());
+    for (; index < block_end; ++index) {
+      hash = (hash ^ data[index]) * kFnvPrime;
+    }
+    hash = cpu.ExecuteRaw(lcore, OpKind::kHashStep, hash, DataType::kBin64);
+  }
+  return hash;
+}
+
+}  // namespace sdc

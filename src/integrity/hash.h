@@ -1,0 +1,26 @@
+// Non-cryptographic hashing: FNV-1a (byte-serial) and a Murmur3-style 64-bit mixer, plus a
+// processor-routed variant used by the hash-map testcases (the "defective hashing" incident
+// of Section 2.2).
+
+#ifndef SDC_SRC_INTEGRITY_HASH_H_
+#define SDC_SRC_INTEGRITY_HASH_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/sim/processor.h"
+
+namespace sdc {
+
+// FNV-1a over bytes.
+uint64_t Fnv1a64(std::span<const uint8_t> data);
+
+// Murmur3-style avalanche of a 64-bit key.
+uint64_t MurmurMix64(uint64_t key);
+
+// FNV-1a routed through the simulated processor: one kHashStep op per 8-byte block.
+uint64_t Fnv1a64OnProcessor(Processor& cpu, int lcore, std::span<const uint8_t> data);
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_INTEGRITY_HASH_H_

@@ -1,0 +1,136 @@
+#include "src/report/exporters.h"
+
+#include <algorithm>
+
+#include "src/report/json_writer.h"
+
+namespace sdc {
+namespace {
+
+void WriteWord128(JsonWriter& json, const Word128& word) {
+  json.BeginObject();
+  json.KeyValue("lo", word.lo);
+  json.KeyValue("hi", word.hi);
+  json.EndObject();
+}
+
+}  // namespace
+
+void WriteRunReportJson(std::ostream& out, const RunReport& report, size_t max_records) {
+  JsonWriter json(out);
+  json.BeginObject();
+  json.KeyValue("total_wall_seconds", report.total_wall_seconds);
+  json.KeyValue("total_errors", report.total_errors());
+  json.Key("results").BeginArray();
+  for (const TestcaseResult& result : report.results) {
+    json.BeginObject();
+    json.KeyValue("testcase", result.testcase_id);
+    json.KeyValue("duration_seconds", result.duration_seconds);
+    json.KeyValue("errors", result.errors);
+    json.KeyValue("frequency_per_minute", result.OccurrenceFrequencyPerMinute());
+    json.Key("errors_per_pcore").BeginArray();
+    for (uint64_t errors : result.errors_per_pcore) {
+      json.Value(errors);
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("records").BeginArray();
+  const size_t count = std::min(max_records, report.records.size());
+  for (size_t i = 0; i < count; ++i) {
+    const SdcRecord& record = report.records[i];
+    json.BeginObject();
+    json.KeyValue("testcase", record.testcase_id);
+    json.KeyValue("cpu", record.cpu_id);
+    json.KeyValue("pcore", record.pcore);
+    json.KeyValue("type", SdcTypeName(record.sdc_type));
+    json.KeyValue("datatype", DataTypeName(record.type));
+    json.Key("expected");
+    WriteWord128(json, record.expected);
+    json.Key("actual");
+    WriteWord128(json, record.actual);
+    json.KeyValue("temperature", record.temperature);
+    json.KeyValue("time_seconds", record.time_seconds);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.KeyValue("records_truncated", report.records.size() > count);
+  json.EndObject();
+}
+
+void WriteScreeningStatsJson(std::ostream& out, const ScreeningStats& stats) {
+  JsonWriter json(out);
+  json.BeginObject();
+  json.KeyValue("tested", stats.tested);
+  json.KeyValue("faulty", stats.faulty);
+  json.KeyValue("detected", stats.total_detected());
+  json.KeyValue("total_rate_permyriad", stats.TotalRate() * 1e4);
+  json.Key("stages").BeginArray();
+  for (int stage = 0; stage < kStageCount; ++stage) {
+    json.BeginObject();
+    json.KeyValue("stage", StageName(static_cast<TestStage>(stage)));
+    json.KeyValue("detections", stats.detected_by_stage[stage]);
+    json.KeyValue("rate_permyriad", stats.StageRate(static_cast<TestStage>(stage)) * 1e4);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("arches").BeginArray();
+  for (int arch = 0; arch < kArchCount; ++arch) {
+    json.BeginObject();
+    json.KeyValue("arch", ArchName(arch));
+    json.KeyValue("tested", stats.tested_by_arch[arch]);
+    json.KeyValue("detections", stats.detected_by_arch[arch]);
+    json.KeyValue("rate_permyriad", stats.ArchRate(arch) * 1e4);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+}
+
+void WriteCatalogJson(std::ostream& out,
+                      const std::vector<FaultyProcessorInfo>& catalog) {
+  JsonWriter json(out);
+  json.BeginArray();
+  for (const FaultyProcessorInfo& info : catalog) {
+    json.BeginObject();
+    json.KeyValue("cpu_id", info.cpu_id);
+    json.KeyValue("arch", info.arch);
+    json.KeyValue("age_years", info.age_years);
+    json.KeyValue("physical_cores", info.spec.physical_cores);
+    json.KeyValue("defective_cores", info.defective_pcore_count());
+    json.KeyValue("sdc_type", SdcTypeName(info.sdc_type()));
+    json.Key("defects").BeginArray();
+    for (const Defect& defect : info.defects) {
+      json.BeginObject();
+      json.KeyValue("id", defect.id);
+      json.KeyValue("feature", FeatureName(defect.feature));
+      json.KeyValue("min_trigger_celsius", defect.min_trigger_celsius);
+      json.KeyValue("base_log10_rate", defect.base_log10_rate);
+      json.KeyValue("temp_slope", defect.temp_slope);
+      json.KeyValue("pattern_probability", defect.pattern_probability);
+      json.KeyValue("onset_months", defect.onset_months);
+      json.Key("ops").BeginArray();
+      for (OpKind op : defect.affected_ops) {
+        json.Value(OpKindName(op));
+      }
+      json.EndArray();
+      json.Key("datatypes").BeginArray();
+      for (DataType type : defect.affected_types) {
+        json.Value(DataTypeName(type));
+      }
+      json.EndArray();
+      json.Key("pcores").BeginArray();
+      for (int pcore : defect.affected_pcores) {
+        json.Value(pcore);
+      }
+      json.EndArray();
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+}
+
+}  // namespace sdc

@@ -1,0 +1,31 @@
+// JSON exporters for the library's main result types: toolchain run reports, fleet
+// screening statistics, and the faulty-processor catalog. Output is stable and
+// machine-readable so downstream analysis (plots, dashboards, regression tracking) can
+// consume experiment results without scraping the text tables.
+
+#ifndef SDC_SRC_REPORT_EXPORTERS_H_
+#define SDC_SRC_REPORT_EXPORTERS_H_
+
+#include <ostream>
+#include <vector>
+
+#include "src/fault/catalog.h"
+#include "src/fleet/pipeline.h"
+#include "src/toolchain/framework.h"
+
+namespace sdc {
+
+// One toolchain run: per-testcase outcomes plus (optionally capped) SDC records.
+void WriteRunReportJson(std::ostream& out, const RunReport& report,
+                        size_t max_records = 100);
+
+// Fleet screening statistics: per-stage and per-arch rates.
+void WriteScreeningStatsJson(std::ostream& out, const ScreeningStats& stats);
+
+// The study catalog: hardware attributes and full defect parameters per processor.
+void WriteCatalogJson(std::ostream& out,
+                      const std::vector<FaultyProcessorInfo>& catalog);
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_REPORT_EXPORTERS_H_

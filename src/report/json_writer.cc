@@ -1,0 +1,197 @@
+#include "src/report/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sdc {
+
+JsonWriter::JsonWriter(std::ostream& out, bool pretty) : out_(out), pretty_(pretty) {}
+
+std::string JsonWriter::Escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Indent() {
+  if (!pretty_) {
+    return;
+  }
+  out_ << "\n";
+  for (size_t i = 0; i < stack_.size(); ++i) {
+    out_ << "  ";
+  }
+}
+
+void JsonWriter::Prefix(bool is_key) {
+  if (expecting_value_ && !is_key) {
+    expecting_value_ = false;  // the value completing a key: no separator, no indent
+    return;
+  }
+  if (!stack_.empty()) {
+    if (has_items_.back()) {
+      out_ << ",";
+    }
+    has_items_.back() = true;
+    Indent();
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Prefix(false);
+  out_ << "{";
+  stack_.push_back(Scope::kObject);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) {
+    Indent();
+  }
+  out_ << "}";
+  if (stack_.empty()) {
+    wrote_top_level_ = true;
+    if (pretty_) {
+      out_ << "\n";
+    }
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Prefix(false);
+  out_ << "[";
+  stack_.push_back(Scope::kArray);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) {
+    Indent();
+  }
+  out_ << "]";
+  if (stack_.empty()) {
+    wrote_top_level_ = true;
+    if (pretty_) {
+      out_ << "\n";
+    }
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  Prefix(true);
+  out_ << "\"" << Escape(key) << "\":";
+  if (pretty_) {
+    out_ << " ";
+  }
+  expecting_value_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view value) {
+  Prefix(false);
+  out_ << "\"" << Escape(value) << "\"";
+  if (stack_.empty()) {
+    wrote_top_level_ = true;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const char* value) { return Value(std::string_view(value)); }
+
+JsonWriter& JsonWriter::Value(double value) {
+  Prefix(false);
+  if (std::isfinite(value)) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    out_ << buffer;
+  } else {
+    out_ << "null";  // JSON has no Inf/NaN
+  }
+  if (stack_.empty()) {
+    wrote_top_level_ = true;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t value) {
+  Prefix(false);
+  out_ << value;
+  if (stack_.empty()) {
+    wrote_top_level_ = true;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t value) {
+  Prefix(false);
+  out_ << value;
+  if (stack_.empty()) {
+    wrote_top_level_ = true;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int value) { return Value(static_cast<int64_t>(value)); }
+
+JsonWriter& JsonWriter::Value(bool value) {
+  Prefix(false);
+  out_ << (value ? "true" : "false");
+  if (stack_.empty()) {
+    wrote_top_level_ = true;
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  Prefix(false);
+  out_ << "null";
+  if (stack_.empty()) {
+    wrote_top_level_ = true;
+  }
+  return *this;
+}
+
+}  // namespace sdc

@@ -1,0 +1,66 @@
+// Minimal streaming JSON writer (no third-party dependencies): correct escaping, nesting
+// via an explicit state stack, optional pretty printing. Used by the exporters that dump
+// run reports, screening statistics, and the defect catalog for downstream analysis.
+
+#ifndef SDC_SRC_REPORT_JSON_WRITER_H_
+#define SDC_SRC_REPORT_JSON_WRITER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sdc {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out, bool pretty = true);
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Emits an object key; must be followed by a value or Begin*.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view value);
+  JsonWriter& Value(const char* value);
+  JsonWriter& Value(double value);
+  JsonWriter& Value(int64_t value);
+  JsonWriter& Value(uint64_t value);
+  JsonWriter& Value(int value);
+  JsonWriter& Value(bool value);
+  JsonWriter& Null();
+
+  // Key/value in one call.
+  template <typename T>
+  JsonWriter& KeyValue(std::string_view key, T&& value) {
+    Key(key);
+    Value(std::forward<T>(value));
+    return *this;
+  }
+
+  // True when every container has been closed.
+  bool Complete() const { return stack_.empty() && wrote_top_level_; }
+
+  // Escapes `text` per RFC 8259 (quotes, backslash, control characters).
+  static std::string Escape(std::string_view text);
+
+ private:
+  enum class Scope { kObject, kArray };
+  void Prefix(bool is_key);
+  void Indent();
+
+  std::ostream& out_;
+  bool pretty_;
+  bool wrote_top_level_ = false;
+  bool expecting_value_ = false;  // a Key() was just written
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;
+};
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_REPORT_JSON_WRITER_H_

@@ -1,0 +1,71 @@
+#include "src/sim/coherence.h"
+
+namespace sdc {
+
+CoherentBus::CoherentBus(Processor& cpu, size_t cells)
+    : cpu_(cpu),
+      memory_(cells, 0),
+      cached_(static_cast<size_t>(cpu.spec().physical_cores)) {}
+
+void CoherentBus::Write(int lcore, size_t addr, uint64_t value) {
+  const OpContext context = cpu_.MakeContext(lcore, OpKind::kStore, DataType::kBin64);
+  memory_[addr] = value;
+  cached_[context.pcore][addr] = value;
+  CorruptionHook* hook = cpu_.corruption_hook();
+  const bool drop_invalidation = hook != nullptr && hook->OnCoherenceFault(context);
+  if (drop_invalidation) {
+    return;  // remote stale copies survive
+  }
+  for (size_t pcore = 0; pcore < cached_.size(); ++pcore) {
+    if (static_cast<int>(pcore) != context.pcore) {
+      cached_[pcore].erase(addr);
+    }
+  }
+}
+
+uint64_t CoherentBus::Read(int lcore, size_t addr) {
+  const OpContext context = cpu_.MakeContext(lcore, OpKind::kLoad, DataType::kBin64);
+  auto& cache = cached_[context.pcore];
+  if (auto it = cache.find(addr); it != cache.end()) {
+    return it->second;  // may be stale when an invalidation was dropped
+  }
+  const uint64_t value = memory_[addr];
+  cache[addr] = value;
+  return value;
+}
+
+bool CoherentBus::AtomicCas(int lcore, size_t addr, uint64_t expected, uint64_t desired) {
+  const OpContext context = cpu_.MakeContext(lcore, OpKind::kAtomicCas, DataType::kBin64);
+  if (memory_[addr] != expected) {
+    return false;
+  }
+  memory_[addr] = desired;
+  for (size_t pcore = 0; pcore < cached_.size(); ++pcore) {
+    cached_[pcore].erase(addr);
+  }
+  cached_[context.pcore][addr] = desired;
+  return true;
+}
+
+void CoherentBus::Fence(int lcore) {
+  const OpContext context = cpu_.MakeContext(lcore, OpKind::kFence, DataType::kBin64);
+  cached_[context.pcore].clear();
+}
+
+void CoherentBus::DirectWrite(size_t addr, uint64_t value) {
+  memory_[addr] = value;
+  for (auto& cache : cached_) {
+    cache.erase(addr);
+  }
+}
+
+void CoherentBus::Reset() {
+  for (auto& cache : cached_) {
+    cache.clear();
+  }
+  for (auto& cell : memory_) {
+    cell = 0;
+  }
+}
+
+}  // namespace sdc

@@ -1,0 +1,231 @@
+#include "src/sim/isa.h"
+
+namespace sdc {
+
+std::string FeatureName(Feature feature) {
+  switch (feature) {
+    case Feature::kAlu:
+      return "ALU";
+    case Feature::kVecUnit:
+      return "VecUnit";
+    case Feature::kFpu:
+      return "FPU";
+    case Feature::kCache:
+      return "Cache";
+    case Feature::kTxMem:
+      return "TrxMem";
+  }
+  return "?";
+}
+
+Feature FeatureOf(OpKind op) {
+  switch (op) {
+    case OpKind::kIntAdd:
+    case OpKind::kIntSub:
+    case OpKind::kIntMul:
+    case OpKind::kIntDiv:
+    case OpKind::kIntShift:
+    case OpKind::kLogicAnd:
+    case OpKind::kLogicOr:
+    case OpKind::kLogicXor:
+    case OpKind::kPopcount:
+    case OpKind::kCompare:
+    case OpKind::kCrc32Step:
+    case OpKind::kHashStep:
+      return Feature::kAlu;
+    case OpKind::kFpAdd:
+    case OpKind::kFpSub:
+    case OpKind::kFpMul:
+    case OpKind::kFpDiv:
+    case OpKind::kFpSqrt:
+    case OpKind::kFpFma:
+    case OpKind::kFpArctan:
+    case OpKind::kFpSin:
+    case OpKind::kFpLog:
+    case OpKind::kFpExp:
+      return Feature::kFpu;
+    case OpKind::kVecAddF32:
+    case OpKind::kVecMulF32:
+    case OpKind::kVecFmaF32:
+    case OpKind::kVecAddF64:
+    case OpKind::kVecMulF64:
+    case OpKind::kVecFmaF64:
+    case OpKind::kVecAddI32:
+    case OpKind::kVecMulI32:
+    case OpKind::kVecShuffle:
+    case OpKind::kVecCrc:
+    case OpKind::kVecGf256:
+      return Feature::kVecUnit;
+    case OpKind::kLoad:
+    case OpKind::kStore:
+    case OpKind::kAtomicCas:
+    case OpKind::kFence:
+      return Feature::kCache;
+    case OpKind::kTxBegin:
+    case OpKind::kTxRead:
+    case OpKind::kTxWrite:
+    case OpKind::kTxCommit:
+    case OpKind::kTxAbort:
+      return Feature::kTxMem;
+  }
+  return Feature::kAlu;
+}
+
+int LatencyCycles(OpKind op) {
+  switch (op) {
+    case OpKind::kIntAdd:
+    case OpKind::kIntSub:
+    case OpKind::kIntShift:
+    case OpKind::kLogicAnd:
+    case OpKind::kLogicOr:
+    case OpKind::kLogicXor:
+    case OpKind::kCompare:
+      return 1;
+    case OpKind::kPopcount:
+    case OpKind::kCrc32Step:
+    case OpKind::kHashStep:
+      return 3;
+    case OpKind::kIntMul:
+      return 3;
+    case OpKind::kIntDiv:
+      return 22;
+    case OpKind::kFpAdd:
+    case OpKind::kFpSub:
+      return 4;
+    case OpKind::kFpMul:
+    case OpKind::kFpFma:
+      return 5;
+    case OpKind::kFpDiv:
+      return 14;
+    case OpKind::kFpSqrt:
+      return 18;
+    case OpKind::kFpArctan:
+    case OpKind::kFpSin:
+    case OpKind::kFpLog:
+    case OpKind::kFpExp:
+      return 100;
+    case OpKind::kVecAddF32:
+    case OpKind::kVecAddF64:
+    case OpKind::kVecAddI32:
+      return 4;
+    case OpKind::kVecMulF32:
+    case OpKind::kVecMulF64:
+    case OpKind::kVecMulI32:
+    case OpKind::kVecFmaF32:
+    case OpKind::kVecFmaF64:
+      return 5;
+    case OpKind::kVecShuffle:
+      return 1;
+    case OpKind::kVecCrc:
+    case OpKind::kVecGf256:
+      return 7;
+    case OpKind::kLoad:
+    case OpKind::kStore:
+      return 4;
+    case OpKind::kAtomicCas:
+      return 20;
+    case OpKind::kFence:
+      return 30;
+    case OpKind::kTxBegin:
+    case OpKind::kTxCommit:
+      return 40;
+    case OpKind::kTxRead:
+    case OpKind::kTxWrite:
+      return 6;
+    case OpKind::kTxAbort:
+      return 50;
+  }
+  return 1;
+}
+
+std::string OpKindName(OpKind op) {
+  switch (op) {
+    case OpKind::kIntAdd:
+      return "int_add";
+    case OpKind::kIntSub:
+      return "int_sub";
+    case OpKind::kIntMul:
+      return "int_mul";
+    case OpKind::kIntDiv:
+      return "int_div";
+    case OpKind::kIntShift:
+      return "int_shift";
+    case OpKind::kLogicAnd:
+      return "logic_and";
+    case OpKind::kLogicOr:
+      return "logic_or";
+    case OpKind::kLogicXor:
+      return "logic_xor";
+    case OpKind::kPopcount:
+      return "popcount";
+    case OpKind::kCompare:
+      return "compare";
+    case OpKind::kCrc32Step:
+      return "crc32_step";
+    case OpKind::kHashStep:
+      return "hash_step";
+    case OpKind::kFpAdd:
+      return "fp_add";
+    case OpKind::kFpSub:
+      return "fp_sub";
+    case OpKind::kFpMul:
+      return "fp_mul";
+    case OpKind::kFpDiv:
+      return "fp_div";
+    case OpKind::kFpSqrt:
+      return "fp_sqrt";
+    case OpKind::kFpFma:
+      return "fp_fma";
+    case OpKind::kFpArctan:
+      return "fp_arctan";
+    case OpKind::kFpSin:
+      return "fp_sin";
+    case OpKind::kFpLog:
+      return "fp_log";
+    case OpKind::kFpExp:
+      return "fp_exp";
+    case OpKind::kVecAddF32:
+      return "vec_add_f32";
+    case OpKind::kVecMulF32:
+      return "vec_mul_f32";
+    case OpKind::kVecFmaF32:
+      return "vec_fma_f32";
+    case OpKind::kVecAddF64:
+      return "vec_add_f64";
+    case OpKind::kVecMulF64:
+      return "vec_mul_f64";
+    case OpKind::kVecFmaF64:
+      return "vec_fma_f64";
+    case OpKind::kVecAddI32:
+      return "vec_add_i32";
+    case OpKind::kVecMulI32:
+      return "vec_mul_i32";
+    case OpKind::kVecShuffle:
+      return "vec_shuffle";
+    case OpKind::kVecCrc:
+      return "vec_crc";
+    case OpKind::kVecGf256:
+      return "vec_gf256";
+    case OpKind::kLoad:
+      return "load";
+    case OpKind::kStore:
+      return "store";
+    case OpKind::kAtomicCas:
+      return "atomic_cas";
+    case OpKind::kFence:
+      return "fence";
+    case OpKind::kTxBegin:
+      return "tx_begin";
+    case OpKind::kTxRead:
+      return "tx_read";
+    case OpKind::kTxWrite:
+      return "tx_write";
+    case OpKind::kTxCommit:
+      return "tx_commit";
+    case OpKind::kTxAbort:
+      return "tx_abort";
+  }
+  return "?";
+}
+
+}  // namespace sdc

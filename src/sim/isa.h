@@ -1,0 +1,96 @@
+// Operation-level model of the simulated CPU's instruction set.
+//
+// The simulator does not interpret machine code. Testcases compute golden results natively in
+// C++ and route every (operation kind, datatype, result) triple through the simulated
+// processor, which is the single choke point where silicon defects may corrupt results. Each
+// operation kind belongs to one of the five processor features the paper identifies as
+// vulnerable (Observation 5), and carries a nominal latency used to advance simulated time.
+
+#ifndef SDC_SRC_SIM_ISA_H_
+#define SDC_SRC_SIM_ISA_H_
+
+#include <string>
+
+namespace sdc {
+
+// The five vulnerable processor features of Observation 5 / Figure 2.
+enum class Feature {
+  kAlu,
+  kVecUnit,
+  kFpu,
+  kCache,
+  kTxMem,
+};
+
+constexpr int kFeatureCount = 5;
+
+std::string FeatureName(Feature feature);
+
+// Operation kinds exercised by the testcase library. Grouped by owning feature.
+enum class OpKind {
+  // ALU: scalar integer and logic.
+  kIntAdd,
+  kIntSub,
+  kIntMul,
+  kIntDiv,
+  kIntShift,
+  kLogicAnd,
+  kLogicOr,
+  kLogicXor,
+  kPopcount,
+  kCompare,
+  kCrc32Step,   // table-driven CRC step (scalar datapath)
+  kHashStep,    // integer hashing round
+
+  // FPU: scalar floating point, including complex math functions.
+  kFpAdd,
+  kFpSub,
+  kFpMul,
+  kFpDiv,
+  kFpSqrt,
+  kFpFma,
+  kFpArctan,
+  kFpSin,
+  kFpLog,
+  kFpExp,
+
+  // VecUnit: lane-parallel SIMD operations.
+  kVecAddF32,
+  kVecMulF32,
+  kVecFmaF32,
+  kVecAddF64,
+  kVecMulF64,
+  kVecFmaF64,
+  kVecAddI32,
+  kVecMulI32,
+  kVecShuffle,
+  kVecCrc,      // vector-accelerated CRC (carryless multiply style)
+  kVecGf256,    // vector GF(256) multiply used by erasure coding
+
+  // Cache / memory system.
+  kLoad,
+  kStore,
+  kAtomicCas,
+  kFence,
+
+  // Transactional memory.
+  kTxBegin,
+  kTxRead,
+  kTxWrite,
+  kTxCommit,
+  kTxAbort,
+};
+
+constexpr int kOpKindCount = static_cast<int>(OpKind::kTxAbort) + 1;
+
+// Feature that executes `op`.
+Feature FeatureOf(OpKind op);
+
+// Nominal latency of `op` in core cycles; drives the simulated clock.
+int LatencyCycles(OpKind op);
+
+std::string OpKindName(OpKind op);
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_SIM_ISA_H_

@@ -1,0 +1,151 @@
+// The simulated processor: SMT topology, simulated clock, per-core activity bookkeeping, and
+// the single execution choke point through which silicon defects corrupt results.
+//
+// Testcases compute golden results natively and call Execute*() with the operation kind and
+// datatype; the processor consults an optional CorruptionHook (implemented by the fault
+// library) that may replace the result, drop a coherence invalidation, or break transactional
+// isolation. The hook receives an OpContext carrying everything the paper identifies as a
+// triggering condition: the physical core, its current temperature, its utilization, and the
+// recent usage intensity of the operation kind ("instruction usage stress", Section 5).
+
+#ifndef SDC_SRC_SIM_PROCESSOR_H_
+#define SDC_SRC_SIM_PROCESSOR_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/bits.h"
+#include "src/sim/isa.h"
+#include "src/sim/thermal.h"
+
+namespace sdc {
+
+// Static description of a processor model.
+struct ProcessorSpec {
+  std::string arch = "M1";       // micro-architecture id (M1..M9 in Table 2)
+  int physical_cores = 16;
+  int threads_per_core = 2;      // SMT width; logical core l maps to pcore l / threads_per_core
+  double frequency_ghz = 2.5;
+  ThermalParams thermal;
+
+  int logical_cores() const { return physical_cores * threads_per_core; }
+};
+
+// Context handed to the corruption hook for every simulated operation.
+struct OpContext {
+  int pcore = 0;
+  int lcore = 0;
+  OpKind op = OpKind::kIntAdd;
+  DataType type = DataType::kInt32;
+  double temperature = 0.0;   // physical core temperature, Celsius
+  double utilization = 0.0;   // physical core utilization in [0, 1]
+  double op_intensity = 0.0;  // recent executions/second of this op kind on this pcore
+  double weight = 1.0;        // how many real executions this simulated op stands for
+  uint64_t op_index = 0;      // processor-wide monotonically increasing op counter
+};
+
+// Implemented by the fault library; a processor without a hook is defect-free.
+class CorruptionHook {
+ public:
+  virtual ~CorruptionHook() = default;
+
+  // May return corrupted result bits for a computational operation; std::nullopt keeps the
+  // golden result. `golden` is the correct result's bit image.
+  virtual std::optional<Word128> OnExecute(const OpContext& context, const Word128& golden) = 0;
+
+  // Returns true when a cache-coherence invalidation for this operation must be silently
+  // dropped (the reader will observe stale data).
+  virtual bool OnCoherenceFault(const OpContext& context) = 0;
+
+  // Returns true when a transactional-memory conflict check must be silently skipped (a
+  // transaction that should abort will commit).
+  virtual bool OnTxFault(const OpContext& context) = 0;
+};
+
+class Processor {
+ public:
+  explicit Processor(ProcessorSpec spec);
+
+  const ProcessorSpec& spec() const { return spec_; }
+
+  // Installs the defect hook. The hook must outlive the processor. Pass nullptr to clear.
+  void SetCorruptionHook(CorruptionHook* hook) { hook_ = hook; }
+  CorruptionHook* corruption_hook() const { return hook_; }
+
+  // --- Execution (called by testcases / workloads). ---
+
+  // Core entry point: records the operation on `lcore`, advances its busy-cycle account, and
+  // returns the (possibly corrupted) result bits.
+  Word128 Execute(int lcore, OpKind op, DataType type, const Word128& golden_bits);
+
+  // Typed conveniences.
+  int16_t ExecuteI16(int lcore, OpKind op, int16_t golden);
+  int32_t ExecuteI32(int lcore, OpKind op, int32_t golden);
+  uint32_t ExecuteU32(int lcore, OpKind op, uint32_t golden);
+  float ExecuteF32(int lcore, OpKind op, float golden);
+  double ExecuteF64(int lcore, OpKind op, double golden);
+  long double ExecuteF80(int lcore, OpKind op, long double golden);
+  // Non-numerical payloads (bit/byte/bin16/bin32/bin64 depending on width).
+  uint64_t ExecuteRaw(int lcore, OpKind op, uint64_t golden, DataType type);
+
+  // Builds the context for a memory-system operation without producing a result value; used
+  // by the coherence bus and the transactional memory model.
+  OpContext MakeContext(int lcore, OpKind op, DataType type = DataType::kBin64);
+
+  // --- Time and activity. ---
+
+  // Sets the externally imposed utilization of a physical core (tested cores run at 1.0;
+  // background stress tools set intermediate values). Utilization feeds the thermal model.
+  void SetCoreUtilization(int pcore, double utilization);
+  double core_utilization(int pcore) const { return utilization_[pcore]; }
+
+  // Sets how many real executions each simulated operation represents. Testcase loops run
+  // their kernel once per batch at op granularity and declare the batch to stand for
+  // `scale` identical iterations; corruption probabilities and op intensities are scaled
+  // accordingly, and callers advance the clock by (busy seconds x scale).
+  void SetTimeScale(double scale) { time_scale_ = scale < 1.0 ? 1.0 : scale; }
+  double time_scale() const { return time_scale_; }
+
+  // Advances the simulated clock and the thermal model, and refreshes per-core op-intensity
+  // estimates from the operations executed since the previous call.
+  void AdvanceSeconds(double dt_seconds);
+
+  // Busy seconds accumulated on `pcore` since this was last called (latency-weighted).
+  double ConsumeBusySeconds(int pcore);
+
+  double now_seconds() const { return now_seconds_; }
+  double core_temperature(int pcore) const { return thermal_.core_temperature(pcore); }
+  ThermalModel& thermal() { return thermal_; }
+  const ThermalModel& thermal() const { return thermal_; }
+
+  int pcore_of(int lcore) const { return lcore / spec_.threads_per_core; }
+
+  // --- Instrumentation (the Pin-like counter reads these). ---
+
+  uint64_t op_count(int pcore, OpKind op) const;
+  uint64_t total_op_count(OpKind op) const;
+
+ private:
+  struct CoreState {
+    std::array<uint64_t, kOpKindCount> op_counts{};
+    std::array<uint64_t, kOpKindCount> ops_since_advance{};
+    std::array<double, kOpKindCount> op_intensity{};  // EMA, ops/second
+    uint64_t busy_cycles_unconsumed = 0;
+  };
+
+  ProcessorSpec spec_;
+  ThermalModel thermal_;
+  std::vector<CoreState> cores_;
+  std::vector<double> utilization_;
+  CorruptionHook* hook_ = nullptr;
+  double now_seconds_ = 0.0;
+  double time_scale_ = 1.0;
+  uint64_t op_index_ = 0;
+};
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_SIM_PROCESSOR_H_

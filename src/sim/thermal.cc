@@ -1,0 +1,85 @@
+#include "src/sim/thermal.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sdc {
+
+ThermalModel::ThermalModel(int core_count, const ThermalParams& params)
+    : params_(params),
+      core_temps_(static_cast<size_t>(core_count), params.ambient_celsius),
+      sink_temp_(params.ambient_celsius) {
+  SettleToSteadyState(std::vector<double>(static_cast<size_t>(core_count), 0.0));
+}
+
+double ThermalModel::SinkResistance() const {
+  // Normalize so packages of any core count idle at comparable temperatures; cooling boost
+  // lowers the resistance (stronger airflow).
+  return params_.sink_resistance_16 * 16.0 /
+         (static_cast<double>(core_temps_.size()) * cooling_boost_);
+}
+
+void ThermalModel::SetCoolingBoost(double boost) {
+  cooling_boost_ = boost < 1.0 ? 1.0 : boost;
+}
+
+double ThermalModel::CorePower(double utilization) const {
+  const double u = std::clamp(utilization, 0.0, 1.0);
+  return params_.idle_power_watts + u * params_.active_power_watts;
+}
+
+void ThermalModel::Advance(double dt_seconds, const std::vector<double>& utilization) {
+  if (dt_seconds <= 0.0) {
+    return;
+  }
+  const double r_sink = SinkResistance();
+  // Explicit Euler with sub-stepping; the core node is the stiffest (tau = R_core * C_core).
+  const double core_tau = params_.core_resistance * params_.core_capacitance;
+  const double max_step = std::max(core_tau / 10.0, 1e-3);
+  double remaining = dt_seconds;
+  while (remaining > 0.0) {
+    const double step = std::min(remaining, max_step);
+    remaining -= step;
+    double into_sink = 0.0;
+    for (size_t i = 0; i < core_temps_.size(); ++i) {
+      const double u = i < utilization.size() ? utilization[i] : 0.0;
+      const double to_sink = (core_temps_[i] - sink_temp_) / params_.core_resistance;
+      into_sink += to_sink;
+      core_temps_[i] += step * (CorePower(u) - to_sink) / params_.core_capacitance;
+    }
+    const double to_ambient = (sink_temp_ - params_.ambient_celsius) / r_sink;
+    sink_temp_ += step * (into_sink - to_ambient) / params_.sink_capacitance;
+  }
+}
+
+void ThermalModel::SettleToSteadyState(const std::vector<double>& utilization) {
+  // In steady state every core passes exactly its own power to the sink, and the sink passes
+  // the total power to ambient.
+  const double r_sink = SinkResistance();
+  double total_power = 0.0;
+  std::vector<double> powers(core_temps_.size(), 0.0);
+  for (size_t i = 0; i < core_temps_.size(); ++i) {
+    powers[i] = CorePower(i < utilization.size() ? utilization[i] : 0.0);
+    total_power += powers[i];
+  }
+  sink_temp_ = params_.ambient_celsius + total_power * r_sink;
+  for (size_t i = 0; i < core_temps_.size(); ++i) {
+    core_temps_[i] = sink_temp_ + powers[i] * params_.core_resistance;
+  }
+}
+
+void ThermalModel::ForceUniform(double celsius) {
+  sink_temp_ = celsius;
+  for (auto& temp : core_temps_) {
+    temp = celsius;
+  }
+}
+
+double ThermalModel::IdleTemperature() const {
+  const double total_power =
+      params_.idle_power_watts * static_cast<double>(core_temps_.size());
+  return params_.ambient_celsius + total_power * SinkResistance() +
+         params_.idle_power_watts * params_.core_resistance;
+}
+
+}  // namespace sdc

@@ -1,0 +1,77 @@
+// Lumped-RC thermal model of a multi-core package with a shared heatsink.
+//
+// The model reproduces the three temperature phenomena the paper reports (Observation 10):
+//   * exponential sensitivity hooks: core temperature is exposed per physical core so the
+//     defect activation model can gate on it;
+//   * busy-neighbour heating: all cores feed heat into one shared heatsink node, so a core's
+//     temperature rises when its neighbours are loaded even if it idles;
+//   * remaining heat: the heatsink has a large thermal capacitance, so heat from a previous
+//     stressful testcase carries over into the next one (test-order effects).
+//
+// Each physical core i and the heatsink H evolve as
+//   C_core * dT_i/dt = P_i - (T_i - H) / R_core
+//   C_sink * dH/dt   = sum_i (T_i - H) / R_core - (H - T_ambient) / R_sink
+// with P_i = idle_power + utilization_i * active_power. R_sink scales inversely with the core
+// count so different package sizes idle at comparable temperatures, as real server parts do.
+
+#ifndef SDC_SRC_SIM_THERMAL_H_
+#define SDC_SRC_SIM_THERMAL_H_
+
+#include <vector>
+
+namespace sdc {
+
+struct ThermalParams {
+  double ambient_celsius = 25.0;
+  double idle_power_watts = 3.0;    // per core
+  double active_power_watts = 4.0;  // additional per core at 100% utilization
+  double core_resistance = 2.0;     // K/W core-to-sink
+  double sink_resistance_16 = 0.3;  // K/W sink-to-ambient for a 16-core package
+  double core_capacitance = 15.0;   // J/K (core time constant ~ tens of seconds)
+  double sink_capacitance = 600.0;  // J/K (sink time constant ~ minutes)
+};
+
+class ThermalModel {
+ public:
+  ThermalModel(int core_count, const ThermalParams& params = ThermalParams());
+
+  // Advances the model by `dt_seconds` given per-core utilizations in [0, 1]. Internally
+  // sub-steps to keep the explicit integration stable.
+  void Advance(double dt_seconds, const std::vector<double>& utilization);
+
+  // Jumps directly to the steady state for the given utilizations (used to start experiments
+  // from a thermally settled machine).
+  void SettleToSteadyState(const std::vector<double>& utilization);
+
+  // Pins every node to `celsius`, emulating external preheat rigs / pinned-temperature
+  // experiments (Section 5 uses stress tools to hold target temperatures).
+  void ForceUniform(double celsius);
+
+  // Cooling-device control (fan/pump speed): a boost of b >= 1 divides the sink-to-ambient
+  // resistance by b, removing heat faster with no effect on application performance --
+  // the alternative triggering-condition control of Section 5 that Farron can use where
+  // the facility supports it.
+  void SetCoolingBoost(double boost);
+  double cooling_boost() const { return cooling_boost_; }
+
+  double core_temperature(int core) const { return core_temps_[core]; }
+  double sink_temperature() const { return sink_temp_; }
+  int core_count() const { return static_cast<int>(core_temps_.size()); }
+  const ThermalParams& params() const { return params_; }
+
+  // Idle steady-state core temperature for this package (all utilizations zero).
+  double IdleTemperature() const;
+
+ private:
+  double SinkResistance() const;
+  double CorePower(double utilization) const;
+
+  ThermalParams params_;
+  std::vector<double> core_temps_;
+  double sink_temp_;
+  double cooling_boost_ = 1.0;
+};
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_SIM_THERMAL_H_

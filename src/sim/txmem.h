@@ -1,0 +1,67 @@
+// Transactional memory model (TL2-style, global version clock).
+//
+// A transaction records the version of every cell it reads; at commit time it validates that
+// none of those cells changed since the transaction began, aborting on conflict. A processor
+// with a transactional-memory defect (CNST1/CNST2-style) silently skips validation with some
+// probability, committing a transaction that must have aborted -- a lost update that breaks
+// application invariants without any crash, i.e. a consistency-type SDC.
+
+#ifndef SDC_SRC_SIM_TXMEM_H_
+#define SDC_SRC_SIM_TXMEM_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/processor.h"
+
+namespace sdc {
+
+class TxMemory {
+ public:
+  TxMemory(Processor& cpu, size_t cells);
+
+  // Starts a transaction on `lcore`; returns a transaction handle.
+  int Begin(int lcore);
+
+  // Transactional read/write. `tx` must be an active handle from Begin().
+  uint64_t Read(int tx, size_t addr);
+  void Write(int tx, size_t addr, uint64_t value);
+
+  // Attempts to commit. Returns true on success. Returns false when a conflict forced an
+  // abort (the caller retries); on a defective part the conflict check may be silently
+  // skipped and the transaction commits anyway.
+  bool Commit(int tx);
+
+  // Abandons the transaction without writing.
+  void Abort(int tx);
+
+  // Non-transactional inspection of committed state (checker-side, not simulated).
+  uint64_t DirectRead(size_t addr) const { return cells_[addr]; }
+  void DirectWrite(size_t addr, uint64_t value) { cells_[addr] = value; }
+
+  void Reset();
+
+  // Number of commits that went through despite a failed validation (defect activations).
+  uint64_t isolation_violations() const { return isolation_violations_; }
+
+ private:
+  struct Transaction {
+    int lcore = 0;
+    uint64_t start_version = 0;
+    bool active = false;
+    std::unordered_map<size_t, uint64_t> read_versions;  // addr -> version observed
+    std::unordered_map<size_t, uint64_t> write_set;      // addr -> pending value
+  };
+
+  Processor& cpu_;
+  std::vector<uint64_t> cells_;
+  std::vector<uint64_t> versions_;
+  std::vector<Transaction> transactions_;
+  uint64_t global_version_ = 0;
+  uint64_t isolation_violations_ = 0;
+};
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_SIM_TXMEM_H_

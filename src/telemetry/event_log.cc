@@ -1,0 +1,86 @@
+#include "src/telemetry/event_log.h"
+
+namespace sdc {
+
+std::string EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSdcDetected:
+      return "sdc-detected";
+    case EventKind::kCoreMasked:
+      return "core-masked";
+    case EventKind::kProcessorDeprecated:
+      return "processor-deprecated";
+    case EventKind::kRoundStarted:
+      return "round-started";
+    case EventKind::kRoundCompleted:
+      return "round-completed";
+    case EventKind::kBackoffEngaged:
+      return "backoff-engaged";
+    case EventKind::kBackoffReleased:
+      return "backoff-released";
+    case EventKind::kCoolingBoosted:
+      return "cooling-boosted";
+    case EventKind::kBoundaryRaised:
+      return "boundary-raised";
+  }
+  return "?";
+}
+
+EventLog::EventLog(size_t capacity) : capacity_(capacity) {}
+
+void EventLog::Record(Event event) {
+  ++total_recorded_;
+  ++counts_[event.kind];
+  events_.push_back(std::move(event));
+  if (events_.size() > capacity_) {
+    events_.pop_front();
+  }
+}
+
+void EventLog::Record(EventKind kind, double time_seconds, std::string subject, int pcore,
+                      double value) {
+  Event event;
+  event.kind = kind;
+  event.time_seconds = time_seconds;
+  event.subject = std::move(subject);
+  event.pcore = pcore;
+  event.value = value;
+  Record(std::move(event));
+}
+
+uint64_t EventLog::CountOf(EventKind kind) const {
+  const auto it = counts_.find(kind);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<Event> EventLog::EventsOf(EventKind kind) const {
+  std::vector<Event> out;
+  for (const Event& event : events_) {
+    if (event.kind == kind) {
+      out.push_back(event);
+    }
+  }
+  return out;
+}
+
+void EventLog::Dump(std::ostream& out) const {
+  for (const Event& event : events_) {
+    out << "[" << event.time_seconds << "s] " << EventKindName(event.kind) << " "
+        << event.subject;
+    if (event.pcore >= 0) {
+      out << " pcore=" << event.pcore;
+    }
+    if (event.value != 0.0) {
+      out << " value=" << event.value;
+    }
+    out << "\n";
+  }
+}
+
+void EventLog::Clear() {
+  events_.clear();
+  counts_.clear();
+  total_recorded_ = 0;
+}
+
+}  // namespace sdc

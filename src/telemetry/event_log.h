@@ -1,0 +1,71 @@
+// Structured telemetry for the mitigation stack: a bounded, typed event log plus monotonic
+// counters. Production SDC mitigation lives and dies by its audit trail -- which testcase
+// fired on which core at what temperature, when a core was masked, when backoff engaged --
+// so Farron and the protection loop emit events through this sink when one is attached.
+
+#ifndef SDC_SRC_TELEMETRY_EVENT_LOG_H_
+#define SDC_SRC_TELEMETRY_EVENT_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sdc {
+
+enum class EventKind {
+  kSdcDetected,        // a testcase observed corruption
+  kCoreMasked,         // fine-grained decommission removed a core
+  kProcessorDeprecated,
+  kRoundStarted,       // a regular/pre-production test round began
+  kRoundCompleted,
+  kBackoffEngaged,     // workload throttled
+  kBackoffReleased,
+  kCoolingBoosted,     // fan/pump stepped up
+  kBoundaryRaised,     // adaptive boundary learned upward
+};
+
+std::string EventKindName(EventKind kind);
+
+struct Event {
+  EventKind kind = EventKind::kSdcDetected;
+  double time_seconds = 0.0;   // simulated processor clock
+  std::string subject;         // cpu id, testcase id, or similar
+  int pcore = -1;              // affected physical core, when applicable
+  double value = 0.0;          // temperature, duration, count -- kind-specific
+};
+
+// Bounded in-memory event log with per-kind counters. Oldest events are dropped once the
+// capacity is reached (the counters keep the full totals).
+class EventLog {
+ public:
+  explicit EventLog(size_t capacity = 4096);
+
+  void Record(Event event);
+  void Record(EventKind kind, double time_seconds, std::string subject, int pcore = -1,
+              double value = 0.0);
+
+  const std::deque<Event>& events() const { return events_; }
+  uint64_t total_recorded() const { return total_recorded_; }
+  uint64_t CountOf(EventKind kind) const;
+
+  // Events of one kind, oldest first (within the retained window).
+  std::vector<Event> EventsOf(EventKind kind) const;
+
+  // Renders the retained window as one line per event.
+  void Dump(std::ostream& out) const;
+
+  void Clear();
+
+ private:
+  size_t capacity_;
+  std::deque<Event> events_;
+  std::map<EventKind, uint64_t> counts_;
+  uint64_t total_recorded_ = 0;
+};
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_TELEMETRY_EVENT_LOG_H_

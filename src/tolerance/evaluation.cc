@@ -1,0 +1,232 @@
+#include "src/tolerance/evaluation.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "src/common/rng.h"
+#include "src/integrity/crc32.h"
+#include "src/integrity/ecc.h"
+#include "src/tolerance/redundancy.h"
+#include "src/tolerance/selective.h"
+
+namespace sdc {
+namespace {
+
+// A smooth kernel whose output stream is friendly to range prediction: a slowly drifting
+// arctangent evaluated through the simulated (possibly defective) core.
+double SmoothF64Sample(Processor& cpu, int lcore, double phase) {
+  const double golden = std::atan(1.0 + 0.05 * std::sin(phase)) * 100.0;
+  return cpu.ExecuteF64(lcore, OpKind::kFpArctan, golden);
+}
+
+int32_t SmoothI32Sample(Processor& cpu, int lcore, double phase, Rng& rng) {
+  const auto golden =
+      static_cast<int32_t>(1000.0 + 50.0 * std::sin(phase) + rng.NextDouble() * 4.0);
+  return cpu.ExecuteI32(lcore, OpKind::kIntMul, golden);
+}
+
+}  // namespace
+
+TechniqueEvaluation EvaluateChecksumAfterCompute(FaultyMachine& machine, int lcore,
+                                                 uint64_t trials, uint64_t seed) {
+  TechniqueEvaluation evaluation;
+  evaluation.technique = "checksum-after-compute";
+  evaluation.trials = trials;
+  evaluation.cost_factor = 1.05;  // CRC over 8 bytes is negligible next to the compute
+  Processor& cpu = machine.cpu();
+  cpu.SetTimeScale(1e6);
+  Rng rng(seed);
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    const double x = rng.NextDouble() * 4.0 - 2.0;
+    const double golden = std::atan(x);
+    // Writer: compute through the (defective) core, then checksum the result bytes.
+    const double computed = cpu.ExecuteF64(lcore, OpKind::kFpArctan, golden);
+    uint8_t bytes[sizeof(double)];
+    std::memcpy(bytes, &computed, sizeof(bytes));
+    const uint32_t stored_crc = Crc32(bytes);
+    // Reader: verify CRC over the stored bytes.
+    double read_back = 0.0;
+    std::memcpy(&read_back, bytes, sizeof(read_back));
+    uint8_t read_bytes[sizeof(double)];
+    std::memcpy(read_bytes, &read_back, sizeof(read_bytes));
+    const bool crc_alarm = Crc32(read_bytes) != stored_crc;
+    const bool corrupted = computed != golden;
+    evaluation.corruptions += corrupted ? 1 : 0;
+    if (crc_alarm) {
+      (corrupted ? evaluation.detected : evaluation.false_alarms) += 1;
+    }
+    cpu.AdvanceSeconds(1e-3);
+  }
+  return evaluation;
+}
+
+TechniqueEvaluation EvaluateSecdedAgainstDefect(const Defect& defect, uint64_t trials,
+                                                uint64_t seed) {
+  TechniqueEvaluation evaluation;
+  evaluation.technique = "SECDED ECC";
+  evaluation.trials = trials;
+  evaluation.cost_factor = 1.125;  // 8 check bits per 64 data bits
+  Rng rng(seed);
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    const uint64_t golden = rng.Next();
+    EccWord word = EccEncode(golden);
+    // Corruption strikes the stored data bits with the defect's damage model.
+    const Word128 damaged =
+        defect.Corrupt(BitsOfRaw(word.data, 64), DataType::kBin64, rng);
+    word.data = RawFromBits(damaged);
+    ++evaluation.corruptions;
+    const EccDecodeResult decoded = EccDecode(word);
+    switch (decoded.status) {
+      case EccStatus::kCorrected:
+        if (decoded.data == golden) {
+          ++evaluation.detected;
+          ++evaluation.corrected;
+        }
+        // A >2-bit flip "corrected" to a wrong value is a silent escape: the consumer gets
+        // bad data with a clean status.
+        break;
+      case EccStatus::kDoubleDetected:
+        ++evaluation.detected;
+        break;
+      case EccStatus::kClean:
+        break;  // aliased to a valid codeword: silent
+    }
+  }
+  return evaluation;
+}
+
+namespace {
+
+TechniqueEvaluation EvaluateRedundancy(FaultyMachine& machine, std::vector<int> lcores,
+                                       bool tmr, uint64_t trials, uint64_t seed) {
+  TechniqueEvaluation evaluation;
+  evaluation.technique = tmr ? "TMR (vote)" : "DMR (compare)";
+  evaluation.trials = trials;
+  evaluation.cost_factor = tmr ? RedundantExecutor::TmrCostFactor()
+                               : RedundantExecutor::DmrCostFactor();
+  Processor& cpu = machine.cpu();
+  cpu.SetTimeScale(1e6);
+  RedundantExecutor executor(&cpu, lcores);
+  Rng rng(seed);
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    const double x = rng.NextDouble() * 4.0 - 2.0;
+    const double golden = std::atan(x);
+    const Word128 golden_bits = BitsOfDouble(golden);
+    ReplicatedKernel kernel = [&](int lcore) {
+      return BitsOfDouble(cpu.ExecuteF64(lcore, OpKind::kFpArctan, golden));
+    };
+    if (tmr) {
+      const TmrOutcome outcome = executor.RunTmr(kernel);
+      const bool corrupted = outcome.disagreement ||
+                             (outcome.voted.has_value() && !(*outcome.voted == golden_bits));
+      evaluation.corruptions += corrupted ? 1 : 0;
+      if (corrupted && outcome.disagreement) {
+        ++evaluation.detected;
+        if (outcome.voted.has_value() && *outcome.voted == golden_bits) {
+          ++evaluation.corrected;
+        }
+      }
+    } else {
+      const DmrOutcome outcome = executor.RunDmr(kernel);
+      const bool corrupted =
+          !(outcome.first == golden_bits) || !(outcome.second == golden_bits);
+      evaluation.corruptions += corrupted ? 1 : 0;
+      if (outcome.mismatch && corrupted) {
+        ++evaluation.detected;
+      }
+    }
+    cpu.AdvanceSeconds(1e-3);
+  }
+  return evaluation;
+}
+
+}  // namespace
+
+TechniqueEvaluation EvaluateDmr(FaultyMachine& machine, int defective_lcore,
+                                int healthy_lcore, uint64_t trials, uint64_t seed) {
+  return EvaluateRedundancy(machine, {defective_lcore, healthy_lcore}, false, trials, seed);
+}
+
+TechniqueEvaluation EvaluateTmr(FaultyMachine& machine, int defective_lcore,
+                                int healthy_lcore_a, int healthy_lcore_b, uint64_t trials,
+                                uint64_t seed) {
+  return EvaluateRedundancy(machine, {defective_lcore, healthy_lcore_a, healthy_lcore_b},
+                            true, trials, seed);
+}
+
+TechniqueEvaluation EvaluateSelectiveGuard(FaultyMachine& machine, int primary_lcore,
+                                           int shadow_lcore, uint64_t trials,
+                                           uint64_t seed) {
+  TechniqueEvaluation evaluation;
+  evaluation.technique = "selective DMR (vulnerable ops)";
+  evaluation.trials = trials;
+  Processor& cpu = machine.cpu();
+  cpu.SetTimeScale(1e6);
+  GuardedExecutor guard(&cpu, {OpKind::kFpArctan}, primary_lcore, shadow_lcore);
+  Rng rng(seed);
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    const uint64_t alarms_before = guard.alarms();
+    bool corrupted = false;
+    if (rng.NextBernoulli(0.2)) {
+      // The vulnerable 20%: arctangent through the guarded path.
+      const double golden = std::atan(rng.NextDouble() * 4.0 - 2.0);
+      const double value = guard.ExecuteF64(OpKind::kFpArctan, golden);
+      corrupted = value != golden || guard.alarms() > alarms_before;
+    } else {
+      // The unguarded 80%: integer adds the defect does not touch.
+      const auto golden = static_cast<int32_t>(rng.NextInRange(-100000, 100000));
+      const int32_t value = guard.ExecuteI32(OpKind::kIntAdd, golden);
+      corrupted = value != golden;
+    }
+    evaluation.corruptions += corrupted ? 1 : 0;
+    if (guard.alarms() > alarms_before) {
+      ++evaluation.detected;
+      ++evaluation.corrected;  // the trusted shadow value replaces the corrupted one
+    }
+    cpu.AdvanceSeconds(1e-3);
+  }
+  evaluation.cost_factor = 1.0 + guard.OverheadShare();
+  return evaluation;
+}
+
+TechniqueEvaluation EvaluateRangeDetector(FaultyMachine& machine, int lcore, DataType type,
+                                          uint64_t trials, uint64_t seed,
+                                          RangeDetectorConfig config) {
+  TechniqueEvaluation evaluation;
+  evaluation.technique =
+      std::string("range prediction (") + DataTypeName(type) + ")";
+  evaluation.trials = trials;
+  evaluation.cost_factor = 1.01;  // two EW updates per value
+  Processor& cpu = machine.cpu();
+  cpu.SetTimeScale(1e6);
+  RangeDetector detector(config);
+  Rng rng(seed);
+  double phase = 0.0;
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    phase += 0.01;
+    bool corrupted = false;
+    double observed = 0.0;
+    if (type == DataType::kFloat64) {
+      const double golden = std::atan(1.0 + 0.05 * std::sin(phase)) * 100.0;
+      observed = SmoothF64Sample(cpu, lcore, phase);
+      corrupted = observed != golden;
+    } else {
+      Rng value_rng = rng.Fork(trial);
+      Rng check_rng = value_rng;  // same stream: golden uses identical draws
+      const auto golden = static_cast<int32_t>(
+          1000.0 + 50.0 * std::sin(phase) + check_rng.NextDouble() * 4.0);
+      const int32_t sample = SmoothI32Sample(cpu, lcore, phase, value_rng);
+      observed = sample;
+      corrupted = sample != golden;
+    }
+    const bool flagged = detector.ObserveAndCheck(observed);
+    evaluation.corruptions += corrupted ? 1 : 0;
+    if (flagged) {
+      (corrupted ? evaluation.detected : evaluation.false_alarms) += 1;
+    }
+    cpu.AdvanceSeconds(1e-3);
+  }
+  return evaluation;
+}
+
+}  // namespace sdc

@@ -1,0 +1,79 @@
+// Quantitative evaluation of fault-tolerance techniques against CPU SDCs (Observation 12).
+//
+// Each evaluator drives a concrete datapath against the defect model and counts how many
+// injected corruptions the technique detects, corrects, or silently passes:
+//  * checksum-after-compute: CRC protects data in flight, but a value corrupted *before*
+//    encoding gets a matching checksum -- the checksum certifies corrupted data;
+//  * SECDED ECC: corrects single flips, detects doubles, and mis-handles the multi-bit
+//    flips real defects produce (Observation 8);
+//  * DMR/TMR: catches computation SDCs whenever replicas land on cores that do not fail
+//    identically, at 2-3x cost;
+//  * range prediction: flags large numeric deviations, but Observation 7's fraction-part
+//    flips sit deep inside any usable acceptance band.
+
+#ifndef SDC_SRC_TOLERANCE_EVALUATION_H_
+#define SDC_SRC_TOLERANCE_EVALUATION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/fault/defect.h"
+#include "src/fault/machine.h"
+#include "src/tolerance/range_detector.h"
+
+namespace sdc {
+
+struct TechniqueEvaluation {
+  std::string technique;
+  uint64_t trials = 0;
+  uint64_t corruptions = 0;      // trials where an SDC actually struck
+  uint64_t detected = 0;         // ...and the technique raised an alarm
+  uint64_t corrected = 0;        // ...and the technique restored the right value
+  uint64_t false_alarms = 0;     // alarms on clean trials
+  double cost_factor = 1.0;      // execution overhead relative to the bare computation
+
+  double DetectionRate() const {
+    return corruptions == 0 ? 0.0
+                            : static_cast<double>(detected) / static_cast<double>(corruptions);
+  }
+  uint64_t silent_escapes() const { return corruptions - detected; }
+};
+
+// A storage write path on a machine whose CPU corrupts checksum-input values: the writer
+// computes a value through the (defective) core, then checksums the already-corrupted
+// bytes; the reader's CRC check passes and the corruption sails through.
+TechniqueEvaluation EvaluateChecksumAfterCompute(FaultyMachine& machine, int lcore,
+                                                 uint64_t trials, uint64_t seed);
+
+// SECDED words damaged with `defect`'s bitflip model (as if the corruption hit the stored
+// word after encoding): counts corrected singles, detected doubles, and >2-bit escapes
+// (miscorrections or clean-aliases).
+TechniqueEvaluation EvaluateSecdedAgainstDefect(const Defect& defect, uint64_t trials,
+                                                uint64_t seed);
+
+// DMR and TMR of an arctangent kernel with one replica pinned to `defective_lcore` and the
+// other(s) on `healthy_lcore(s)`.
+TechniqueEvaluation EvaluateDmr(FaultyMachine& machine, int defective_lcore,
+                                int healthy_lcore, uint64_t trials, uint64_t seed);
+TechniqueEvaluation EvaluateTmr(FaultyMachine& machine, int defective_lcore,
+                                int healthy_lcore_a, int healthy_lcore_b, uint64_t trials,
+                                uint64_t seed);
+
+// Selective redundancy (Section 6.2's closing question): only the vulnerable op kinds run
+// twice (primary + shadow core). The workload mixes ~20% vulnerable arctangent ops with
+// ~80% unguarded integer ops, so the measured cost factor sits near 1.2 instead of DMR's
+// 2.0 while catching the vulnerable-feature corruptions.
+TechniqueEvaluation EvaluateSelectiveGuard(FaultyMachine& machine, int primary_lcore,
+                                           int shadow_lcore, uint64_t trials,
+                                           uint64_t seed);
+
+// Range-prediction detector fed a smooth stream computed through the defective core.
+// `type` selects the stream: kFloat64 exercises fraction-flip corruption (mostly missed),
+// kInt32 exercises integer corruption with large relative deviations (mostly caught).
+TechniqueEvaluation EvaluateRangeDetector(FaultyMachine& machine, int lcore, DataType type,
+                                          uint64_t trials, uint64_t seed,
+                                          RangeDetectorConfig config = RangeDetectorConfig());
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_TOLERANCE_EVALUATION_H_

@@ -1,0 +1,40 @@
+#include "src/tolerance/range_detector.h"
+
+#include <cmath>
+
+namespace sdc {
+
+RangeDetector::RangeDetector(RangeDetectorConfig config) : config_(config) {}
+
+double RangeDetector::stddev() const { return std::sqrt(variance_); }
+
+bool RangeDetector::InBand(double value) const {
+  const double band = config_.sigma_band * stddev();
+  const double deviation = std::fabs(value - mean_);
+  if (deviation <= band) {
+    return true;
+  }
+  return deviation <= config_.relative_guard * std::fabs(mean_);
+}
+
+bool RangeDetector::ObserveAndCheck(double value) {
+  if (samples_ < config_.warmup_samples) {
+    // Warmup: absorb unconditionally.
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(samples_ + 1);
+    variance_ += (delta * (value - mean_) - variance_) / static_cast<double>(samples_ + 1);
+    ++samples_;
+    return false;
+  }
+  if (!InBand(value)) {
+    ++flagged_;
+    return true;  // rejected values do not update the predictor
+  }
+  const double delta = value - mean_;
+  mean_ += config_.smoothing * delta;
+  variance_ = (1.0 - config_.smoothing) * (variance_ + config_.smoothing * delta * delta);
+  ++samples_;
+  return false;
+}
+
+}  // namespace sdc

@@ -1,0 +1,53 @@
+// Prediction-based SDC detection (Section 6.2, "Prediction").
+//
+// HPC detectors in the paper's related work predict a plausible interval for each new value
+// from recent history and assert a silent error when a value falls outside it. This is the
+// standard running-statistics variant: an exponentially-weighted mean/variance per monitored
+// stream, with a k-sigma acceptance band (plus a relative guard band for streams whose
+// variance collapses).
+//
+// Observation 7's implication, which the obs12 bench quantifies: real floating-point SDCs
+// mostly flip fraction bits, producing relative errors far inside any usable acceptance
+// band, so range detectors catch integer-style large deviations but miss the dominant
+// small-loss float corruption.
+
+#ifndef SDC_SRC_TOLERANCE_RANGE_DETECTOR_H_
+#define SDC_SRC_TOLERANCE_RANGE_DETECTOR_H_
+
+#include <cstdint>
+
+namespace sdc {
+
+struct RangeDetectorConfig {
+  double smoothing = 0.05;        // EW update weight for mean/variance
+  double sigma_band = 4.0;        // accept mean +/- sigma_band * stddev
+  double relative_guard = 0.02;   // also accept within +/-2% of the mean
+  uint64_t warmup_samples = 32;   // no verdicts until this many samples are absorbed
+};
+
+class RangeDetector {
+ public:
+  explicit RangeDetector(RangeDetectorConfig config = RangeDetectorConfig());
+
+  // Absorbs `value` and returns true when it is flagged as a suspected SDC. Flagged values
+  // are NOT absorbed into the statistics (they would poison the predictor).
+  bool ObserveAndCheck(double value);
+
+  double mean() const { return mean_; }
+  double stddev() const;
+  uint64_t samples() const { return samples_; }
+  uint64_t flagged() const { return flagged_; }
+
+ private:
+  bool InBand(double value) const;
+
+  RangeDetectorConfig config_;
+  double mean_ = 0.0;
+  double variance_ = 0.0;
+  uint64_t samples_ = 0;
+  uint64_t flagged_ = 0;
+};
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_TOLERANCE_RANGE_DETECTOR_H_

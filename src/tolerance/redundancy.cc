@@ -1,0 +1,43 @@
+#include "src/tolerance/redundancy.h"
+
+#include <cstdlib>
+
+namespace sdc {
+
+RedundantExecutor::RedundantExecutor(Processor* cpu, std::vector<int> lcores)
+    : cpu_(cpu), lcores_(std::move(lcores)) {
+  if (lcores_.size() < 2) {
+    std::abort();  // redundancy needs at least two replicas
+  }
+}
+
+DmrOutcome RedundantExecutor::RunDmr(const ReplicatedKernel& kernel) const {
+  DmrOutcome outcome;
+  outcome.first = kernel(lcores_[0]);
+  outcome.second = kernel(lcores_[1]);
+  outcome.mismatch = !(outcome.first == outcome.second);
+  return outcome;
+}
+
+TmrOutcome RedundantExecutor::RunTmr(const ReplicatedKernel& kernel) const {
+  if (lcores_.size() < 3) {
+    std::abort();  // TMR needs three replicas
+  }
+  TmrOutcome outcome;
+  const Word128 a = kernel(lcores_[0]);
+  const Word128 b = kernel(lcores_[1]);
+  const Word128 c = kernel(lcores_[2]);
+  if (a == b || a == c) {
+    outcome.voted = a;
+    outcome.dissenting_replica = a == b ? (a == c ? -1 : 2) : 1;
+  } else if (b == c) {
+    outcome.voted = b;
+    outcome.dissenting_replica = 0;
+  } else {
+    outcome.voted = std::nullopt;  // three-way disagreement
+  }
+  outcome.disagreement = !(a == b && b == c);
+  return outcome;
+}
+
+}  // namespace sdc

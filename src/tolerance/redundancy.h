@@ -1,0 +1,65 @@
+// Redundant execution for SDC detection and tolerance (Section 6.2, "Redundancy").
+//
+// Dual modular redundancy (DMR) runs the same computation on two cores and flags any
+// disagreement; triple modular redundancy (TMR) adds majority voting so single-core
+// corruption is not just detected but corrected. Both are implemented over the simulated
+// processor: the kernel is a function of (lcore) -> result bits, so each replica routes its
+// operations through a different physical core and a defective core disagrees with healthy
+// ones. The paper's verdict -- too costly for everything, right for a small set of critical
+// computations -- is what the obs12 bench quantifies.
+
+#ifndef SDC_SRC_TOLERANCE_REDUNDANCY_H_
+#define SDC_SRC_TOLERANCE_REDUNDANCY_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/common/bits.h"
+#include "src/sim/processor.h"
+
+namespace sdc {
+
+// A replicable computation: given a logical core, produce the result's bit image. The
+// callable must be deterministic in everything except injected corruption.
+using ReplicatedKernel = std::function<Word128(int lcore)>;
+
+struct DmrOutcome {
+  bool mismatch = false;  // replicas disagreed: an SDC was caught (or one just happened)
+  Word128 first;
+  Word128 second;
+};
+
+struct TmrOutcome {
+  // Voted result; nullopt when all three replicas disagree pairwise (uncorrectable).
+  std::optional<Word128> voted;
+  bool disagreement = false;  // at least one replica differed from the vote
+  int dissenting_replica = -1;
+};
+
+class RedundantExecutor {
+ public:
+  // `lcores` are the logical cores replicas run on; must contain at least 2 (DMR) or
+  // 3 (TMR) entries on distinct physical cores for the redundancy to be meaningful.
+  RedundantExecutor(Processor* cpu, std::vector<int> lcores);
+
+  // Runs the kernel on the first two cores and compares.
+  DmrOutcome RunDmr(const ReplicatedKernel& kernel) const;
+
+  // Runs the kernel on the first three cores and majority-votes.
+  TmrOutcome RunTmr(const ReplicatedKernel& kernel) const;
+
+  // Total ops executed across replicas divided by ops of a single run -- the overhead
+  // factor (2.0 for DMR, 3.0 for TMR plus comparison costs).
+  static double DmrCostFactor() { return 2.0; }
+  static double TmrCostFactor() { return 3.0; }
+
+ private:
+  Processor* cpu_;
+  std::vector<int> lcores_;
+};
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_TOLERANCE_REDUNDANCY_H_

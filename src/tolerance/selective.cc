@@ -1,0 +1,55 @@
+#include "src/tolerance/selective.h"
+
+namespace sdc {
+
+GuardedExecutor::GuardedExecutor(Processor* cpu, std::set<OpKind> guarded_ops,
+                                 int primary_lcore, int shadow_lcore)
+    : cpu_(cpu), guarded_ops_(std::move(guarded_ops)), primary_lcore_(primary_lcore),
+      shadow_lcore_(shadow_lcore) {}
+
+double GuardedExecutor::ExecuteF64(OpKind op, double golden) {
+  ++total_;
+  const double primary = cpu_->ExecuteF64(primary_lcore_, op, golden);
+  if (!Guarded(op)) {
+    return primary;
+  }
+  ++guarded_;
+  const double shadow = cpu_->ExecuteF64(shadow_lcore_, op, golden);
+  if (BitsOfDouble(primary) == BitsOfDouble(shadow)) {
+    return primary;
+  }
+  ++alarms_;
+  return shadow;
+}
+
+int32_t GuardedExecutor::ExecuteI32(OpKind op, int32_t golden) {
+  ++total_;
+  const int32_t primary = cpu_->ExecuteI32(primary_lcore_, op, golden);
+  if (!Guarded(op)) {
+    return primary;
+  }
+  ++guarded_;
+  const int32_t shadow = cpu_->ExecuteI32(shadow_lcore_, op, golden);
+  if (primary == shadow) {
+    return primary;
+  }
+  ++alarms_;
+  return shadow;
+}
+
+uint64_t GuardedExecutor::ExecuteRaw(OpKind op, uint64_t golden, DataType type) {
+  ++total_;
+  const uint64_t primary = cpu_->ExecuteRaw(primary_lcore_, op, golden, type);
+  if (!Guarded(op)) {
+    return primary;
+  }
+  ++guarded_;
+  const uint64_t shadow = cpu_->ExecuteRaw(shadow_lcore_, op, golden, type);
+  if (primary == shadow) {
+    return primary;
+  }
+  ++alarms_;
+  return shadow;
+}
+
+}  // namespace sdc

@@ -1,0 +1,58 @@
+// Selective redundancy targeting the vulnerable features (the paper's closing question in
+// Section 6.2: "considering only a small number of features or instructions are vulnerable,
+// can we design techniques targeting those vulnerable features?").
+//
+// GuardedExecutor wraps a processor's execute calls: operations whose kind belongs to the
+// configured vulnerable set are executed twice -- on the primary core and on a shadow
+// core -- and a disagreement raises an alarm before the value escapes. Everything else runs
+// once. The cost is therefore 1 + (vulnerable share of the instruction mix) instead of
+// full DMR's 2x, and Observation 5 says that share is small for most workloads.
+
+#ifndef SDC_SRC_TOLERANCE_SELECTIVE_H_
+#define SDC_SRC_TOLERANCE_SELECTIVE_H_
+
+#include <cstdint>
+#include <set>
+
+#include "src/sim/processor.h"
+
+namespace sdc {
+
+class GuardedExecutor {
+ public:
+  // Vulnerable `guarded_ops` run on both `primary_lcore` and `shadow_lcore` (which must
+  // map to a different physical core for the guard to be meaningful).
+  GuardedExecutor(Processor* cpu, std::set<OpKind> guarded_ops, int primary_lcore,
+                  int shadow_lcore);
+
+  // Execute with guarding: returns the primary result; a shadow disagreement increments
+  // alarms() and, when the shadow is trusted (healthy-by-construction deployments pin it
+  // to a verified core), the shadow value is returned instead.
+  double ExecuteF64(OpKind op, double golden);
+  int32_t ExecuteI32(OpKind op, int32_t golden);
+  uint64_t ExecuteRaw(OpKind op, uint64_t golden, DataType type);
+
+  uint64_t alarms() const { return alarms_; }
+  uint64_t guarded_executions() const { return guarded_; }
+  uint64_t total_executions() const { return total_; }
+
+  // Measured overhead: extra executions / total executions (1.0 would be full DMR).
+  double OverheadShare() const {
+    return total_ == 0 ? 0.0 : static_cast<double>(guarded_) / static_cast<double>(total_);
+  }
+
+ private:
+  bool Guarded(OpKind op) const { return guarded_ops_.count(op) > 0; }
+
+  Processor* cpu_;
+  std::set<OpKind> guarded_ops_;
+  int primary_lcore_;
+  int shadow_lcore_;
+  uint64_t alarms_ = 0;
+  uint64_t guarded_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_TOLERANCE_SELECTIVE_H_

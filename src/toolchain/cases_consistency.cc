@@ -1,0 +1,266 @@
+// Multi-threaded consistency testcases: cache-coherence handoffs, lock-protected counters,
+// and transactional-memory invariants. These are the only tests that can expose
+// consistency-type SDCs (Section 4.1); each schedules two logical cores on different
+// physical cores with a deterministic interleaving.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/toolchain/cases.h"
+
+namespace sdc {
+namespace {
+
+// Pads a handoff round with private-cell loads so the store/commit rate lands near the
+// calibrated consistency op rate (~1e6/s) instead of the raw scalar rate.
+void PadRound(TestContext& context, int lcore, int loads) {
+  CoherentBus& bus = context.machine->bus();
+  const size_t private_base = FaultyMachine::kSharedCells - 64;
+  for (int i = 0; i < loads; ++i) {
+    bus.Read(lcore, private_base + static_cast<size_t>(i % 32));
+  }
+}
+
+class CoherenceHandoffCase : public TestcaseBase {
+ public:
+  CoherenceHandoffCase(TestcaseInfo info, int payload_bytes, int rounds)
+      : TestcaseBase(std::move(info)), payload_words_(std::max(1, payload_bytes / 8)),
+        rounds_(rounds) {}
+
+  void RunBatch(TestContext& context) override {
+    CoherentBus& bus = context.machine->bus();
+    const int producer = context.lcores[0];
+    const int consumer = context.lcores[1];
+    const size_t checksum_addr = static_cast<size_t>(payload_words_);
+    // Warm the consumer's cache so a dropped invalidation leaves observable stale data.
+    for (size_t w = 0; w <= checksum_addr; ++w) {
+      bus.Read(consumer, w);
+    }
+    for (int round = 0; round < rounds_; ++round) {
+      uint64_t checksum = 0;
+      for (int w = 0; w < payload_words_; ++w) {
+        const uint64_t value = context.rng->Next();
+        checksum ^= value * 0x9e3779b97f4a7c15ull;
+        bus.Write(producer, static_cast<size_t>(w), value);
+      }
+      bus.Write(producer, checksum_addr, checksum);
+      PadRound(context, producer, 150);
+      // Consumer validates the handoff exactly like the Section 2.2 client/daemon pair.
+      uint64_t read_checksum = 0;
+      for (int w = 0; w < payload_words_; ++w) {
+        read_checksum ^= bus.Read(consumer, static_cast<size_t>(w)) * 0x9e3779b97f4a7c15ull;
+      }
+      const uint64_t stored_checksum = bus.Read(consumer, checksum_addr);
+      PadRound(context, consumer, 150);
+      if (read_checksum != stored_checksum) {
+        context.RecordConsistency(info_.id, consumer);
+        bus.Fence(consumer);  // the application's recovery: refetch everything
+      }
+    }
+  }
+
+ private:
+  int payload_words_;
+  int rounds_;
+};
+
+class LockCounterCase : public TestcaseBase {
+ public:
+  LockCounterCase(TestcaseInfo info, int increments)
+      : TestcaseBase(std::move(info)), increments_(increments) {}
+
+  void RunBatch(TestContext& context) override {
+    CoherentBus& bus = context.machine->bus();
+    // Cells outside the handoff testcases' payload range; reset per batch since other
+    // testcases share the bus.
+    const size_t lock_addr = 2100;
+    const size_t counter_addr = 2101;
+    bus.DirectWrite(lock_addr, 0);
+    bus.DirectWrite(counter_addr, 0);
+    // Two threads alternate lock-protected increments; a dropped invalidation on the plain
+    // counter store makes the peer read a stale value and lose an update.
+    for (int i = 0; i < increments_; ++i) {
+      const int lcore = context.lcores[i % 2];
+      while (!bus.AtomicCas(lcore, lock_addr, 0, 1)) {
+      }
+      const uint64_t value = bus.Read(lcore, counter_addr);
+      bus.Write(lcore, counter_addr, value + 1);
+      while (!bus.AtomicCas(lcore, lock_addr, 1, 0)) {
+      }
+      PadRound(context, lcore, 100);
+    }
+    const uint64_t final_value = bus.BackingValue(counter_addr);
+    const auto expected = static_cast<uint64_t>(increments_);
+    if (final_value != expected) {
+      const uint64_t lost = expected - std::min(expected, final_value);
+      for (uint64_t e = 0; e < std::min<uint64_t>(lost, 16); ++e) {
+        context.RecordConsistency(info_.id, context.lcores[0]);
+      }
+    }
+  }
+
+ private:
+  int increments_;
+};
+
+class TxInvariantCase : public TestcaseBase {
+ public:
+  TxInvariantCase(TestcaseInfo info, int rounds)
+      : TestcaseBase(std::move(info)), rounds_(rounds) {}
+
+  void RunBatch(TestContext& context) override {
+    TxMemory& tx = context.machine->txmem();
+    const size_t x_addr = 200;
+    const size_t y_addr = 201;
+    tx.DirectWrite(x_addr, 0);
+    tx.DirectWrite(y_addr, 0);
+    const int a = context.lcores[0];
+    const int b = context.lcores[1];
+    uint64_t expected = 0;
+    for (int round = 0; round < rounds_; ++round) {
+      // t1 (thread a) and t2 (thread b) race on the same two cells; t2 must abort and retry.
+      const int t1 = tx.Begin(a);
+      const uint64_t x1 = tx.Read(t1, x_addr);
+      const int t2 = tx.Begin(b);
+      const uint64_t x2 = tx.Read(t2, x_addr);
+      const uint64_t y2 = tx.Read(t2, y_addr);
+      tx.Write(t2, x_addr, x2 + 1);
+      tx.Write(t2, y_addr, y2 + 1);
+      tx.Write(t1, x_addr, x1 + 1);
+      const uint64_t y1 = tx.Read(t1, y_addr);
+      tx.Write(t1, y_addr, y1 + 1);
+      tx.Commit(t1);  // first committer wins
+      if (!tx.Commit(t2)) {
+        // Proper abort: retry against committed state.
+        const int retry = tx.Begin(b);
+        tx.Write(retry, x_addr, tx.Read(retry, x_addr) + 1);
+        tx.Write(retry, y_addr, tx.Read(retry, y_addr) + 1);
+        tx.Commit(retry);
+      }
+      expected += 2;
+      PadRound(context, a, 120);
+      PadRound(context, b, 120);
+      const uint64_t x = tx.DirectRead(x_addr);
+      const uint64_t y = tx.DirectRead(y_addr);
+      if (x != y || x != expected) {
+        context.RecordConsistency(info_.id, b);
+        // Resynchronize so one violation is counted once, as an application would after
+        // repairing its metadata.
+        tx.DirectWrite(x_addr, expected);
+        tx.DirectWrite(y_addr, expected);
+      }
+    }
+  }
+
+ private:
+  int rounds_;
+};
+
+class TxBankCase : public TestcaseBase {
+ public:
+  TxBankCase(TestcaseInfo info, int accounts, int transfers)
+      : TestcaseBase(std::move(info)), accounts_(accounts), transfers_(transfers) {}
+
+  void RunBatch(TestContext& context) override {
+    TxMemory& tx = context.machine->txmem();
+    const size_t base = 300;
+    constexpr uint64_t kInitialBalance = 1000;
+    for (int i = 0; i < accounts_; ++i) {
+      tx.DirectWrite(base + static_cast<size_t>(i), kInitialBalance);
+    }
+    const uint64_t total = kInitialBalance * static_cast<uint64_t>(accounts_);
+    const int a = context.lcores[0];
+    const int b = context.lcores[1];
+    for (int i = 0; i < transfers_; ++i) {
+      const size_t from = base + context.rng->NextBelow(static_cast<uint64_t>(accounts_));
+      size_t to = base + context.rng->NextBelow(static_cast<uint64_t>(accounts_));
+      if (to == from) {
+        to = base + (to - base + 1) % static_cast<size_t>(accounts_);
+      }
+      const uint64_t amount = 1 + context.rng->NextBelow(5);
+      // Conflicting pair: both transactions touch `from`; the second must retry.
+      const int t1 = tx.Begin(a);
+      const uint64_t from1 = tx.Read(t1, from);
+      const int t2 = tx.Begin(b);
+      const uint64_t from2 = tx.Read(t2, from);
+      const uint64_t to2 = tx.Read(t2, to);
+      tx.Write(t2, from, from2 - amount);
+      tx.Write(t2, to, to2 + amount);
+      tx.Write(t1, from, from1 - amount);
+      tx.Write(t1, to, tx.Read(t1, to) + amount);
+      tx.Commit(t1);
+      if (!tx.Commit(t2)) {
+        const int retry = tx.Begin(b);
+        tx.Write(retry, from, tx.Read(retry, from) - amount);
+        tx.Write(retry, to, tx.Read(retry, to) + amount);
+        tx.Commit(retry);
+      }
+      PadRound(context, a, 120);
+      PadRound(context, b, 120);
+      uint64_t sum = 0;
+      for (int acct = 0; acct < accounts_; ++acct) {
+        sum += tx.DirectRead(base + static_cast<size_t>(acct));
+      }
+      if (sum != total) {
+        context.RecordConsistency(info_.id, b);
+        for (int acct = 0; acct < accounts_; ++acct) {
+          tx.DirectWrite(base + static_cast<size_t>(acct), kInitialBalance);
+        }
+      }
+    }
+  }
+
+ private:
+  int accounts_;
+  int transfers_;
+};
+
+}  // namespace
+
+std::unique_ptr<Testcase> MakeCoherenceHandoffCase(int payload_bytes, int rounds) {
+  TestcaseInfo info;
+  info.id = "mt.coherence.handoff.b" + std::to_string(payload_bytes) + ".r" +
+            std::to_string(rounds);
+  info.target = Feature::kCache;
+  info.style = TestcaseStyle::kApplicationLogic;
+  info.ops = {OpKind::kStore, OpKind::kLoad};
+  info.types = {};
+  info.multithreaded = true;
+  return std::make_unique<CoherenceHandoffCase>(std::move(info), payload_bytes, rounds);
+}
+
+std::unique_ptr<Testcase> MakeLockCounterCase(int increments) {
+  TestcaseInfo info;
+  info.id = "mt.lock.counter.n" + std::to_string(increments);
+  info.target = Feature::kCache;
+  info.style = TestcaseStyle::kApplicationLogic;
+  info.ops = {OpKind::kStore, OpKind::kLoad, OpKind::kAtomicCas};
+  info.types = {};
+  info.multithreaded = true;
+  return std::make_unique<LockCounterCase>(std::move(info), increments);
+}
+
+std::unique_ptr<Testcase> MakeTxInvariantCase(int rounds) {
+  TestcaseInfo info;
+  info.id = "mt.tx.invariant.r" + std::to_string(rounds);
+  info.target = Feature::kTxMem;
+  info.style = TestcaseStyle::kApplicationLogic;
+  info.ops = {OpKind::kTxBegin, OpKind::kTxRead, OpKind::kTxWrite, OpKind::kTxCommit};
+  info.types = {};
+  info.multithreaded = true;
+  return std::make_unique<TxInvariantCase>(std::move(info), rounds);
+}
+
+std::unique_ptr<Testcase> MakeTxBankCase(int accounts, int transfers) {
+  TestcaseInfo info;
+  info.id = "mt.tx.bank.a" + std::to_string(accounts) + ".t" + std::to_string(transfers);
+  info.target = Feature::kTxMem;
+  info.style = TestcaseStyle::kApplicationLogic;
+  info.ops = {OpKind::kTxBegin, OpKind::kTxRead, OpKind::kTxWrite, OpKind::kTxCommit};
+  info.types = {};
+  info.multithreaded = true;
+  return std::make_unique<TxBankCase>(std::move(info), accounts, transfers);
+}
+
+}  // namespace sdc

@@ -1,0 +1,182 @@
+// Proxy-fuzzing testcases (SiliFuzz/OpenDCDiag style, Section 6.1): deterministic
+// pseudo-random instruction mixes that self-check every routed result. Where the curated
+// kernels each stress one feature, a fuzz case sprays operations across the scalar and
+// vector pools -- broad but shallow coverage that complements the targeted suite. Also:
+// Adler-32 and CRC-64 checksum kernels, companions to the CRC32 cases.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/integrity/adler32.h"
+#include "src/toolchain/cases.h"
+
+namespace sdc {
+namespace {
+
+class AdlerChecksumCase : public TestcaseBase {
+ public:
+  AdlerChecksumCase(TestcaseInfo info, int bytes)
+      : TestcaseBase(std::move(info)), buffer_(static_cast<size_t>(bytes)) {}
+
+  void RunBatch(TestContext& context) override {
+    Processor& cpu = context.cpu();
+    const int lcore = context.lcores.front();
+    for (auto& byte : buffer_) {
+      byte = static_cast<uint8_t>(context.rng->Next());
+    }
+    const uint32_t golden = Adler32(buffer_);
+    const uint32_t routed = Adler32OnProcessor(cpu, lcore, buffer_);
+    if (routed != golden) {
+      context.RecordComputation(info_.id, lcore, DataType::kUInt32, BitsOfUInt32(golden),
+                                BitsOfUInt32(routed));
+    }
+  }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+class Crc64Case : public TestcaseBase {
+ public:
+  Crc64Case(TestcaseInfo info, int bytes)
+      : TestcaseBase(std::move(info)), buffer_(static_cast<size_t>(bytes)) {}
+
+  void RunBatch(TestContext& context) override {
+    Processor& cpu = context.cpu();
+    const int lcore = context.lcores.front();
+    for (auto& byte : buffer_) {
+      byte = static_cast<uint8_t>(context.rng->Next());
+    }
+    const uint64_t golden = Crc64(buffer_);
+    const uint64_t routed = Crc64OnProcessor(cpu, lcore, buffer_);
+    if (routed != golden) {
+      context.RecordComputation(info_.id, lcore, DataType::kBin64, BitsOfRaw(golden, 64),
+                                BitsOfRaw(routed, 64));
+    }
+  }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+class FuzzCase : public TestcaseBase {
+ public:
+  FuzzCase(TestcaseInfo info, uint64_t stream_seed, int ops)
+      : TestcaseBase(std::move(info)), stream_seed_(stream_seed), ops_(ops) {}
+
+  void RunBatch(TestContext& context) override {
+    Processor& cpu = context.cpu();
+    const int lcore = context.lcores.front();
+    // The op sequence is a fixed function of the case's stream seed (the fuzzer's corpus
+    // entry); operand values vary batch to batch through the context rng.
+    Rng sequence(stream_seed_);
+    for (int i = 0; i < ops_; ++i) {
+      const size_t pick = sequence.NextBelow(info_.ops.size());
+      const OpKind op = info_.ops[pick];
+      switch (op) {
+        case OpKind::kFpAdd:
+        case OpKind::kFpMul:
+        case OpKind::kFpFma:
+        case OpKind::kVecFmaF64: {
+          const double a = context.rng->NextDouble() * 64.0 - 32.0;
+          const double b = context.rng->NextDouble() * 64.0 - 32.0;
+          const double golden = op == OpKind::kFpAdd ? a + b : a * b + (a - b);
+          const double routed = cpu.ExecuteF64(lcore, op, golden);
+          if (routed != golden) {
+            context.RecordComputation(info_.id, lcore, DataType::kFloat64,
+                                      BitsOfDouble(golden), BitsOfDouble(routed));
+          }
+          break;
+        }
+        case OpKind::kFpArctan: {
+          const double golden = std::atan(context.rng->NextDouble() * 4.0 - 2.0);
+          const double routed = cpu.ExecuteF64(lcore, op, golden);
+          if (routed != golden) {
+            context.RecordComputation(info_.id, lcore, DataType::kFloat64,
+                                      BitsOfDouble(golden), BitsOfDouble(routed));
+          }
+          break;
+        }
+        case OpKind::kVecFmaF32: {
+          const auto a = static_cast<float>(context.rng->NextDouble() * 8.0 - 4.0);
+          const auto b = static_cast<float>(context.rng->NextDouble() * 8.0 - 4.0);
+          const float golden = a * b + (a - b);
+          const float routed = cpu.ExecuteF32(lcore, op, golden);
+          if (routed != golden) {
+            context.RecordComputation(info_.id, lcore, DataType::kFloat32,
+                                      BitsOfFloat(golden), BitsOfFloat(routed));
+          }
+          break;
+        }
+        case OpKind::kIntMul:
+        case OpKind::kIntAdd: {
+          const auto a = static_cast<int32_t>(context.rng->NextInRange(-40000, 40000));
+          const auto b = static_cast<int32_t>(context.rng->NextInRange(-40000, 40000));
+          const int32_t golden = op == OpKind::kIntMul ? a * b : a + b;
+          const int32_t routed = cpu.ExecuteI32(lcore, op, golden);
+          if (routed != golden) {
+            context.RecordComputation(info_.id, lcore, DataType::kInt32,
+                                      BitsOfInt32(golden), BitsOfInt32(routed));
+          }
+          break;
+        }
+        default: {  // logic / crc / hash ops over raw 32-bit payloads
+          const uint64_t a = context.rng->Next() & 0xffffffffull;
+          const uint64_t b = context.rng->Next() & 0xffffffffull;
+          const uint64_t golden = (a ^ (b >> 3)) & 0xffffffffull;
+          const uint64_t routed = cpu.ExecuteRaw(lcore, op, golden, DataType::kBin32);
+          if (routed != golden) {
+            context.RecordComputation(info_.id, lcore, DataType::kBin32,
+                                      BitsOfRaw(golden, 32), BitsOfRaw(routed, 32));
+          }
+          break;
+        }
+      }
+    }
+  }
+
+ private:
+  uint64_t stream_seed_;
+  int ops_;
+};
+
+}  // namespace
+
+std::unique_ptr<Testcase> MakeAdlerChecksumCase(int bytes) {
+  TestcaseInfo info;
+  info.id = "lib.adler32.b" + std::to_string(bytes);
+  info.target = Feature::kAlu;
+  info.style = TestcaseStyle::kLibraryCall;
+  info.ops = {OpKind::kIntAdd};
+  info.types = {DataType::kUInt32};
+  return std::make_unique<AdlerChecksumCase>(std::move(info), bytes);
+}
+
+std::unique_ptr<Testcase> MakeCrc64Case(int bytes) {
+  TestcaseInfo info;
+  info.id = "lib.crc64.b" + std::to_string(bytes);
+  info.target = Feature::kAlu;
+  info.style = TestcaseStyle::kLibraryCall;
+  info.ops = {OpKind::kCrc32Step};
+  info.types = {DataType::kBin64};
+  return std::make_unique<Crc64Case>(std::move(info), bytes);
+}
+
+std::unique_ptr<Testcase> MakeFuzzCase(uint64_t stream_seed, int ops) {
+  TestcaseInfo info;
+  info.id = "fuzz.s" + std::to_string(stream_seed) + ".n" + std::to_string(ops);
+  // Broad pool: the fuzzer sprays across features; tag the dominant one per stream so the
+  // priority scheduler can still bucket fuzz cases.
+  info.ops = {OpKind::kFpAdd,    OpKind::kFpMul,    OpKind::kFpFma,   OpKind::kFpArctan,
+              OpKind::kVecFmaF64, OpKind::kVecFmaF32, OpKind::kIntMul, OpKind::kIntAdd,
+              OpKind::kLogicXor, OpKind::kCrc32Step};
+  info.target = stream_seed % 3 == 0   ? Feature::kFpu
+                : stream_seed % 3 == 1 ? Feature::kVecUnit
+                                       : Feature::kAlu;
+  info.style = TestcaseStyle::kInstructionLoop;
+  info.types = {DataType::kFloat64, DataType::kFloat32, DataType::kInt32, DataType::kBin32};
+  return std::make_unique<FuzzCase>(std::move(info), stream_seed, ops);
+}
+
+}  // namespace sdc

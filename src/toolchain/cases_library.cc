@@ -1,0 +1,307 @@
+// Library-call testcases: checksums, math-function chains, polynomial evaluation,
+// erasure-coding kernels, big-integer arithmetic, and string manipulation.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/integrity/crc32.h"
+#include "src/integrity/erasure.h"
+#include "src/toolchain/cases.h"
+
+namespace sdc {
+namespace {
+
+class MathFunctionCase : public TestcaseBase {
+ public:
+  MathFunctionCase(TestcaseInfo info, OpKind op, DataType type, int points)
+      : TestcaseBase(std::move(info)), op_(op), type_(type), points_(points) {}
+
+  void RunBatch(TestContext& context) override {
+    Processor& cpu = context.cpu();
+    const int lcore = context.lcores.front();
+    for (int i = 0; i < points_; ++i) {
+      const long double x = context.rng->NextDouble() * 8.0L - 4.0L;
+      long double golden = 0.0L;
+      switch (op_) {
+        case OpKind::kFpArctan:
+          golden = std::atan(x);
+          break;
+        case OpKind::kFpSin:
+          golden = std::sin(x);
+          break;
+        case OpKind::kFpLog:
+          golden = std::log(std::fabs(x) + 1.0L);
+          break;
+        case OpKind::kFpExp:
+          golden = std::exp(x);
+          break;
+        default:
+          golden = std::atan(x);
+          break;
+      }
+      if (type_ == DataType::kFloat80) {
+        const long double routed = cpu.ExecuteF80(lcore, op_, golden);
+        if (BitsOfFloat80(routed) != BitsOfFloat80(golden)) {
+          context.RecordComputation(info_.id, lcore, type_, BitsOfFloat80(golden),
+                                    BitsOfFloat80(routed));
+        }
+      } else {
+        const double golden64 = static_cast<double>(golden);
+        const double routed = cpu.ExecuteF64(lcore, op_, golden64);
+        if (routed != golden64) {
+          context.RecordComputation(info_.id, lcore, DataType::kFloat64,
+                                    BitsOfDouble(golden64), BitsOfDouble(routed));
+        }
+      }
+    }
+  }
+
+ private:
+  OpKind op_;
+  DataType type_;
+  int points_;
+};
+
+class ChecksumCase : public TestcaseBase {
+ public:
+  ChecksumCase(TestcaseInfo info, bool vectorized, int buffer_bytes)
+      : TestcaseBase(std::move(info)), vectorized_(vectorized),
+        buffer_(static_cast<size_t>(buffer_bytes)) {}
+
+  void RunBatch(TestContext& context) override {
+    Processor& cpu = context.cpu();
+    const int lcore = context.lcores.front();
+    for (auto& byte : buffer_) {
+      byte = static_cast<uint8_t>(context.rng->Next());
+    }
+    const uint32_t golden = Crc32(buffer_);
+    const uint32_t routed = vectorized_ ? Crc32VectorOnProcessor(cpu, lcore, buffer_)
+                                        : Crc32OnProcessor(cpu, lcore, buffer_);
+    if (routed != golden) {
+      context.RecordComputation(info_.id, lcore, DataType::kUInt32, BitsOfUInt32(golden),
+                                BitsOfUInt32(routed));
+    }
+  }
+
+ private:
+  bool vectorized_;
+  std::vector<uint8_t> buffer_;
+};
+
+class PolynomialCase : public TestcaseBase {
+ public:
+  PolynomialCase(TestcaseInfo info, int degree, int points)
+      : TestcaseBase(std::move(info)), degree_(degree), points_(points) {}
+
+  void RunBatch(TestContext& context) override {
+    Processor& cpu = context.cpu();
+    const int lcore = context.lcores.front();
+    std::vector<double> coefficients(static_cast<size_t>(degree_ + 1));
+    for (auto& c : coefficients) {
+      c = context.rng->NextDouble() * 2.0 - 1.0;
+    }
+    for (int i = 0; i < points_; ++i) {
+      const double x = context.rng->NextDouble() * 2.0 - 1.0;
+      // Horner's rule, with each FMA result routed; a corrupted step propagates.
+      double golden = coefficients[0];
+      double routed = coefficients[0];
+      for (int d = 1; d <= degree_; ++d) {
+        golden = golden * x + coefficients[d];
+        routed = cpu.ExecuteF64(lcore, OpKind::kFpFma, routed * x + coefficients[d]);
+      }
+      if (routed != golden) {
+        context.RecordComputation(info_.id, lcore, DataType::kFloat64,
+                                  BitsOfDouble(golden), BitsOfDouble(routed));
+      }
+    }
+  }
+
+ private:
+  int degree_;
+  int points_;
+};
+
+class ErasureCase : public TestcaseBase {
+ public:
+  ErasureCase(TestcaseInfo info, int data_shards, int parity_shards, int shard_bytes)
+      : TestcaseBase(std::move(info)), rs_(data_shards, parity_shards),
+        shard_bytes_(shard_bytes) {}
+
+  void RunBatch(TestContext& context) override {
+    Processor& cpu = context.cpu();
+    const int lcore = context.lcores.front();
+    std::vector<std::vector<uint8_t>> data(static_cast<size_t>(rs_.data_shards()));
+    for (auto& shard : data) {
+      shard.resize(static_cast<size_t>(shard_bytes_));
+      for (auto& byte : shard) {
+        byte = static_cast<uint8_t>(context.rng->Next());
+      }
+    }
+    const auto golden = rs_.Encode(data);
+    const auto routed = rs_.EncodeOnProcessor(cpu, lcore, data);
+    for (size_t p = 0; p < golden.size(); ++p) {
+      for (size_t b = 0; b < golden[p].size(); ++b) {
+        if (routed[p][b] != golden[p][b]) {
+          context.RecordComputation(info_.id, lcore, DataType::kByte,
+                                    BitsOfRaw(golden[p][b], 8), BitsOfRaw(routed[p][b], 8));
+        }
+      }
+    }
+  }
+
+ private:
+  ReedSolomon rs_;
+  int shard_bytes_;
+};
+
+class BigIntCase : public TestcaseBase {
+ public:
+  BigIntCase(TestcaseInfo info, OpKind op, int limbs)
+      : TestcaseBase(std::move(info)), op_(op), limbs_(limbs) {}
+
+  void RunBatch(TestContext& context) override {
+    Processor& cpu = context.cpu();
+    const int lcore = context.lcores.front();
+    std::vector<uint32_t> a(static_cast<size_t>(limbs_));
+    std::vector<uint32_t> b(static_cast<size_t>(limbs_));
+    for (int i = 0; i < limbs_; ++i) {
+      a[i] = static_cast<uint32_t>(context.rng->Next());
+      b[i] = static_cast<uint32_t>(context.rng->Next());
+    }
+    if (op_ == OpKind::kIntAdd) {
+      // Multi-limb addition with carry; each limb result is routed.
+      uint64_t carry = 0;
+      for (int i = 0; i < limbs_; ++i) {
+        const uint64_t sum = static_cast<uint64_t>(a[i]) + b[i] + carry;
+        const auto golden = static_cast<uint32_t>(sum);
+        carry = sum >> 32;
+        const uint32_t routed = cpu.ExecuteU32(lcore, OpKind::kIntAdd, golden);
+        if (routed != golden) {
+          context.RecordComputation(info_.id, lcore, DataType::kUInt32,
+                                    BitsOfUInt32(golden), BitsOfUInt32(routed));
+        }
+      }
+    } else {
+      // Schoolbook partial products; each 32x32 -> low 32 routed.
+      for (int i = 0; i < limbs_; ++i) {
+        for (int j = 0; j < limbs_; j += 4) {
+          const auto golden =
+              static_cast<uint32_t>(static_cast<uint64_t>(a[i]) * b[j]);
+          const uint32_t routed = cpu.ExecuteU32(lcore, OpKind::kIntMul, golden);
+          if (routed != golden) {
+            context.RecordComputation(info_.id, lcore, DataType::kUInt32,
+                                      BitsOfUInt32(golden), BitsOfUInt32(routed));
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  OpKind op_;
+  int limbs_;
+};
+
+class StringCase : public TestcaseBase {
+ public:
+  StringCase(TestcaseInfo info, int bytes)
+      : TestcaseBase(std::move(info)), bytes_(bytes) {}
+
+  void RunBatch(TestContext& context) override {
+    Processor& cpu = context.cpu();
+    const int lcore = context.lcores.front();
+    // Case-folding-style byte transform: every output byte is routed and checked.
+    for (int i = 0; i < bytes_; ++i) {
+      const auto input = static_cast<uint8_t>(context.rng->Next());
+      const auto key = static_cast<uint8_t>(context.rng->Next());
+      const auto golden = static_cast<uint8_t>(input ^ key);
+      const auto routed = static_cast<uint8_t>(
+          cpu.ExecuteRaw(lcore, OpKind::kLogicXor, golden, DataType::kByte));
+      if (routed != golden) {
+        context.RecordComputation(info_.id, lcore, DataType::kByte, BitsOfRaw(golden, 8),
+                                  BitsOfRaw(routed, 8));
+      }
+      // Comparison leg (strcmp-style), routed as a compare result.
+      const auto cmp_golden = static_cast<int32_t>(input) - static_cast<int32_t>(key);
+      const int32_t cmp_routed = cpu.ExecuteI32(lcore, OpKind::kCompare, cmp_golden);
+      if (cmp_routed != cmp_golden) {
+        context.RecordComputation(info_.id, lcore, DataType::kInt32,
+                                  BitsOfInt32(cmp_golden), BitsOfInt32(cmp_routed));
+      }
+    }
+  }
+
+ private:
+  int bytes_;
+};
+
+}  // namespace
+
+std::unique_ptr<Testcase> MakeMathFunctionCase(OpKind op, DataType type, int points) {
+  TestcaseInfo info;
+  info.id = "lib.math." + OpKindName(op) + "." + DataTypeName(type) + ".n" +
+            std::to_string(points);
+  info.target = Feature::kFpu;
+  info.style = TestcaseStyle::kLibraryCall;
+  info.ops = {op};
+  info.types = {type};
+  return std::make_unique<MathFunctionCase>(std::move(info), op, type, points);
+}
+
+std::unique_ptr<Testcase> MakeChecksumCase(bool vectorized, int buffer_bytes) {
+  TestcaseInfo info;
+  info.id = std::string("lib.crc32.") + (vectorized ? "vector" : "scalar") + ".b" +
+            std::to_string(buffer_bytes);
+  info.target = vectorized ? Feature::kVecUnit : Feature::kAlu;
+  info.style = TestcaseStyle::kLibraryCall;
+  info.ops = vectorized ? std::vector<OpKind>{OpKind::kVecCrc, OpKind::kCrc32Step}
+                        : std::vector<OpKind>{OpKind::kCrc32Step};
+  info.types = {DataType::kUInt32};
+  return std::make_unique<ChecksumCase>(std::move(info), vectorized, buffer_bytes);
+}
+
+std::unique_ptr<Testcase> MakePolynomialCase(int degree, int points) {
+  TestcaseInfo info;
+  info.id = "lib.poly.horner.d" + std::to_string(degree) + ".n" + std::to_string(points);
+  info.target = Feature::kFpu;
+  info.style = TestcaseStyle::kLibraryCall;
+  info.ops = {OpKind::kFpFma};
+  info.types = {DataType::kFloat64};
+  return std::make_unique<PolynomialCase>(std::move(info), degree, points);
+}
+
+std::unique_ptr<Testcase> MakeErasureCase(int data_shards, int parity_shards,
+                                          int shard_bytes) {
+  TestcaseInfo info;
+  info.id = "lib.rs.k" + std::to_string(data_shards) + "m" + std::to_string(parity_shards) +
+            ".b" + std::to_string(shard_bytes);
+  info.target = Feature::kVecUnit;
+  info.style = TestcaseStyle::kLibraryCall;
+  info.ops = {OpKind::kVecGf256};
+  info.types = {DataType::kByte};
+  return std::make_unique<ErasureCase>(std::move(info), data_shards, parity_shards,
+                                       shard_bytes);
+}
+
+std::unique_ptr<Testcase> MakeBigIntCase(OpKind op, int limbs) {
+  TestcaseInfo info;
+  info.id = "lib.bigint." + OpKindName(op) + ".limbs" + std::to_string(limbs);
+  info.target = Feature::kAlu;
+  info.style = TestcaseStyle::kLibraryCall;
+  info.ops = {op};
+  info.types = {DataType::kUInt32};
+  return std::make_unique<BigIntCase>(std::move(info), op, limbs);
+}
+
+std::unique_ptr<Testcase> MakeStringCase(int bytes) {
+  TestcaseInfo info;
+  info.id = "lib.string.transform.b" + std::to_string(bytes);
+  info.target = Feature::kAlu;
+  info.style = TestcaseStyle::kLibraryCall;
+  info.ops = {OpKind::kLogicXor, OpKind::kCompare};
+  info.types = {DataType::kByte, DataType::kInt32};
+  return std::make_unique<StringCase>(std::move(info), bytes);
+}
+
+}  // namespace sdc

@@ -1,0 +1,179 @@
+#include "src/toolchain/framework.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+
+namespace sdc {
+
+bool RunReport::any_error() const {
+  for (const auto& result : results) {
+    if (result.failed()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t RunReport::total_errors() const {
+  uint64_t total = 0;
+  for (const auto& result : results) {
+    total += result.errors;
+  }
+  return total;
+}
+
+std::vector<std::string> RunReport::failed_testcase_ids() const {
+  std::vector<std::string> ids;
+  for (const auto& result : results) {
+    if (result.failed()) {
+      ids.push_back(result.testcase_id);
+    }
+  }
+  return ids;
+}
+
+std::vector<TestPlanEntry> TestFramework::EqualPlan(double per_case_seconds) const {
+  std::vector<TestPlanEntry> plan;
+  plan.reserve(suite_->size());
+  for (size_t i = 0; i < suite_->size(); ++i) {
+    plan.push_back({i, per_case_seconds});
+  }
+  return plan;
+}
+
+RunReport TestFramework::RunPlan(FaultyMachine& machine,
+                                 const std::vector<TestPlanEntry>& plan,
+                                 const TestRunConfig& config) const {
+  RunReport report;
+  Processor& cpu = machine.cpu();
+  cpu.SetTimeScale(config.time_scale);
+  const double start_seconds = cpu.now_seconds();
+
+  // Start from a thermally settled background state.
+  machine.SetAllCoreUtilization(config.background_utilization);
+  std::vector<double> utilization(static_cast<size_t>(cpu.spec().physical_cores),
+                                  config.background_utilization);
+  cpu.thermal().SettleToSteadyState(utilization);
+  if (config.burn_in_seconds > 0.0) {
+    machine.SetAllCoreUtilization(1.0);
+    cpu.AdvanceSeconds(config.burn_in_seconds);
+    machine.SetAllCoreUtilization(config.background_utilization);
+  }
+  if (config.pin_temperature_celsius > 0.0) {
+    cpu.thermal().ForceUniform(config.pin_temperature_celsius);
+  }
+
+  for (const TestPlanEntry& entry : plan) {
+    RunEntry(machine, entry, config, report);
+  }
+  machine.SetAllCoreUtilization(config.background_utilization);
+  report.total_wall_seconds = cpu.now_seconds() - start_seconds;
+  return report;
+}
+
+void TestFramework::RunEntry(FaultyMachine& machine, const TestPlanEntry& entry,
+                             const TestRunConfig& config, RunReport& report) const {
+  Testcase& testcase = suite_->at(entry.testcase_index);
+  const TestcaseInfo& info = testcase.info();
+  Processor& cpu = machine.cpu();
+  const int smt = cpu.spec().threads_per_core;
+
+  std::vector<int> pcores = config.pcores_under_test;
+  if (pcores.empty()) {
+    for (int p = 0; p < cpu.spec().physical_cores; ++p) {
+      pcores.push_back(p);
+    }
+  }
+
+  TestcaseResult result;
+  result.testcase_id = info.id;
+  result.duration_seconds = entry.duration_seconds;
+  result.errors_per_pcore.assign(static_cast<size_t>(cpu.spec().physical_cores), 0);
+  std::array<uint64_t, kOpKindCount> ops_before{};
+  for (int kind = 0; kind < kOpKindCount; ++kind) {
+    ops_before[kind] = cpu.total_op_count(static_cast<OpKind>(kind));
+  }
+
+  Rng entry_rng = Rng(config.seed).Fork(Mix64(entry.testcase_index * 0x9e37u) ^
+                                        Mix64(info.id.size()));
+  TestContext context;
+  context.machine = &machine;
+  context.rng = &entry_rng;
+  context.records = &report.records;
+  context.max_records = config.max_records;
+  context.cpu_id = machine.info().cpu_id;
+
+  if (config.simultaneous_cores) {
+    machine.SetAllCoreUtilization(1.0);
+  }
+  // Each core under test executes the testcase for its share of the entry duration:
+  // the full duration when cores run simultaneously, an equal split when sequential.
+  const double per_core_seconds =
+      config.simultaneous_cores
+          ? entry.duration_seconds
+          : entry.duration_seconds / static_cast<double>(pcores.size());
+  const double wall_scale = config.simultaneous_cores
+                                ? 1.0 / static_cast<double>(pcores.size())
+                                : 1.0;
+
+  for (size_t core_slot = 0; core_slot < pcores.size(); ++core_slot) {
+    const int pcore = pcores[core_slot];
+    const int partner = pcores[(core_slot + 1) % pcores.size()];
+    context.lcores.clear();
+    context.lcores.push_back(pcore * smt);
+    if (info.multithreaded) {
+      // Consistency tests need a second thread on a different physical core.
+      const int partner_pcore =
+          partner != pcore ? partner : (pcore + 1) % cpu.spec().physical_cores;
+      context.lcores.push_back(partner_pcore * smt);
+    }
+    if (!config.simultaneous_cores) {
+      cpu.SetCoreUtilization(pcore, 1.0);
+      if (info.multithreaded) {
+        cpu.SetCoreUtilization(cpu.pcore_of(context.lcores[1]), 0.5);
+      }
+    }
+    const uint64_t errors_at_start = context.errors_found;
+    double tested_seconds = 0.0;
+    while (tested_seconds < per_core_seconds) {
+      double busy = 0.0;
+      // Group kernel runs until enough busy time accumulates; small kernels would otherwise
+      // pay one clock/thermal step per handful of operations.
+      do {
+        testcase.RunBatch(context);
+        double batch_busy = 0.0;
+        for (int lcore : context.lcores) {
+          batch_busy = std::max(batch_busy, cpu.ConsumeBusySeconds(cpu.pcore_of(lcore)));
+        }
+        busy += std::max(batch_busy, 1e-9);
+      } while (busy < config.min_batch_busy_seconds);
+      const double represented = busy * cpu.time_scale();
+      tested_seconds += represented;
+      cpu.AdvanceSeconds(represented * wall_scale);
+      if (config.pin_temperature_celsius > 0.0) {
+        cpu.thermal().ForceUniform(config.pin_temperature_celsius);
+      }
+    }
+    result.errors_per_pcore[pcore] += context.errors_found - errors_at_start;
+    if (!config.simultaneous_cores) {
+      cpu.SetCoreUtilization(pcore, config.background_utilization);
+      if (info.multithreaded) {
+        cpu.SetCoreUtilization(cpu.pcore_of(context.lcores[1]),
+                               config.background_utilization);
+      }
+    }
+  }
+  if (config.simultaneous_cores) {
+    machine.SetAllCoreUtilization(config.background_utilization);
+  }
+
+  result.errors = context.errors_found;
+  for (int kind = 0; kind < kOpKindCount; ++kind) {
+    result.op_histogram[kind] =
+        cpu.total_op_count(static_cast<OpKind>(kind)) - ops_before[kind];
+  }
+  report.results.push_back(std::move(result));
+}
+
+}  // namespace sdc

@@ -1,0 +1,286 @@
+#include "src/toolchain/registry.h"
+
+#include <cstdlib>
+
+namespace sdc {
+namespace {
+
+void AppendScalarSweeps(std::vector<std::unique_ptr<Testcase>>& cases,
+                        const std::vector<int>& sizes) {
+  struct Combo {
+    OpKind op;
+    DataType type;
+  };
+  std::vector<Combo> combos;
+  const OpKind int_ops[] = {OpKind::kIntAdd, OpKind::kIntSub, OpKind::kIntMul,
+                            OpKind::kIntDiv, OpKind::kIntShift};
+  const DataType int_types[] = {DataType::kInt16, DataType::kInt32, DataType::kUInt32};
+  for (OpKind op : int_ops) {
+    for (DataType type : int_types) {
+      combos.push_back({op, type});
+    }
+  }
+  const OpKind logic_ops[] = {OpKind::kLogicAnd, OpKind::kLogicOr, OpKind::kLogicXor,
+                              OpKind::kPopcount, OpKind::kCompare};
+  const DataType logic_types[] = {DataType::kInt32,  DataType::kUInt32, DataType::kBin16,
+                                  DataType::kBin32, DataType::kBin64,  DataType::kByte,
+                                  DataType::kBit};
+  for (OpKind op : logic_ops) {
+    for (DataType type : logic_types) {
+      combos.push_back({op, type});
+    }
+  }
+  combos.push_back({OpKind::kCrc32Step, DataType::kUInt32});
+  combos.push_back({OpKind::kCrc32Step, DataType::kBin32});
+  combos.push_back({OpKind::kHashStep, DataType::kBin64});
+  combos.push_back({OpKind::kHashStep, DataType::kUInt32});
+  const OpKind fp_ops[] = {OpKind::kFpAdd, OpKind::kFpSub, OpKind::kFpMul,
+                           OpKind::kFpDiv, OpKind::kFpSqrt, OpKind::kFpFma};
+  const DataType fp_types[] = {DataType::kFloat32, DataType::kFloat64, DataType::kFloat80};
+  for (OpKind op : fp_ops) {
+    for (DataType type : fp_types) {
+      combos.push_back({op, type});
+    }
+  }
+  const OpKind math_ops[] = {OpKind::kFpArctan, OpKind::kFpSin, OpKind::kFpLog,
+                             OpKind::kFpExp};
+  const DataType math_types[] = {DataType::kFloat64, DataType::kFloat80};
+  for (OpKind op : math_ops) {
+    for (DataType type : math_types) {
+      combos.push_back({op, type});
+    }
+  }
+  for (int size : sizes) {
+    for (const Combo& combo : combos) {
+      cases.push_back(MakeScalarSweepCase(combo.op, combo.type, size));
+    }
+  }
+}
+
+void AppendVectorSweeps(std::vector<std::unique_ptr<Testcase>>& cases) {
+  struct Combo {
+    OpKind op;
+    DataType type;
+  };
+  const Combo combos[] = {
+      {OpKind::kVecAddF32, DataType::kFloat32}, {OpKind::kVecMulF32, DataType::kFloat32},
+      {OpKind::kVecFmaF32, DataType::kFloat32}, {OpKind::kVecAddF64, DataType::kFloat64},
+      {OpKind::kVecMulF64, DataType::kFloat64}, {OpKind::kVecFmaF64, DataType::kFloat64},
+      {OpKind::kVecAddI32, DataType::kInt32},   {OpKind::kVecMulI32, DataType::kInt32},
+      {OpKind::kVecShuffle, DataType::kBin32},
+  };
+  for (const Combo& combo : combos) {
+    for (int lanes : {2, 4, 8, 16}) {
+      for (int vectors : {32, 128}) {
+        cases.push_back(MakeVectorSweepCase(combo.op, combo.type, lanes, vectors));
+      }
+    }
+  }
+}
+
+void AppendLibraryCases(std::vector<std::unique_ptr<Testcase>>& cases) {
+  for (OpKind op : {OpKind::kFpArctan, OpKind::kFpSin, OpKind::kFpLog, OpKind::kFpExp}) {
+    for (DataType type : {DataType::kFloat64, DataType::kFloat80}) {
+      for (int points : {32, 64, 256, 1024}) {
+        cases.push_back(MakeMathFunctionCase(op, type, points));
+      }
+    }
+  }
+  for (bool vectorized : {false, true}) {
+    for (int bytes : {64, 256, 1024, 4096, 16384}) {
+      cases.push_back(MakeChecksumCase(vectorized, bytes));
+    }
+  }
+  for (int degree : {2, 4, 8, 16}) {
+    for (int points : {32, 128, 512}) {
+      cases.push_back(MakePolynomialCase(degree, points));
+    }
+  }
+  const int rs_params[][2] = {{4, 2}, {6, 3}, {8, 3}, {10, 4}};
+  for (const auto& km : rs_params) {
+    for (int shard : {64, 256, 1024}) {
+      cases.push_back(MakeErasureCase(km[0], km[1], shard));
+    }
+  }
+  for (OpKind op : {OpKind::kIntAdd, OpKind::kIntMul}) {
+    for (int limbs : {2, 4, 8, 16, 32, 64}) {
+      cases.push_back(MakeBigIntCase(op, limbs));
+    }
+  }
+  for (int bytes : {32, 64, 256, 1024, 4096}) {
+    cases.push_back(MakeStringCase(bytes));
+  }
+}
+
+void AppendNumericCases(std::vector<std::unique_ptr<Testcase>>& cases) {
+  for (int size : {32, 64, 128, 256}) {
+    cases.push_back(MakeFftCase(size));
+  }
+  for (int dimension : {6, 10, 16, 24}) {
+    cases.push_back(MakeLuDecompositionCase(dimension));
+  }
+  for (int cells : {64, 256}) {
+    for (int steps : {4, 16}) {
+      cases.push_back(MakeStencilCase(cells, steps));
+    }
+  }
+  for (int samples : {128, 512, 2048}) {
+    cases.push_back(MakeMonteCarloCase(samples));
+  }
+  for (int elements : {24, 48, 96}) {
+    cases.push_back(MakeSortCheckCase(elements));
+  }
+  for (int elements : {256, 4096}) {
+    for (int queries : {32, 128}) {
+      cases.push_back(MakeBinarySearchCase(elements, queries));
+    }
+  }
+}
+
+void AppendDataCases(std::vector<std::unique_ptr<Testcase>>& cases) {
+  for (int bytes : {256, 1024, 4096}) {
+    cases.push_back(MakeRleCase(bytes));
+  }
+  for (int samples : {128, 512, 2048}) {
+    cases.push_back(MakeHistogramCase(samples));
+  }
+  for (int values : {64, 256, 1024}) {
+    cases.push_back(MakeBitPackCase(values));
+  }
+  for (int bytes : {48, 192, 768}) {
+    cases.push_back(MakeBase64Case(bytes));
+  }
+  for (int bytes : {64, 256, 1024, 4096}) {
+    cases.push_back(MakeMemcmpCase(bytes));
+  }
+  for (int bytes : {256, 1024, 4096, 16384}) {
+    cases.push_back(MakeAdlerChecksumCase(bytes));
+  }
+  for (int bytes : {256, 1024, 4096, 16384}) {
+    cases.push_back(MakeCrc64Case(bytes));
+  }
+  for (uint64_t stream_seed = 1; stream_seed <= 12; ++stream_seed) {
+    cases.push_back(MakeFuzzCase(stream_seed, 160));
+  }
+}
+
+void AppendAppCases(std::vector<std::unique_ptr<Testcase>>& cases) {
+  for (DataType type : {DataType::kFloat32, DataType::kFloat64, DataType::kInt32}) {
+    for (int dimension : {4, 8, 16}) {
+      for (int lanes : {4, 8}) {
+        cases.push_back(MakeMatrixMultiplyCase(type, dimension, lanes));
+      }
+    }
+  }
+  for (int block : {256, 512, 1024, 4096}) {
+    for (bool vectorized : {false, true}) {
+      cases.push_back(MakeStorageServerCase(block, vectorized));
+    }
+  }
+  for (int operations : {16, 32, 64, 128}) {
+    cases.push_back(MakeHashMapCase(operations));
+  }
+  for (int intervals : {32, 64, 128, 256}) {
+    cases.push_back(MakeIntegrationCase(intervals));
+  }
+}
+
+void AppendConsistencyCases(std::vector<std::unique_ptr<Testcase>>& cases) {
+  for (int payload : {32, 64, 128, 256, 512, 1024}) {
+    for (int rounds : {20, 50}) {
+      cases.push_back(MakeCoherenceHandoffCase(payload, rounds));
+    }
+  }
+  for (int words : {4, 16, 64}) {
+    for (int rounds : {25, 75}) {
+      cases.push_back(MakeMessagePassingCase(words, rounds));
+    }
+  }
+  for (int words : {8, 32}) {
+    for (int rounds : {25, 75}) {
+      cases.push_back(MakeSeqlockCase(words, rounds));
+    }
+  }
+  for (int increments : {25, 50, 100, 200}) {
+    cases.push_back(MakeLockCounterCase(increments));
+  }
+  for (int rounds : {10, 20, 50, 100}) {
+    cases.push_back(MakeTxInvariantCase(rounds));
+  }
+  for (int accounts : {4, 16}) {
+    for (int transfers : {25, 50}) {
+      cases.push_back(MakeTxBankCase(accounts, transfers));
+    }
+  }
+}
+
+// Pads the suite to exactly kFullSuiteSize with further scalar-sweep working-set variants
+// (distinct sizes keep ids unique and execution profiles distinct).
+void PadToFullSize(std::vector<std::unique_ptr<Testcase>>& cases) {
+  const OpKind pad_ops[] = {OpKind::kIntAdd,  OpKind::kIntMul,    OpKind::kLogicXor,
+                            OpKind::kFpAdd,   OpKind::kFpMul,     OpKind::kFpFma,
+                            OpKind::kFpArctan, OpKind::kCrc32Step, OpKind::kHashStep,
+                            OpKind::kPopcount};
+  const DataType pad_types[] = {DataType::kInt32,   DataType::kUInt32, DataType::kBin32,
+                                DataType::kFloat32, DataType::kFloat64, DataType::kFloat64,
+                                DataType::kFloat64, DataType::kUInt32, DataType::kBin64,
+                                DataType::kBin64};
+  // Sizes avoid the base sweeps' {96, 224, 480, 992} so every id stays unique.
+  int size = 40;
+  size_t combo = 0;
+  while (cases.size() < kFullSuiteSize) {
+    cases.push_back(MakeScalarSweepCase(pad_ops[combo % 10], pad_types[combo % 10], size));
+    ++combo;
+    if (combo % 10 == 0) {
+      size += 40;
+    }
+  }
+}
+
+}  // namespace
+
+TestSuite TestSuite::BuildFull() {
+  TestSuite suite;
+  AppendScalarSweeps(suite.cases_, {96, 224, 480, 992});
+  AppendVectorSweeps(suite.cases_);
+  AppendLibraryCases(suite.cases_);
+  AppendAppCases(suite.cases_);
+  AppendNumericCases(suite.cases_);
+  AppendDataCases(suite.cases_);
+  AppendConsistencyCases(suite.cases_);
+  if (suite.cases_.size() > kFullSuiteSize) {
+    std::abort();  // family parameter lists outgrew the suite; rebalance them
+  }
+  PadToFullSize(suite.cases_);
+  return suite;
+}
+
+TestSuite TestSuite::BuildSampled(size_t stride) {
+  TestSuite full = BuildFull();
+  TestSuite sampled;
+  for (size_t i = 0; i < full.cases_.size(); i += stride) {
+    sampled.cases_.push_back(std::move(full.cases_[i]));
+  }
+  return sampled;
+}
+
+int TestSuite::IndexOf(const std::string& id) const {
+  for (size_t i = 0; i < cases_.size(); ++i) {
+    if (cases_[i]->info().id == id) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+std::vector<size_t> TestSuite::IndicesTargeting(Feature feature) const {
+  std::vector<size_t> indices;
+  for (size_t i = 0; i < cases_.size(); ++i) {
+    if (cases_[i]->info().target == feature) {
+      indices.push_back(i);
+    }
+  }
+  return indices;
+}
+
+}  // namespace sdc

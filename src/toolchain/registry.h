@@ -1,0 +1,46 @@
+// TestSuite: the full 633-testcase suite, generated deterministically from the kernel
+// families in cases.h. The count matches the manufacturer toolchain the paper uses
+// (Section 2.3); variants differ in operation kind, datatype, working-set size, vector
+// width, and complexity style, so they exercise genuinely different execution profiles.
+
+#ifndef SDC_SRC_TOOLCHAIN_REGISTRY_H_
+#define SDC_SRC_TOOLCHAIN_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/toolchain/cases.h"
+#include "src/toolchain/testcase.h"
+
+namespace sdc {
+
+// Number of testcases in the full suite (Section 2.3 / Observation 11).
+constexpr size_t kFullSuiteSize = 633;
+
+class TestSuite {
+ public:
+  // Builds the full deterministic 633-case suite.
+  static TestSuite BuildFull();
+
+  // Builds a reduced suite (every `stride`-th case) for fast unit tests.
+  static TestSuite BuildSampled(size_t stride);
+
+  size_t size() const { return cases_.size(); }
+  Testcase& at(size_t index) const { return *cases_[index]; }
+  const TestcaseInfo& info(size_t index) const { return cases_[index]->info(); }
+
+  // Index of the testcase with the given id, or -1.
+  int IndexOf(const std::string& id) const;
+
+  // Indices of testcases targeting `feature`.
+  std::vector<size_t> IndicesTargeting(Feature feature) const;
+
+ private:
+  TestSuite() = default;
+  std::vector<std::unique_ptr<Testcase>> cases_;
+};
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_TOOLCHAIN_REGISTRY_H_

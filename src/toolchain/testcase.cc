@@ -1,0 +1,53 @@
+#include "src/toolchain/testcase.h"
+
+namespace sdc {
+
+std::string TestcaseStyleName(TestcaseStyle style) {
+  switch (style) {
+    case TestcaseStyle::kInstructionLoop:
+      return "instruction-loop";
+    case TestcaseStyle::kLibraryCall:
+      return "library-call";
+    case TestcaseStyle::kApplicationLogic:
+      return "application-logic";
+  }
+  return "?";
+}
+
+void TestContext::RecordComputation(const std::string& testcase_id, int lcore, DataType type,
+                                    const Word128& expected, const Word128& actual) {
+  ++errors_found;
+  if (records == nullptr || records->size() >= max_records) {
+    return;
+  }
+  SdcRecord record;
+  record.testcase_id = testcase_id;
+  record.cpu_id = cpu_id;
+  record.lcore = lcore;
+  record.pcore = machine->cpu().pcore_of(lcore);
+  record.sdc_type = SdcType::kComputation;
+  record.type = type;
+  record.expected = expected;
+  record.actual = actual;
+  record.temperature = machine->cpu().core_temperature(record.pcore);
+  record.time_seconds = machine->cpu().now_seconds();
+  records->push_back(std::move(record));
+}
+
+void TestContext::RecordConsistency(const std::string& testcase_id, int lcore) {
+  ++errors_found;
+  if (records == nullptr || records->size() >= max_records) {
+    return;
+  }
+  SdcRecord record;
+  record.testcase_id = testcase_id;
+  record.cpu_id = cpu_id;
+  record.lcore = lcore;
+  record.pcore = machine->cpu().pcore_of(lcore);
+  record.sdc_type = SdcType::kConsistency;
+  record.temperature = machine->cpu().core_temperature(record.pcore);
+  record.time_seconds = machine->cpu().now_seconds();
+  records->push_back(std::move(record));
+}
+
+}  // namespace sdc

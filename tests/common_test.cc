@@ -1,0 +1,330 @@
+// Unit tests for src/common: RNG, bit views, statistics, table rendering.
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/common/bits.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+
+namespace sdc {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a.Next() == b.Next() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double value = rng.NextDouble();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t value = rng.NextInRange(-3, 3);
+    EXPECT_GE(value, -3);
+    EXPECT_LE(value, 3);
+    saw_lo |= value == -3;
+    saw_hi |= value == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(15);
+  int hits = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  std::vector<double> samples;
+  for (int i = 0; i < 50000; ++i) {
+    samples.push_back(rng.NextGaussian());
+  }
+  EXPECT_NEAR(Mean(samples), 0.0, 0.02);
+  EXPECT_NEAR(StdDev(samples), 1.0, 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(19);
+  std::vector<double> samples;
+  for (int i = 0; i < 50000; ++i) {
+    samples.push_back(rng.NextExponential(2.0));
+  }
+  EXPECT_NEAR(Mean(samples), 0.5, 0.02);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng rng(21);
+  double sum = 0.0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    sum += static_cast<double>(rng.NextPoisson(3.5));
+  }
+  EXPECT_NEAR(sum / kTrials, 3.5, 0.1);
+}
+
+TEST(RngTest, WeightedPickFollowsWeights) {
+  Rng rng(23);
+  std::vector<double> weights = {1.0, 3.0, 0.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) {
+    ++counts[rng.NextWeighted(weights)];
+  }
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / (counts[0] + counts[1]), 0.75, 0.02);
+}
+
+TEST(RngTest, ForkIndependentButDeterministic) {
+  Rng parent1(5);
+  Rng parent2(5);
+  Rng child1 = parent1.Fork(99);
+  Rng child2 = parent2.Fork(99);
+  EXPECT_EQ(child1.Next(), child2.Next());
+  Rng other = parent1.Fork(100);
+  EXPECT_NE(child1.Next(), other.Next());
+}
+
+TEST(BitsTest, DataTypeWidths) {
+  EXPECT_EQ(BitWidth(DataType::kInt16), 16);
+  EXPECT_EQ(BitWidth(DataType::kInt32), 32);
+  EXPECT_EQ(BitWidth(DataType::kUInt32), 32);
+  EXPECT_EQ(BitWidth(DataType::kFloat32), 32);
+  EXPECT_EQ(BitWidth(DataType::kFloat64), 64);
+  EXPECT_EQ(BitWidth(DataType::kFloat80), 80);
+  EXPECT_EQ(BitWidth(DataType::kBit), 1);
+  EXPECT_EQ(BitWidth(DataType::kByte), 8);
+  EXPECT_EQ(BitWidth(DataType::kBin64), 64);
+}
+
+TEST(BitsTest, NumericClassification) {
+  EXPECT_TRUE(IsNumeric(DataType::kInt16));
+  EXPECT_TRUE(IsNumeric(DataType::kFloat80));
+  EXPECT_FALSE(IsNumeric(DataType::kBin32));
+  EXPECT_FALSE(IsNumeric(DataType::kByte));
+  EXPECT_TRUE(IsFloatingPoint(DataType::kFloat32));
+  EXPECT_FALSE(IsFloatingPoint(DataType::kInt32));
+}
+
+TEST(BitsTest, Word128BitOperations) {
+  Word128 word;
+  EXPECT_TRUE(word.IsZero());
+  word.SetBit(0, true);
+  word.SetBit(63, true);
+  word.SetBit(64, true);
+  word.SetBit(127, true);
+  EXPECT_EQ(word.Popcount(), 4);
+  EXPECT_TRUE(word.GetBit(64));
+  word.FlipBit(64);
+  EXPECT_FALSE(word.GetBit(64));
+  EXPECT_EQ(word.Popcount(), 3);
+}
+
+TEST(BitsTest, Int32RoundTrip) {
+  for (int32_t value : {0, 1, -1, 123456789, -123456789, INT32_MIN, INT32_MAX}) {
+    EXPECT_EQ(Int32FromBits(BitsOfInt32(value)), value);
+  }
+}
+
+TEST(BitsTest, Int16RoundTrip) {
+  for (int16_t value : {int16_t{0}, int16_t{-1}, int16_t{32767}, int16_t{-32768}}) {
+    EXPECT_EQ(Int16FromBits(BitsOfInt16(value)), value);
+  }
+}
+
+TEST(BitsTest, FloatRoundTrip) {
+  for (float value : {0.0f, 1.0f, -1.5f, 3.1415926f, 1e-30f, 1e30f}) {
+    EXPECT_EQ(FloatFromBits(BitsOfFloat(value)), value);
+  }
+}
+
+TEST(BitsTest, DoubleRoundTrip) {
+  for (double value : {0.0, 1.0, -2.75, 6.02214076e23, 1e-300}) {
+    EXPECT_EQ(DoubleFromBits(BitsOfDouble(value)), value);
+  }
+}
+
+TEST(BitsTest, Float80RoundTripExactForNormals) {
+  for (long double value :
+       {1.0L, -1.0L, 3.14159265358979323846L, 1e100L, -2.5e-100L, 0.0L, 123456789.5L}) {
+    EXPECT_EQ(Float80FromBits(BitsOfFloat80(value)), value);
+  }
+}
+
+TEST(BitsTest, Float80EncodingStructure) {
+  // 1.0 encodes as exponent 16383 with the explicit integer bit set and zero fraction.
+  const Word128 bits = BitsOfFloat80(1.0L);
+  EXPECT_EQ(bits.hi & 0x7fffu, 16383u);
+  EXPECT_EQ(bits.lo, 0x8000000000000000ull);
+  // Sign bit for negatives.
+  const Word128 negative = BitsOfFloat80(-1.0L);
+  EXPECT_TRUE(negative.GetBit(79));
+}
+
+TEST(BitsTest, Float80FractionFlipIsSmallLoss) {
+  const Word128 expected = BitsOfFloat80(1.5L);
+  Word128 actual = expected;
+  actual.FlipBit(20);  // deep in the fraction
+  const double loss = RelativePrecisionLoss(DataType::kFloat80, expected, actual);
+  EXPECT_GT(loss, 0.0);
+  EXPECT_LT(loss, 1e-10);
+}
+
+TEST(BitsTest, PrecisionLossIntVsFloat) {
+  // Flipping bit 10 of a small int is a large relative loss; flipping fraction bit 10 of a
+  // float64 is tiny (Observation 7's asymmetry).
+  const Word128 int_expected = BitsOfInt32(100);
+  Word128 int_actual = int_expected;
+  int_actual.FlipBit(10);
+  EXPECT_GT(RelativePrecisionLoss(DataType::kInt32, int_expected, int_actual), 1.0);
+
+  const Word128 double_expected = BitsOfDouble(100.0);
+  Word128 double_actual = double_expected;
+  double_actual.FlipBit(10);
+  EXPECT_LT(RelativePrecisionLoss(DataType::kFloat64, double_expected, double_actual), 1e-9);
+}
+
+TEST(BitsTest, PrecisionLossZeroExpected) {
+  const Word128 zero = BitsOfInt32(0);
+  Word128 nonzero = zero;
+  nonzero.FlipBit(3);
+  EXPECT_TRUE(std::isinf(RelativePrecisionLoss(DataType::kInt32, zero, nonzero)));
+  EXPECT_EQ(RelativePrecisionLoss(DataType::kInt32, zero, zero), 0.0);
+}
+
+TEST(BitsTest, FractionBitCoordinates) {
+  EXPECT_EQ(FractionBits(DataType::kFloat32), 23);
+  EXPECT_EQ(FractionBits(DataType::kFloat64), 52);
+  EXPECT_EQ(FractionBits(DataType::kFloat80), 63);
+  EXPECT_EQ(ExponentBits(DataType::kFloat64), 11);
+}
+
+TEST(StatsTest, MeanVarianceStdDev) {
+  const std::vector<double> values = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(values), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(values), 1.25);
+  EXPECT_DOUBLE_EQ(StdDev(values), std::sqrt(1.25));
+  EXPECT_EQ(Mean({}), 0.0);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(xs, neg), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonDegenerate) {
+  EXPECT_EQ(PearsonCorrelation({1, 1, 1}, {2, 3, 4}), 0.0);
+  EXPECT_EQ(PearsonCorrelation({1}, {2}), 0.0);
+}
+
+TEST(StatsTest, LeastSquaresRecoversLine) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i - 7.0);
+  }
+  const LinearFit fit = FitLeastSquares(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-9);
+  EXPECT_NEAR(fit.r, 1.0, 1e-9);
+  EXPECT_NEAR(fit.Predict(100.0), 293.0, 1e-6);
+}
+
+TEST(StatsTest, QuantileInterpolation) {
+  std::vector<double> values = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(values, 0.5), 2.5);
+}
+
+TEST(StatsTest, FractionAtOrBelow) {
+  const std::vector<double> values = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(FractionAtOrBelow(values, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(FractionAtOrBelow(values, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(FractionAtOrBelow(values, 10.0), 1.0);
+}
+
+TEST(StatsTest, HistogramBinning) {
+  Histogram histogram(0.0, 10.0, 10);
+  histogram.Add(0.5);
+  histogram.Add(9.5);
+  histogram.AddN(5.5, 2);
+  histogram.Add(-3.0);   // clamps to first bin
+  histogram.Add(100.0);  // clamps to last bin
+  EXPECT_EQ(histogram.total(), 6u);
+  EXPECT_EQ(histogram.count(0), 2u);
+  EXPECT_EQ(histogram.count(9), 2u);
+  EXPECT_EQ(histogram.count(5), 2u);
+  EXPECT_DOUBLE_EQ(histogram.Fraction(5), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(histogram.BinCenter(0), 0.5);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(TableTest, Formatting) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatPermyriad(3.61e-4), "3.610 permyriad");
+  EXPECT_EQ(FormatPercent(0.0488, 1), "4.9%");
+}
+
+}  // namespace
+}  // namespace sdc

@@ -1,0 +1,164 @@
+// Tests for src/report: JSON writer correctness (escaping, nesting, separators) and the
+// exporters' structural sanity.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/report/exporters.h"
+#include "src/report/json_writer.h"
+
+namespace sdc {
+namespace {
+
+// Structural JSON validation: balanced braces/brackets outside strings, no trailing commas.
+void ExpectStructurallyValidJson(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  char previous_significant = '\0';
+  for (char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+        previous_significant = '"';
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        ++depth;
+        previous_significant = c;
+        break;
+      case '}':
+      case ']':
+        ASSERT_NE(previous_significant, ',') << "trailing comma before " << c;
+        --depth;
+        ASSERT_GE(depth, 0);
+        previous_significant = c;
+        break;
+      case ',':
+      case ':':
+        previous_significant = c;
+        break;
+      default:
+        if (!std::isspace(static_cast<unsigned char>(c))) {
+          previous_significant = c;
+        }
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(JsonWriterTest, SimpleObject) {
+  std::ostringstream out;
+  JsonWriter json(out, /*pretty=*/false);
+  json.BeginObject().KeyValue("a", 1).KeyValue("b", "two").KeyValue("c", true).EndObject();
+  EXPECT_EQ(out.str(), R"({"a":1,"b":"two","c":true})");
+  EXPECT_TRUE(json.Complete());
+}
+
+TEST(JsonWriterTest, NestedContainers) {
+  std::ostringstream out;
+  JsonWriter json(out, false);
+  json.BeginObject();
+  json.Key("list").BeginArray().Value(1).Value(2).BeginObject().KeyValue("x", 0.5).EndObject().EndArray();
+  json.Key("empty").BeginArray().EndArray();
+  json.Key("none").Null();
+  json.EndObject();
+  EXPECT_EQ(out.str(), R"({"list":[1,2,{"x":0.5}],"empty":[],"none":null})");
+}
+
+TEST(JsonWriterTest, EscapesControlAndQuote) {
+  EXPECT_EQ(JsonWriter::Escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::Escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonWriter::Escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonWriter::Escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  std::ostringstream out;
+  JsonWriter json(out, false);
+  json.BeginArray().Value(1.5).Value(std::numeric_limits<double>::infinity()).EndArray();
+  EXPECT_EQ(out.str(), "[1.5,null]");
+}
+
+TEST(JsonWriterTest, PrettyPrintingIndents) {
+  std::ostringstream out;
+  JsonWriter json(out, true);
+  json.BeginObject().KeyValue("k", 1).EndObject();
+  EXPECT_NE(out.str().find("\n  \"k\": 1"), std::string::npos);
+}
+
+TEST(ExportersTest, RunReportJsonIsStructurallyValid) {
+  RunReport report;
+  TestcaseResult result;
+  result.testcase_id = "loop.int_add.i32.n96";
+  result.duration_seconds = 60.0;
+  result.errors = 3;
+  result.errors_per_pcore = {3, 0};
+  report.results.push_back(result);
+  SdcRecord record;
+  record.testcase_id = "loop.int_add.i32.n96";
+  record.cpu_id = "X\"quoted\"";
+  record.expected = BitsOfInt32(7);
+  record.actual = BitsOfInt32(5);
+  report.records.push_back(record);
+  std::ostringstream out;
+  WriteRunReportJson(out, report);
+  ExpectStructurallyValidJson(out.str());
+  EXPECT_NE(out.str().find("\"errors\": 3"), std::string::npos);
+  EXPECT_NE(out.str().find("X\\\"quoted\\\""), std::string::npos);
+}
+
+TEST(ExportersTest, RunReportRecordCapIsHonored) {
+  RunReport report;
+  for (int i = 0; i < 10; ++i) {
+    SdcRecord record;
+    record.testcase_id = "t";
+    report.records.push_back(record);
+  }
+  std::ostringstream out;
+  WriteRunReportJson(out, report, /*max_records=*/3);
+  ExpectStructurallyValidJson(out.str());
+  EXPECT_NE(out.str().find("\"records_truncated\": true"), std::string::npos);
+}
+
+TEST(ExportersTest, ScreeningStatsJson) {
+  ScreeningStats stats;
+  stats.tested = 1000;
+  stats.faulty = 5;
+  stats.detected_by_stage[0] = 2;
+  stats.tested_by_arch[0] = 400;
+  stats.detected_by_arch[0] = 2;
+  std::ostringstream out;
+  WriteScreeningStatsJson(out, stats);
+  ExpectStructurallyValidJson(out.str());
+  EXPECT_NE(out.str().find("\"stage\": \"factory\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"arch\": \"M1\""), std::string::npos);
+}
+
+TEST(ExportersTest, CatalogJsonCoversAllProcessorsAndDefects) {
+  const auto catalog = StudyCatalog();
+  std::ostringstream out;
+  WriteCatalogJson(out, catalog);
+  const std::string text = out.str();
+  ExpectStructurallyValidJson(text);
+  for (const char* name : {"MIX1", "MIX2", "SIMD1", "CNST2", "COMP11", "CNST8"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(text.find("mix1-tricky-veccrc"), std::string::npos);
+  EXPECT_NE(text.find("\"min_trigger_celsius\": 59"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdc

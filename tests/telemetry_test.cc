@@ -1,0 +1,142 @@
+// Tests for src/telemetry and its wiring into Farron and the protection loop.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/farron/farron.h"
+#include "src/farron/protection.h"
+#include "src/telemetry/event_log.h"
+
+namespace sdc {
+namespace {
+
+TEST(EventLogTest, RecordsAndCounts) {
+  EventLog log;
+  log.Record(EventKind::kSdcDetected, 1.0, "case-a", 3, 12.0);
+  log.Record(EventKind::kSdcDetected, 2.0, "case-b");
+  log.Record(EventKind::kCoreMasked, 3.0, "CPU", 5);
+  EXPECT_EQ(log.total_recorded(), 3u);
+  EXPECT_EQ(log.CountOf(EventKind::kSdcDetected), 2u);
+  EXPECT_EQ(log.CountOf(EventKind::kCoreMasked), 1u);
+  EXPECT_EQ(log.CountOf(EventKind::kBackoffEngaged), 0u);
+  const auto detected = log.EventsOf(EventKind::kSdcDetected);
+  ASSERT_EQ(detected.size(), 2u);
+  EXPECT_EQ(detected[0].subject, "case-a");
+  EXPECT_EQ(detected[0].pcore, 3);
+  EXPECT_DOUBLE_EQ(detected[0].value, 12.0);
+}
+
+TEST(EventLogTest, BoundedRetentionKeepsTotals) {
+  EventLog log(4);
+  for (int i = 0; i < 10; ++i) {
+    log.Record(EventKind::kBackoffEngaged, i, "w");
+  }
+  EXPECT_EQ(log.events().size(), 4u);
+  EXPECT_EQ(log.total_recorded(), 10u);
+  EXPECT_EQ(log.CountOf(EventKind::kBackoffEngaged), 10u);
+  EXPECT_DOUBLE_EQ(log.events().front().time_seconds, 6.0);  // oldest retained
+}
+
+TEST(EventLogTest, DumpRendersEveryRetainedEvent) {
+  EventLog log;
+  log.Record(EventKind::kBoundaryRaised, 5.5, "CPU", -1, 60.0);
+  std::ostringstream out;
+  log.Dump(out);
+  EXPECT_NE(out.str().find("boundary-raised"), std::string::npos);
+  EXPECT_NE(out.str().find("CPU"), std::string::npos);
+}
+
+TEST(EventLogTest, ClearResetsEverything) {
+  EventLog log;
+  log.Record(EventKind::kRoundStarted, 0.0, "x");
+  log.Clear();
+  EXPECT_EQ(log.total_recorded(), 0u);
+  EXPECT_TRUE(log.events().empty());
+}
+
+TEST(EventLogTest, EveryKindHasAName) {
+  for (int kind = 0; kind <= static_cast<int>(EventKind::kBoundaryRaised); ++kind) {
+    EXPECT_NE(EventKindName(static_cast<EventKind>(kind)), "?");
+  }
+}
+
+class FarronTelemetryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { suite_ = new TestSuite(TestSuite::BuildFull()); }
+  static void TearDownTestSuite() {
+    delete suite_;
+    suite_ = nullptr;
+  }
+  static TestSuite* suite_;
+};
+
+TestSuite* FarronTelemetryTest::suite_ = nullptr;
+
+TEST_F(FarronTelemetryTest, RegularRoundEmitsLifecycleEvents) {
+  FaultyMachine machine(FindInCatalog("SIMD1"), 61);
+  FarronConfig config;
+  Farron farron(suite_, &machine, config);
+  EventLog log;
+  farron.SetEventLog(&log);
+  std::vector<std::string> history;
+  for (size_t index : suite_->IndicesTargeting(Feature::kVecUnit)) {
+    history.push_back(suite_->info(index).id);
+  }
+  farron.SetActiveFromHistory(history);
+  farron.RunRegularRound({});
+  EXPECT_EQ(log.CountOf(EventKind::kRoundStarted), 1u);
+  EXPECT_EQ(log.CountOf(EventKind::kRoundCompleted), 1u);
+  EXPECT_GT(log.CountOf(EventKind::kSdcDetected), 0u);
+  EXPECT_EQ(log.CountOf(EventKind::kCoreMasked), 1u);  // SIMD1's single bad core
+  const auto masked = log.EventsOf(EventKind::kCoreMasked);
+  ASSERT_EQ(masked.size(), 1u);
+  EXPECT_EQ(masked[0].pcore, 5);
+}
+
+TEST_F(FarronTelemetryTest, ControlStepEmitsCoolingEvents) {
+  FaultyMachine machine(MakeArchSpec("M2"));
+  FarronConfig config;
+  config.enable_cooling_control = true;
+  config.enable_adaptive_boundary = false;
+  Farron farron(suite_, &machine, config);
+  EventLog log;
+  farron.SetEventLog(&log);
+  for (int i = 0; i < 6; ++i) {
+    farron.ControlStep(62.0);
+  }
+  EXPECT_EQ(log.CountOf(EventKind::kCoolingBoosted), 4u);
+}
+
+TEST_F(FarronTelemetryTest, ProtectionLoopEmitsBackoffTransitions) {
+  FaultyMachine machine(MakeArchSpec("M2"));
+  FarronConfig config;
+  config.enable_adaptive_boundary = false;
+  Farron farron(suite_, &machine, config);
+  EventLog log;
+  farron.SetEventLog(&log);
+  WorkloadSpec spec;
+  spec.kernel_case_index = static_cast<size_t>(suite_->IndexOf("lib.crc32.scalar.b1024"));
+  spec.base_utilization = 0.45;
+  spec.burst_probability = 0.02;
+  spec.burst_seconds = 120.0;
+  const ProtectionReport report =
+      SimulateProtectedWorkload(farron, machine, *suite_, spec, 1.0, true);
+  EXPECT_EQ(log.CountOf(EventKind::kBackoffEngaged), report.backoff_engagements);
+  // Every engagement eventually releases (or the run ends throttled; allow off-by-one).
+  EXPECT_GE(log.CountOf(EventKind::kBackoffEngaged),
+            log.CountOf(EventKind::kBackoffReleased));
+  EXPECT_LE(log.CountOf(EventKind::kBackoffEngaged),
+            log.CountOf(EventKind::kBackoffReleased) + 1);
+}
+
+TEST_F(FarronTelemetryTest, NoLogMeansNoCrash) {
+  FaultyMachine machine(MakeArchSpec("M5"));
+  FarronConfig config;
+  Farron farron(suite_, &machine, config);
+  EXPECT_EQ(farron.event_log(), nullptr);
+  farron.ControlStep(62.0);  // emits nothing, crashes nothing
+}
+
+}  // namespace
+}  // namespace sdc

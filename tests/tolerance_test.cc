@@ -1,0 +1,240 @@
+// Tests for src/tolerance: redundant execution, range prediction, and the technique
+// evaluators behind the Observation 12 harness.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/fault/catalog.h"
+#include "src/tolerance/evaluation.h"
+#include "src/tolerance/range_detector.h"
+#include "src/tolerance/redundancy.h"
+#include "src/tolerance/selective.h"
+
+namespace sdc {
+namespace {
+
+// A defect on pcore 0 that corrupts every matching op (saturated at time_scale >= 1e8).
+FaultyProcessorInfo HotThreat(double base_log10_rate = -2.0) {
+  FaultyProcessorInfo info;
+  info.cpu_id = "threat";
+  info.arch = "M2";
+  info.age_years = 1.0;
+  info.spec = MakeArchSpec("M2");
+  Defect defect;
+  defect.id = "threat";
+  defect.feature = Feature::kFpu;
+  defect.affected_ops = {OpKind::kFpArctan, OpKind::kIntMul};
+  defect.affected_types = {DataType::kFloat64, DataType::kInt32};
+  defect.affected_pcores = {0};
+  defect.min_trigger_celsius = 0.0;
+  defect.base_log10_rate = base_log10_rate;
+  defect.temp_slope = 0.0;
+  defect.intensity_ref = 0.0;
+  defect.pattern_probability = 0.0;
+  info.defects.push_back(std::move(defect));
+  return info;
+}
+
+// --- Redundancy ---
+
+TEST(RedundancyTest, DmrAgreesOnHealthyMachine) {
+  FaultyMachine machine(MakeArchSpec("M2"));
+  RedundantExecutor executor(&machine.cpu(), {0, 2});
+  const DmrOutcome outcome = executor.RunDmr([&](int lcore) {
+    return BitsOfDouble(machine.cpu().ExecuteF64(lcore, OpKind::kFpArctan, 0.75));
+  });
+  EXPECT_FALSE(outcome.mismatch);
+  EXPECT_EQ(outcome.first, outcome.second);
+}
+
+TEST(RedundancyTest, DmrFlagsDefectiveReplica) {
+  FaultyMachine machine(HotThreat(), 5);
+  machine.cpu().SetTimeScale(1e8);
+  RedundantExecutor executor(&machine.cpu(), {0, 2});  // pcore 0 defective, pcore 1 healthy
+  const DmrOutcome outcome = executor.RunDmr([&](int lcore) {
+    return BitsOfDouble(machine.cpu().ExecuteF64(lcore, OpKind::kFpArctan, 0.75));
+  });
+  EXPECT_TRUE(outcome.mismatch);
+}
+
+TEST(RedundancyTest, TmrVotesOutTheBadCore) {
+  FaultyMachine machine(HotThreat(), 7);
+  machine.cpu().SetTimeScale(1e8);
+  RedundantExecutor executor(&machine.cpu(), {0, 2, 4});
+  const Word128 golden = BitsOfDouble(std::atan(0.75));
+  const TmrOutcome outcome = executor.RunTmr([&](int lcore) {
+    return BitsOfDouble(machine.cpu().ExecuteF64(lcore, OpKind::kFpArctan, std::atan(0.75)));
+  });
+  ASSERT_TRUE(outcome.voted.has_value());
+  EXPECT_EQ(*outcome.voted, golden);
+  EXPECT_TRUE(outcome.disagreement);
+  EXPECT_EQ(outcome.dissenting_replica, 0);
+}
+
+TEST(RedundancyTest, TmrCleanRunHasNoDissent) {
+  FaultyMachine machine(MakeArchSpec("M5"));
+  RedundantExecutor executor(&machine.cpu(), {0, 2, 4});
+  const TmrOutcome outcome = executor.RunTmr([&](int lcore) {
+    return BitsOfInt32(machine.cpu().ExecuteI32(lcore, OpKind::kIntMul, 42));
+  });
+  ASSERT_TRUE(outcome.voted.has_value());
+  EXPECT_FALSE(outcome.disagreement);
+  EXPECT_EQ(outcome.dissenting_replica, -1);
+}
+
+// --- Range detector ---
+
+TEST(RangeDetectorTest, AcceptsStationaryStream) {
+  RangeDetector detector;
+  Rng rng(3);
+  uint64_t flags = 0;
+  for (int i = 0; i < 5000; ++i) {
+    flags += detector.ObserveAndCheck(100.0 + rng.NextGaussian(0.0, 0.5)) ? 1 : 0;
+  }
+  // 4-sigma band: false alarms should be very rare.
+  EXPECT_LT(flags, 25u);
+}
+
+TEST(RangeDetectorTest, FlagsLargeDeviation) {
+  RangeDetector detector;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    detector.ObserveAndCheck(100.0 + rng.NextGaussian(0.0, 0.5));
+  }
+  EXPECT_TRUE(detector.ObserveAndCheck(100000.0));
+  EXPECT_TRUE(detector.ObserveAndCheck(-5000.0));
+  EXPECT_EQ(detector.flagged(), 2u);
+}
+
+TEST(RangeDetectorTest, MissesSmallRelativeDeviation) {
+  // Observation 7: fraction-part flips change f64 values by < 0.02%; no usable band can
+  // catch that.
+  RangeDetector detector;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    detector.ObserveAndCheck(100.0 + rng.NextGaussian(0.0, 0.5));
+  }
+  EXPECT_FALSE(detector.ObserveAndCheck(100.0 * (1.0 + 2e-4)));
+}
+
+TEST(RangeDetectorTest, RejectedValuesDoNotPoisonStatistics) {
+  RangeDetector detector;
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    detector.ObserveAndCheck(50.0 + rng.NextGaussian(0.0, 0.1));
+  }
+  const double mean_before = detector.mean();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(detector.ObserveAndCheck(1e9));
+  }
+  EXPECT_NEAR(detector.mean(), mean_before, 1e-9);
+}
+
+TEST(RangeDetectorTest, TracksSlowDrift) {
+  RangeDetector detector;
+  Rng rng(11);
+  uint64_t flags = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double drifting = 100.0 + 0.01 * i + rng.NextGaussian(0.0, 0.5);
+    flags += detector.ObserveAndCheck(drifting) ? 1 : 0;
+  }
+  EXPECT_LT(flags, 100u);
+  EXPECT_NEAR(detector.mean(), 300.0, 20.0);
+}
+
+// --- Technique evaluators ---
+
+TEST(EvaluationTest, ChecksumAfterComputeNeverDetects) {
+  FaultyMachine machine(HotThreat(-7.0), 13);
+  const TechniqueEvaluation evaluation =
+      EvaluateChecksumAfterCompute(machine, 0, 3000, 1);
+  EXPECT_GT(evaluation.corruptions, 0u);
+  EXPECT_EQ(evaluation.detected, 0u);  // parity matches the already-corrupted data
+  EXPECT_EQ(evaluation.false_alarms, 0u);
+}
+
+TEST(EvaluationTest, SecdedHandlesSinglesEscapesMultis) {
+  // Single-bit damage: always corrected.
+  Defect single;
+  single.multi_flip_probability = 0.0;
+  single.extra_flip_probability = 0.0;
+  single.pattern_probability = 0.0;
+  const TechniqueEvaluation single_eval = EvaluateSecdedAgainstDefect(single, 2000, 3);
+  EXPECT_EQ(single_eval.corrected, single_eval.corruptions);
+  EXPECT_EQ(single_eval.silent_escapes(), 0u);
+
+  // Heavy multi-bit damage: some flips escape or miscorrect.
+  Defect multi;
+  multi.multi_flip_probability = 1.0;
+  multi.extra_flip_probability = 0.6;
+  multi.pattern_probability = 0.0;
+  const TechniqueEvaluation multi_eval = EvaluateSecdedAgainstDefect(multi, 4000, 5);
+  EXPECT_GT(multi_eval.silent_escapes(), 0u);
+  EXPECT_LT(multi_eval.DetectionRate(), 1.0);
+}
+
+TEST(EvaluationTest, DmrDetectsAllWithHealthyPartner) {
+  FaultyMachine machine(HotThreat(-7.0), 17);
+  const TechniqueEvaluation evaluation = EvaluateDmr(machine, 0, 2, 3000, 7);
+  EXPECT_GT(evaluation.corruptions, 0u);
+  EXPECT_DOUBLE_EQ(evaluation.DetectionRate(), 1.0);
+  EXPECT_DOUBLE_EQ(evaluation.cost_factor, 2.0);
+}
+
+TEST(EvaluationTest, TmrCorrectsWhatItDetects) {
+  FaultyMachine machine(HotThreat(-7.0), 19);
+  const TechniqueEvaluation evaluation = EvaluateTmr(machine, 0, 2, 4, 3000, 9);
+  EXPECT_GT(evaluation.corruptions, 0u);
+  EXPECT_EQ(evaluation.corrected, evaluation.detected);
+  EXPECT_DOUBLE_EQ(evaluation.DetectionRate(), 1.0);
+}
+
+
+TEST(SelectiveGuardTest, GuardsOnlyConfiguredOps) {
+  FaultyMachine machine(MakeArchSpec("M2"));
+  GuardedExecutor guard(&machine.cpu(), {OpKind::kFpArctan}, 0, 2);
+  guard.ExecuteF64(OpKind::kFpArctan, 0.5);
+  guard.ExecuteI32(OpKind::kIntAdd, 7);
+  guard.ExecuteRaw(OpKind::kLogicXor, 0xffull, DataType::kByte);
+  EXPECT_EQ(guard.total_executions(), 3u);
+  EXPECT_EQ(guard.guarded_executions(), 1u);
+  EXPECT_EQ(guard.alarms(), 0u);
+  EXPECT_NEAR(guard.OverheadShare(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(SelectiveGuardTest, AlarmAndShadowValueOnCorruption) {
+  FaultyMachine machine(HotThreat(), 41);  // arctan defect pinned to pcore 0
+  machine.cpu().SetTimeScale(1e8);
+  GuardedExecutor guard(&machine.cpu(), {OpKind::kFpArctan}, /*primary=*/0, /*shadow=*/2);
+  const double golden = std::atan(0.9);
+  const double value = guard.ExecuteF64(OpKind::kFpArctan, golden);
+  EXPECT_EQ(guard.alarms(), 1u);
+  EXPECT_EQ(value, golden);  // the healthy shadow's value replaces the corrupted one
+}
+
+TEST(EvaluationTest, SelectiveGuardCatchesVulnerableOpsCheaply) {
+  FaultyMachine machine(HotThreat(-7.0), 43);
+  const TechniqueEvaluation evaluation = EvaluateSelectiveGuard(machine, 0, 2, 5000, 15);
+  EXPECT_GT(evaluation.corruptions, 0u);
+  EXPECT_DOUBLE_EQ(evaluation.DetectionRate(), 1.0);
+  EXPECT_EQ(evaluation.corrected, evaluation.detected);
+  EXPECT_GT(evaluation.cost_factor, 1.1);
+  EXPECT_LT(evaluation.cost_factor, 1.35);  // far below DMR's 2.0
+}
+
+TEST(EvaluationTest, RangePredictionMissesFloatCatchesInt) {
+  FaultyMachine f64_machine(HotThreat(-7.0), 21);
+  const TechniqueEvaluation f64_eval =
+      EvaluateRangeDetector(f64_machine, 0, DataType::kFloat64, 5000, 11);
+  FaultyMachine i32_machine(HotThreat(-7.0), 23);
+  const TechniqueEvaluation i32_eval =
+      EvaluateRangeDetector(i32_machine, 0, DataType::kInt32, 5000, 13);
+  EXPECT_GT(f64_eval.corruptions, 0u);
+  EXPECT_GT(i32_eval.corruptions, 0u);
+  EXPECT_LT(f64_eval.DetectionRate(), 0.2);  // fraction flips stay inside the band
+  EXPECT_GT(i32_eval.DetectionRate(), 0.6);  // integer flips blow through it
+}
+
+}  // namespace
+}  // namespace sdc

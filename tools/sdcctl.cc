@@ -1,0 +1,253 @@
+// sdcctl: command-line front end for the SDC study and mitigation library.
+//
+//   sdcctl catalog                                    list the 27 studied faulty processors
+//   sdcctl suite [substring]                          list toolchain testcases
+//   sdcctl sweep <cpu_id> [seconds_per_case]          adequate full-suite sweep of one part
+//   sdcctl screen <processor_count>                   fleet screening summary (Tables 1-2)
+//   sdcctl frequency <cpu_id> <testcase_id> <pcore> <tempC> [duration_s]
+//                                                     occurrence frequency of one setting
+//   sdcctl protect <cpu_id> [hours]                   Farron lifecycle on one part
+//
+// Everything is deterministic; see README.md for the library behind each command.
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "src/analysis/repro.h"
+#include "src/common/table.h"
+#include "src/farron/baseline.h"
+#include "src/farron/farron.h"
+#include "src/farron/protection.h"
+#include "src/fleet/pipeline.h"
+#include "src/fleet/population.h"
+#include "src/report/exporters.h"
+
+namespace sdc {
+namespace {
+
+int CmdCatalog() {
+  TextTable table({"cpu", "arch", "age(Y)", "cores", "defective", "type", "defects"});
+  for (const FaultyProcessorInfo& info : StudyCatalog()) {
+    std::string defect_ids;
+    for (const Defect& defect : info.defects) {
+      defect_ids += defect.id + " ";
+    }
+    table.AddRow({info.cpu_id, info.arch, FormatDouble(info.age_years, 2),
+                  std::to_string(info.spec.physical_cores),
+                  std::to_string(info.defective_pcore_count()),
+                  SdcTypeName(info.sdc_type()), defect_ids});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int CmdSuite(const std::string& filter) {
+  const TestSuite suite = TestSuite::BuildFull();
+  TextTable table({"id", "feature", "style", "mt"});
+  size_t shown = 0;
+  for (size_t i = 0; i < suite.size(); ++i) {
+    const TestcaseInfo& info = suite.info(i);
+    if (!filter.empty() && info.id.find(filter) == std::string::npos) {
+      continue;
+    }
+    ++shown;
+    table.AddRow({info.id, FeatureName(info.target), TestcaseStyleName(info.style),
+                  info.multithreaded ? "yes" : ""});
+  }
+  table.Print(std::cout);
+  std::cout << shown << " / " << suite.size() << " testcases\n";
+  return 0;
+}
+
+int CmdSweep(const std::string& cpu_id, double seconds_per_case) {
+  if (!TryFindInCatalog(cpu_id).has_value()) {
+    std::cerr << "unknown cpu id: " << cpu_id << " (see: sdcctl catalog)\n";
+    return 1;
+  }
+  const TestSuite suite = TestSuite::BuildFull();
+  TestFramework framework(&suite);
+  FaultyMachine machine(FindInCatalog(cpu_id), 1);
+  TestRunConfig config;
+  config.time_scale = 2e7;
+  config.simultaneous_cores = true;
+  config.burn_in_seconds = 300.0;
+  config.seed = 3;
+  std::cout << "sweeping " << cpu_id << " with " << suite.size() << " testcases at "
+            << seconds_per_case << " s/case (hot environment)...\n";
+  const RunReport report =
+      framework.RunPlan(machine, framework.EqualPlan(seconds_per_case), config);
+  TextTable table({"failing testcase", "errors", "freq (/min)"});
+  for (const TestcaseResult& result : report.results) {
+    if (result.failed()) {
+      table.AddRow({result.testcase_id, std::to_string(result.errors),
+                    FormatDouble(result.OccurrenceFrequencyPerMinute(), 3)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << report.failed_testcase_ids().size() << " failing testcases, "
+            << report.total_errors() << " total errors\n";
+  return 0;
+}
+
+int CmdScreen(uint64_t processor_count) {
+  PopulationConfig population_config;
+  population_config.processor_count = processor_count;
+  const FleetPopulation fleet = FleetPopulation::Generate(population_config);
+  const TestSuite suite = TestSuite::BuildFull();
+  ScreeningPipeline pipeline(&suite);
+  const ScreeningStats stats = pipeline.Run(fleet, ScreeningConfig());
+  TextTable table({"stage", "detections", "rate"});
+  for (int stage = 0; stage < kStageCount; ++stage) {
+    table.AddRow({StageName(static_cast<TestStage>(stage)),
+                  std::to_string(stats.detected_by_stage[stage]),
+                  FormatPermyriad(stats.StageRate(static_cast<TestStage>(stage)))});
+  }
+  table.AddRow({"total", std::to_string(stats.total_detected()),
+                FormatPermyriad(stats.TotalRate())});
+  table.Print(std::cout);
+  return 0;
+}
+
+int CmdFrequency(const std::string& cpu_id, const std::string& testcase_id, int pcore,
+                 double temperature, double duration) {
+  if (!TryFindInCatalog(cpu_id).has_value()) {
+    std::cerr << "unknown cpu id: " << cpu_id << " (see: sdcctl catalog)\n";
+    return 1;
+  }
+  const TestSuite suite = TestSuite::BuildFull();
+  const int index = suite.IndexOf(testcase_id);
+  if (index < 0) {
+    std::cerr << "unknown testcase id: " << testcase_id << "\n";
+    return 1;
+  }
+  TestFramework framework(&suite);
+  FaultyMachine machine(FindInCatalog(cpu_id), 1);
+  const double frequency = MeasureOccurrenceFrequency(
+      machine, framework, static_cast<size_t>(index), pcore, temperature, duration, 17);
+  std::cout << cpu_id << " / " << testcase_id << " / pcore" << pcore << " @ "
+            << temperature << " C: " << FormatDouble(frequency, 5) << " errors/min over "
+            << duration << " simulated seconds\n";
+  return 0;
+}
+
+int CmdProtect(const std::string& cpu_id, double hours) {
+  const auto maybe_info = TryFindInCatalog(cpu_id);
+  if (!maybe_info.has_value()) {
+    std::cerr << "unknown cpu id: " << cpu_id << " (see: sdcctl catalog)\n";
+    return 1;
+  }
+  const TestSuite suite = TestSuite::BuildFull();
+  const FaultyProcessorInfo info = *maybe_info;
+  FaultyMachine machine(info, 7);
+  Farron farron(&suite, &machine, FarronConfig{});
+  std::cout << "[pre-production] testing " << cpu_id << "...\n";
+  const FarronRoundSummary pre = farron.RunPreProduction();
+  std::cout << "  failing cases: " << pre.report.failed_testcase_ids().size()
+            << ", masked cores: " << pre.newly_masked_cores.size() << ", deprecated: "
+            << (pre.processor_deprecated ? "yes" : "no") << "\n";
+  if (pre.processor_deprecated) {
+    return 0;
+  }
+  WorkloadSpec spec;
+  spec.kernel_case_index =
+      static_cast<size_t>(suite.IndexOf("lib.math.fp_arctan.f64.n256"));
+  std::cout << "[online] protected workload for " << hours << " h...\n";
+  const ProtectionReport report =
+      SimulateProtectedWorkload(farron, machine, suite, spec, hours, true);
+  std::cout << "  SDC events: " << report.sdc_events << ", backoff "
+            << FormatDouble(report.BackoffSecondsPerHour(), 2) << " s/h, max temp "
+            << FormatDouble(report.max_temperature, 1) << " C\n";
+  const FarronRoundSummary round = farron.RunRegularRound({});
+  std::cout << "[online] regular round: " << FormatDouble(round.plan_seconds / 3600.0, 2)
+            << " h (baseline "
+            << FormatDouble(
+                   BaselinePolicy(&suite, BaselineConfig()).RoundDurationSeconds() / 3600.0,
+                   2)
+            << " h)\n";
+  return 0;
+}
+
+int CmdExport(const std::string& what) {
+  if (what == "catalog") {
+    WriteCatalogJson(std::cout, StudyCatalog());
+    return 0;
+  }
+  if (what == "screening") {
+    PopulationConfig population_config;
+    population_config.processor_count = 250000;
+    const FleetPopulation fleet = FleetPopulation::Generate(population_config);
+    const TestSuite suite = TestSuite::BuildFull();
+    ScreeningPipeline pipeline(&suite);
+    WriteScreeningStatsJson(std::cout, pipeline.Run(fleet, ScreeningConfig()));
+    return 0;
+  }
+  if (what.rfind("sweep:", 0) == 0) {
+    const std::string cpu_id = what.substr(6);
+    if (!TryFindInCatalog(cpu_id).has_value()) {
+      std::cerr << "unknown cpu id: " << cpu_id << "\n";
+      return 1;
+    }
+    const TestSuite suite = TestSuite::BuildFull();
+    TestFramework framework(&suite);
+    FaultyMachine machine(FindInCatalog(cpu_id), 1);
+    TestRunConfig config;
+    config.time_scale = 2e7;
+    config.simultaneous_cores = true;
+    config.burn_in_seconds = 300.0;
+    config.seed = 3;
+    WriteRunReportJson(std::cout,
+                       framework.RunPlan(machine, framework.EqualPlan(30.0), config));
+    return 0;
+  }
+  std::cerr << "export targets: catalog | screening | sweep:<cpu_id>\n";
+  return 2;
+}
+
+int Usage() {
+  std::cerr << "usage: sdcctl <catalog|suite|sweep|screen|frequency|protect|export> [args]\n"
+               "  catalog\n"
+               "  suite [substring]\n"
+               "  sweep <cpu_id> [seconds_per_case=30]\n"
+               "  screen <processor_count>\n"
+               "  frequency <cpu_id> <testcase_id> <pcore> <tempC> [duration_s=3600]\n"
+               "  protect <cpu_id> [hours=4]\n"
+               "  export <catalog|screening|sweep:CPU>   (JSON to stdout)\n";
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  if (command == "catalog") {
+    return CmdCatalog();
+  }
+  if (command == "suite") {
+    return CmdSuite(argc > 2 ? argv[2] : "");
+  }
+  if (command == "sweep" && argc >= 3) {
+    return CmdSweep(argv[2], argc > 3 ? std::strtod(argv[3], nullptr) : 30.0);
+  }
+  if (command == "screen" && argc >= 3) {
+    return CmdScreen(std::strtoull(argv[2], nullptr, 10));
+  }
+  if (command == "frequency" && argc >= 6) {
+    return CmdFrequency(argv[2], argv[3], std::atoi(argv[4]), std::strtod(argv[5], nullptr),
+                        argc > 6 ? std::strtod(argv[6], nullptr) : 3600.0);
+  }
+  if (command == "export" && argc >= 3) {
+    return CmdExport(argv[2]);
+  }
+  if (command == "protect" && argc >= 3) {
+    return CmdProtect(argv[2], argc > 3 ? std::strtod(argv[3], nullptr) : 4.0);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace sdc
+
+int main(int argc, char** argv) { return sdc::Main(argc, argv); }

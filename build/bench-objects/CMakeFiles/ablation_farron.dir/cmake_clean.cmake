@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_farron"
+  "../bench/ablation_farron.pdb"
+  "CMakeFiles/ablation_farron.dir/ablation_farron.cc.o"
+  "CMakeFiles/ablation_farron.dir/ablation_farron.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_farron.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cadence_tradeoff"
+  "../bench/cadence_tradeoff.pdb"
+  "CMakeFiles/cadence_tradeoff.dir/cadence_tradeoff.cc.o"
+  "CMakeFiles/cadence_tradeoff.dir/cadence_tradeoff.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cadence_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

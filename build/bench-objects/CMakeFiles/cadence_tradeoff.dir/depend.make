@@ -1,0 +1,2 @@
+# Empty dependencies file for cadence_tradeoff.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/capacity_retention"
+  "../bench/capacity_retention.pdb"
+  "CMakeFiles/capacity_retention.dir/capacity_retention.cc.o"
+  "CMakeFiles/capacity_retention.dir/capacity_retention.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_retention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_faulty_features"
+  "../bench/fig2_faulty_features.pdb"
+  "CMakeFiles/fig2_faulty_features.dir/fig2_faulty_features.cc.o"
+  "CMakeFiles/fig2_faulty_features.dir/fig2_faulty_features.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_faulty_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_datatypes"
+  "../bench/fig3_datatypes.pdb"
+  "CMakeFiles/fig3_datatypes.dir/fig3_datatypes.cc.o"
+  "CMakeFiles/fig3_datatypes.dir/fig3_datatypes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_datatypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_bitflips_precision"
+  "../bench/fig4_bitflips_precision.pdb"
+  "CMakeFiles/fig4_bitflips_precision.dir/fig4_bitflips_precision.cc.o"
+  "CMakeFiles/fig4_bitflips_precision.dir/fig4_bitflips_precision.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_bitflips_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_nonnumeric_bitflips"
+  "../bench/fig5_nonnumeric_bitflips.pdb"
+  "CMakeFiles/fig5_nonnumeric_bitflips.dir/fig5_nonnumeric_bitflips.cc.o"
+  "CMakeFiles/fig5_nonnumeric_bitflips.dir/fig5_nonnumeric_bitflips.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_nonnumeric_bitflips.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

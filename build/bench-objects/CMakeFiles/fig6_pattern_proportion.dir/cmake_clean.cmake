@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_pattern_proportion"
+  "../bench/fig6_pattern_proportion.pdb"
+  "CMakeFiles/fig6_pattern_proportion.dir/fig6_pattern_proportion.cc.o"
+  "CMakeFiles/fig6_pattern_proportion.dir/fig6_pattern_proportion.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_pattern_proportion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_flip_counts"
+  "../bench/fig7_flip_counts.pdb"
+  "CMakeFiles/fig7_flip_counts.dir/fig7_flip_counts.cc.o"
+  "CMakeFiles/fig7_flip_counts.dir/fig7_flip_counts.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_flip_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

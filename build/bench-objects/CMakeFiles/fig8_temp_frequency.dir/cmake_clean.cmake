@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_temp_frequency"
+  "../bench/fig8_temp_frequency.pdb"
+  "CMakeFiles/fig8_temp_frequency.dir/fig8_temp_frequency.cc.o"
+  "CMakeFiles/fig8_temp_frequency.dir/fig8_temp_frequency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_temp_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

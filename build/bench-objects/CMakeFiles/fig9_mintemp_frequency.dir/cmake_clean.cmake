@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_mintemp_frequency"
+  "../bench/fig9_mintemp_frequency.pdb"
+  "CMakeFiles/fig9_mintemp_frequency.dir/fig9_mintemp_frequency.cc.o"
+  "CMakeFiles/fig9_mintemp_frequency.dir/fig9_mintemp_frequency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_mintemp_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

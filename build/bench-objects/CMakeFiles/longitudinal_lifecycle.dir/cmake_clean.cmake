@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/longitudinal_lifecycle"
+  "../bench/longitudinal_lifecycle.pdb"
+  "CMakeFiles/longitudinal_lifecycle.dir/longitudinal_lifecycle.cc.o"
+  "CMakeFiles/longitudinal_lifecycle.dir/longitudinal_lifecycle.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longitudinal_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

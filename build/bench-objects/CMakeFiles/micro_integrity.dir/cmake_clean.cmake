@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_integrity"
+  "../bench/micro_integrity.pdb"
+  "CMakeFiles/micro_integrity.dir/micro_integrity.cc.o"
+  "CMakeFiles/micro_integrity.dir/micro_integrity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_integrity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_toolchain"
+  "../bench/micro_toolchain.pdb"
+  "CMakeFiles/micro_toolchain.dir/micro_toolchain.cc.o"
+  "CMakeFiles/micro_toolchain.dir/micro_toolchain.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_toolchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/obs11_testcase_effectiveness"
+  "../bench/obs11_testcase_effectiveness.pdb"
+  "CMakeFiles/obs11_testcase_effectiveness.dir/obs11_testcase_effectiveness.cc.o"
+  "CMakeFiles/obs11_testcase_effectiveness.dir/obs11_testcase_effectiveness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs11_testcase_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

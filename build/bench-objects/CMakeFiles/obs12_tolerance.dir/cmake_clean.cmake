@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/obs12_tolerance"
+  "../bench/obs12_tolerance.pdb"
+  "CMakeFiles/obs12_tolerance.dir/obs12_tolerance.cc.o"
+  "CMakeFiles/obs12_tolerance.dir/obs12_tolerance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs12_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/observations_checklist"
+  "../bench/observations_checklist.pdb"
+  "CMakeFiles/observations_checklist.dir/observations_checklist.cc.o"
+  "CMakeFiles/observations_checklist.dir/observations_checklist.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/observations_checklist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for observations_checklist.
+# This may be replaced when dependencies are built.

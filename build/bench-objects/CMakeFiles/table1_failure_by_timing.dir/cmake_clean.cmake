@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_failure_by_timing"
+  "../bench/table1_failure_by_timing.pdb"
+  "CMakeFiles/table1_failure_by_timing.dir/table1_failure_by_timing.cc.o"
+  "CMakeFiles/table1_failure_by_timing.dir/table1_failure_by_timing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_failure_by_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

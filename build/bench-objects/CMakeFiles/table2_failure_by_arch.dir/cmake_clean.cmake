@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_failure_by_arch"
+  "../bench/table2_failure_by_arch.pdb"
+  "CMakeFiles/table2_failure_by_arch.dir/table2_failure_by_arch.cc.o"
+  "CMakeFiles/table2_failure_by_arch.dir/table2_failure_by_arch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_failure_by_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

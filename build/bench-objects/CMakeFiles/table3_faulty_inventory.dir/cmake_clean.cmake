@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_faulty_inventory"
+  "../bench/table3_faulty_inventory.pdb"
+  "CMakeFiles/table3_faulty_inventory.dir/table3_faulty_inventory.cc.o"
+  "CMakeFiles/table3_faulty_inventory.dir/table3_faulty_inventory.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_faulty_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_overhead"
+  "../bench/table4_overhead.pdb"
+  "CMakeFiles/table4_overhead.dir/table4_overhead.cc.o"
+  "CMakeFiles/table4_overhead.dir/table4_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

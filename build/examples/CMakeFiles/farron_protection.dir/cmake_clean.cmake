@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farron_protection.dir/farron_protection.cpp.o"
+  "CMakeFiles/farron_protection.dir/farron_protection.cpp.o.d"
+  "farron_protection"
+  "farron_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farron_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

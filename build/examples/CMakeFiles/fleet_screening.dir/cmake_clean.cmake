@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_screening.dir/fleet_screening.cpp.o"
+  "CMakeFiles/fleet_screening.dir/fleet_screening.cpp.o.d"
+  "fleet_screening"
+  "fleet_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

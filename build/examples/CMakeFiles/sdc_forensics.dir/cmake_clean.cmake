@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_forensics.dir/sdc_forensics.cpp.o"
+  "CMakeFiles/sdc_forensics.dir/sdc_forensics.cpp.o.d"
+  "sdc_forensics"
+  "sdc_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tolerance_survey.dir/tolerance_survey.cpp.o"
+  "CMakeFiles/tolerance_survey.dir/tolerance_survey.cpp.o.d"
+  "tolerance_survey"
+  "tolerance_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tolerance_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

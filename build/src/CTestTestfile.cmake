@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("fault")
+subdirs("integrity")
+subdirs("toolchain")
+subdirs("fleet")
+subdirs("analysis")
+subdirs("farron")
+subdirs("tolerance")
+subdirs("telemetry")
+subdirs("report")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bitflip.cc" "src/analysis/CMakeFiles/sdc_analysis.dir/bitflip.cc.o" "gcc" "src/analysis/CMakeFiles/sdc_analysis.dir/bitflip.cc.o.d"
+  "/root/repo/src/analysis/patterns.cc" "src/analysis/CMakeFiles/sdc_analysis.dir/patterns.cc.o" "gcc" "src/analysis/CMakeFiles/sdc_analysis.dir/patterns.cc.o.d"
+  "/root/repo/src/analysis/repro.cc" "src/analysis/CMakeFiles/sdc_analysis.dir/repro.cc.o" "gcc" "src/analysis/CMakeFiles/sdc_analysis.dir/repro.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sdc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolchain/CMakeFiles/sdc_toolchain.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/sdc_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/integrity/CMakeFiles/sdc_integrity.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

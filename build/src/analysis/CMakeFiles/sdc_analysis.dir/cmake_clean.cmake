@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_analysis.dir/bitflip.cc.o"
+  "CMakeFiles/sdc_analysis.dir/bitflip.cc.o.d"
+  "CMakeFiles/sdc_analysis.dir/patterns.cc.o"
+  "CMakeFiles/sdc_analysis.dir/patterns.cc.o.d"
+  "CMakeFiles/sdc_analysis.dir/repro.cc.o"
+  "CMakeFiles/sdc_analysis.dir/repro.cc.o.d"
+  "libsdc_analysis.a"
+  "libsdc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_common.dir/bits.cc.o"
+  "CMakeFiles/sdc_common.dir/bits.cc.o.d"
+  "CMakeFiles/sdc_common.dir/rng.cc.o"
+  "CMakeFiles/sdc_common.dir/rng.cc.o.d"
+  "CMakeFiles/sdc_common.dir/stats.cc.o"
+  "CMakeFiles/sdc_common.dir/stats.cc.o.d"
+  "CMakeFiles/sdc_common.dir/table.cc.o"
+  "CMakeFiles/sdc_common.dir/table.cc.o.d"
+  "libsdc_common.a"
+  "libsdc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/farron/baseline.cc" "src/farron/CMakeFiles/sdc_farron.dir/baseline.cc.o" "gcc" "src/farron/CMakeFiles/sdc_farron.dir/baseline.cc.o.d"
+  "/root/repo/src/farron/boundary.cc" "src/farron/CMakeFiles/sdc_farron.dir/boundary.cc.o" "gcc" "src/farron/CMakeFiles/sdc_farron.dir/boundary.cc.o.d"
+  "/root/repo/src/farron/farron.cc" "src/farron/CMakeFiles/sdc_farron.dir/farron.cc.o" "gcc" "src/farron/CMakeFiles/sdc_farron.dir/farron.cc.o.d"
+  "/root/repo/src/farron/longitudinal.cc" "src/farron/CMakeFiles/sdc_farron.dir/longitudinal.cc.o" "gcc" "src/farron/CMakeFiles/sdc_farron.dir/longitudinal.cc.o.d"
+  "/root/repo/src/farron/pool.cc" "src/farron/CMakeFiles/sdc_farron.dir/pool.cc.o" "gcc" "src/farron/CMakeFiles/sdc_farron.dir/pool.cc.o.d"
+  "/root/repo/src/farron/priorities.cc" "src/farron/CMakeFiles/sdc_farron.dir/priorities.cc.o" "gcc" "src/farron/CMakeFiles/sdc_farron.dir/priorities.cc.o.d"
+  "/root/repo/src/farron/protection.cc" "src/farron/CMakeFiles/sdc_farron.dir/protection.cc.o" "gcc" "src/farron/CMakeFiles/sdc_farron.dir/protection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sdc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/sdc_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/sdc_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolchain/CMakeFiles/sdc_toolchain.dir/DependInfo.cmake"
+  "/root/repo/build/src/integrity/CMakeFiles/sdc_integrity.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

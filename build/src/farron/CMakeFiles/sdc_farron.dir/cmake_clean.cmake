@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_farron.dir/baseline.cc.o"
+  "CMakeFiles/sdc_farron.dir/baseline.cc.o.d"
+  "CMakeFiles/sdc_farron.dir/boundary.cc.o"
+  "CMakeFiles/sdc_farron.dir/boundary.cc.o.d"
+  "CMakeFiles/sdc_farron.dir/farron.cc.o"
+  "CMakeFiles/sdc_farron.dir/farron.cc.o.d"
+  "CMakeFiles/sdc_farron.dir/longitudinal.cc.o"
+  "CMakeFiles/sdc_farron.dir/longitudinal.cc.o.d"
+  "CMakeFiles/sdc_farron.dir/pool.cc.o"
+  "CMakeFiles/sdc_farron.dir/pool.cc.o.d"
+  "CMakeFiles/sdc_farron.dir/priorities.cc.o"
+  "CMakeFiles/sdc_farron.dir/priorities.cc.o.d"
+  "CMakeFiles/sdc_farron.dir/protection.cc.o"
+  "CMakeFiles/sdc_farron.dir/protection.cc.o.d"
+  "libsdc_farron.a"
+  "libsdc_farron.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_farron.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

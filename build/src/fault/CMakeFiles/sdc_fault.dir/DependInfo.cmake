@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/catalog.cc" "src/fault/CMakeFiles/sdc_fault.dir/catalog.cc.o" "gcc" "src/fault/CMakeFiles/sdc_fault.dir/catalog.cc.o.d"
+  "/root/repo/src/fault/defect.cc" "src/fault/CMakeFiles/sdc_fault.dir/defect.cc.o" "gcc" "src/fault/CMakeFiles/sdc_fault.dir/defect.cc.o.d"
+  "/root/repo/src/fault/injector.cc" "src/fault/CMakeFiles/sdc_fault.dir/injector.cc.o" "gcc" "src/fault/CMakeFiles/sdc_fault.dir/injector.cc.o.d"
+  "/root/repo/src/fault/machine.cc" "src/fault/CMakeFiles/sdc_fault.dir/machine.cc.o" "gcc" "src/fault/CMakeFiles/sdc_fault.dir/machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sdc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_fault.dir/catalog.cc.o"
+  "CMakeFiles/sdc_fault.dir/catalog.cc.o.d"
+  "CMakeFiles/sdc_fault.dir/defect.cc.o"
+  "CMakeFiles/sdc_fault.dir/defect.cc.o.d"
+  "CMakeFiles/sdc_fault.dir/injector.cc.o"
+  "CMakeFiles/sdc_fault.dir/injector.cc.o.d"
+  "CMakeFiles/sdc_fault.dir/machine.cc.o"
+  "CMakeFiles/sdc_fault.dir/machine.cc.o.d"
+  "libsdc_fault.a"
+  "libsdc_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

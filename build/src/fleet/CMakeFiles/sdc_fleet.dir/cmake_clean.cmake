@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_fleet.dir/capacity.cc.o"
+  "CMakeFiles/sdc_fleet.dir/capacity.cc.o.d"
+  "CMakeFiles/sdc_fleet.dir/pipeline.cc.o"
+  "CMakeFiles/sdc_fleet.dir/pipeline.cc.o.d"
+  "CMakeFiles/sdc_fleet.dir/population.cc.o"
+  "CMakeFiles/sdc_fleet.dir/population.cc.o.d"
+  "CMakeFiles/sdc_fleet.dir/stats.cc.o"
+  "CMakeFiles/sdc_fleet.dir/stats.cc.o.d"
+  "libsdc_fleet.a"
+  "libsdc_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

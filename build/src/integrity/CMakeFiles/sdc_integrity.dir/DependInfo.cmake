@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/integrity/adler32.cc" "src/integrity/CMakeFiles/sdc_integrity.dir/adler32.cc.o" "gcc" "src/integrity/CMakeFiles/sdc_integrity.dir/adler32.cc.o.d"
+  "/root/repo/src/integrity/crc32.cc" "src/integrity/CMakeFiles/sdc_integrity.dir/crc32.cc.o" "gcc" "src/integrity/CMakeFiles/sdc_integrity.dir/crc32.cc.o.d"
+  "/root/repo/src/integrity/ecc.cc" "src/integrity/CMakeFiles/sdc_integrity.dir/ecc.cc.o" "gcc" "src/integrity/CMakeFiles/sdc_integrity.dir/ecc.cc.o.d"
+  "/root/repo/src/integrity/erasure.cc" "src/integrity/CMakeFiles/sdc_integrity.dir/erasure.cc.o" "gcc" "src/integrity/CMakeFiles/sdc_integrity.dir/erasure.cc.o.d"
+  "/root/repo/src/integrity/hash.cc" "src/integrity/CMakeFiles/sdc_integrity.dir/hash.cc.o" "gcc" "src/integrity/CMakeFiles/sdc_integrity.dir/hash.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sdc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_integrity.dir/adler32.cc.o"
+  "CMakeFiles/sdc_integrity.dir/adler32.cc.o.d"
+  "CMakeFiles/sdc_integrity.dir/crc32.cc.o"
+  "CMakeFiles/sdc_integrity.dir/crc32.cc.o.d"
+  "CMakeFiles/sdc_integrity.dir/ecc.cc.o"
+  "CMakeFiles/sdc_integrity.dir/ecc.cc.o.d"
+  "CMakeFiles/sdc_integrity.dir/erasure.cc.o"
+  "CMakeFiles/sdc_integrity.dir/erasure.cc.o.d"
+  "CMakeFiles/sdc_integrity.dir/hash.cc.o"
+  "CMakeFiles/sdc_integrity.dir/hash.cc.o.d"
+  "libsdc_integrity.a"
+  "libsdc_integrity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_integrity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

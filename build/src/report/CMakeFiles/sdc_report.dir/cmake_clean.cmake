@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_report.dir/exporters.cc.o"
+  "CMakeFiles/sdc_report.dir/exporters.cc.o.d"
+  "CMakeFiles/sdc_report.dir/json_writer.cc.o"
+  "CMakeFiles/sdc_report.dir/json_writer.cc.o.d"
+  "libsdc_report.a"
+  "libsdc_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/coherence.cc" "src/sim/CMakeFiles/sdc_sim.dir/coherence.cc.o" "gcc" "src/sim/CMakeFiles/sdc_sim.dir/coherence.cc.o.d"
+  "/root/repo/src/sim/isa.cc" "src/sim/CMakeFiles/sdc_sim.dir/isa.cc.o" "gcc" "src/sim/CMakeFiles/sdc_sim.dir/isa.cc.o.d"
+  "/root/repo/src/sim/processor.cc" "src/sim/CMakeFiles/sdc_sim.dir/processor.cc.o" "gcc" "src/sim/CMakeFiles/sdc_sim.dir/processor.cc.o.d"
+  "/root/repo/src/sim/thermal.cc" "src/sim/CMakeFiles/sdc_sim.dir/thermal.cc.o" "gcc" "src/sim/CMakeFiles/sdc_sim.dir/thermal.cc.o.d"
+  "/root/repo/src/sim/txmem.cc" "src/sim/CMakeFiles/sdc_sim.dir/txmem.cc.o" "gcc" "src/sim/CMakeFiles/sdc_sim.dir/txmem.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sdc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_sim.dir/coherence.cc.o"
+  "CMakeFiles/sdc_sim.dir/coherence.cc.o.d"
+  "CMakeFiles/sdc_sim.dir/isa.cc.o"
+  "CMakeFiles/sdc_sim.dir/isa.cc.o.d"
+  "CMakeFiles/sdc_sim.dir/processor.cc.o"
+  "CMakeFiles/sdc_sim.dir/processor.cc.o.d"
+  "CMakeFiles/sdc_sim.dir/thermal.cc.o"
+  "CMakeFiles/sdc_sim.dir/thermal.cc.o.d"
+  "CMakeFiles/sdc_sim.dir/txmem.cc.o"
+  "CMakeFiles/sdc_sim.dir/txmem.cc.o.d"
+  "libsdc_sim.a"
+  "libsdc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

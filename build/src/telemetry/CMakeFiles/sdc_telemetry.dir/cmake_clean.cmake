@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_telemetry.dir/event_log.cc.o"
+  "CMakeFiles/sdc_telemetry.dir/event_log.cc.o.d"
+  "libsdc_telemetry.a"
+  "libsdc_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdc_telemetry.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tolerance/evaluation.cc" "src/tolerance/CMakeFiles/sdc_tolerance.dir/evaluation.cc.o" "gcc" "src/tolerance/CMakeFiles/sdc_tolerance.dir/evaluation.cc.o.d"
+  "/root/repo/src/tolerance/range_detector.cc" "src/tolerance/CMakeFiles/sdc_tolerance.dir/range_detector.cc.o" "gcc" "src/tolerance/CMakeFiles/sdc_tolerance.dir/range_detector.cc.o.d"
+  "/root/repo/src/tolerance/redundancy.cc" "src/tolerance/CMakeFiles/sdc_tolerance.dir/redundancy.cc.o" "gcc" "src/tolerance/CMakeFiles/sdc_tolerance.dir/redundancy.cc.o.d"
+  "/root/repo/src/tolerance/selective.cc" "src/tolerance/CMakeFiles/sdc_tolerance.dir/selective.cc.o" "gcc" "src/tolerance/CMakeFiles/sdc_tolerance.dir/selective.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sdc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/sdc_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/integrity/CMakeFiles/sdc_integrity.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

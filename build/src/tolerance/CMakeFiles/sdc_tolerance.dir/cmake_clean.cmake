@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_tolerance.dir/evaluation.cc.o"
+  "CMakeFiles/sdc_tolerance.dir/evaluation.cc.o.d"
+  "CMakeFiles/sdc_tolerance.dir/range_detector.cc.o"
+  "CMakeFiles/sdc_tolerance.dir/range_detector.cc.o.d"
+  "CMakeFiles/sdc_tolerance.dir/redundancy.cc.o"
+  "CMakeFiles/sdc_tolerance.dir/redundancy.cc.o.d"
+  "CMakeFiles/sdc_tolerance.dir/selective.cc.o"
+  "CMakeFiles/sdc_tolerance.dir/selective.cc.o.d"
+  "libsdc_tolerance.a"
+  "libsdc_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

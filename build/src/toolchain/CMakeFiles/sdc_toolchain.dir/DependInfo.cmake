@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/toolchain/cases_app.cc" "src/toolchain/CMakeFiles/sdc_toolchain.dir/cases_app.cc.o" "gcc" "src/toolchain/CMakeFiles/sdc_toolchain.dir/cases_app.cc.o.d"
+  "/root/repo/src/toolchain/cases_consistency.cc" "src/toolchain/CMakeFiles/sdc_toolchain.dir/cases_consistency.cc.o" "gcc" "src/toolchain/CMakeFiles/sdc_toolchain.dir/cases_consistency.cc.o.d"
+  "/root/repo/src/toolchain/cases_data.cc" "src/toolchain/CMakeFiles/sdc_toolchain.dir/cases_data.cc.o" "gcc" "src/toolchain/CMakeFiles/sdc_toolchain.dir/cases_data.cc.o.d"
+  "/root/repo/src/toolchain/cases_fuzz.cc" "src/toolchain/CMakeFiles/sdc_toolchain.dir/cases_fuzz.cc.o" "gcc" "src/toolchain/CMakeFiles/sdc_toolchain.dir/cases_fuzz.cc.o.d"
+  "/root/repo/src/toolchain/cases_library.cc" "src/toolchain/CMakeFiles/sdc_toolchain.dir/cases_library.cc.o" "gcc" "src/toolchain/CMakeFiles/sdc_toolchain.dir/cases_library.cc.o.d"
+  "/root/repo/src/toolchain/cases_numeric.cc" "src/toolchain/CMakeFiles/sdc_toolchain.dir/cases_numeric.cc.o" "gcc" "src/toolchain/CMakeFiles/sdc_toolchain.dir/cases_numeric.cc.o.d"
+  "/root/repo/src/toolchain/cases_scalar.cc" "src/toolchain/CMakeFiles/sdc_toolchain.dir/cases_scalar.cc.o" "gcc" "src/toolchain/CMakeFiles/sdc_toolchain.dir/cases_scalar.cc.o.d"
+  "/root/repo/src/toolchain/framework.cc" "src/toolchain/CMakeFiles/sdc_toolchain.dir/framework.cc.o" "gcc" "src/toolchain/CMakeFiles/sdc_toolchain.dir/framework.cc.o.d"
+  "/root/repo/src/toolchain/registry.cc" "src/toolchain/CMakeFiles/sdc_toolchain.dir/registry.cc.o" "gcc" "src/toolchain/CMakeFiles/sdc_toolchain.dir/registry.cc.o.d"
+  "/root/repo/src/toolchain/testcase.cc" "src/toolchain/CMakeFiles/sdc_toolchain.dir/testcase.cc.o" "gcc" "src/toolchain/CMakeFiles/sdc_toolchain.dir/testcase.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sdc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/sdc_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/integrity/CMakeFiles/sdc_integrity.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdc_toolchain.dir/cases_app.cc.o"
+  "CMakeFiles/sdc_toolchain.dir/cases_app.cc.o.d"
+  "CMakeFiles/sdc_toolchain.dir/cases_consistency.cc.o"
+  "CMakeFiles/sdc_toolchain.dir/cases_consistency.cc.o.d"
+  "CMakeFiles/sdc_toolchain.dir/cases_data.cc.o"
+  "CMakeFiles/sdc_toolchain.dir/cases_data.cc.o.d"
+  "CMakeFiles/sdc_toolchain.dir/cases_fuzz.cc.o"
+  "CMakeFiles/sdc_toolchain.dir/cases_fuzz.cc.o.d"
+  "CMakeFiles/sdc_toolchain.dir/cases_library.cc.o"
+  "CMakeFiles/sdc_toolchain.dir/cases_library.cc.o.d"
+  "CMakeFiles/sdc_toolchain.dir/cases_numeric.cc.o"
+  "CMakeFiles/sdc_toolchain.dir/cases_numeric.cc.o.d"
+  "CMakeFiles/sdc_toolchain.dir/cases_scalar.cc.o"
+  "CMakeFiles/sdc_toolchain.dir/cases_scalar.cc.o.d"
+  "CMakeFiles/sdc_toolchain.dir/framework.cc.o"
+  "CMakeFiles/sdc_toolchain.dir/framework.cc.o.d"
+  "CMakeFiles/sdc_toolchain.dir/registry.cc.o"
+  "CMakeFiles/sdc_toolchain.dir/registry.cc.o.d"
+  "CMakeFiles/sdc_toolchain.dir/testcase.cc.o"
+  "CMakeFiles/sdc_toolchain.dir/testcase.cc.o.d"
+  "libsdc_toolchain.a"
+  "libsdc_toolchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdc_toolchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

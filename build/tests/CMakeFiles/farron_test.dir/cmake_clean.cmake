@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farron_test.dir/farron_test.cc.o"
+  "CMakeFiles/farron_test.dir/farron_test.cc.o.d"
+  "farron_test"
+  "farron_test.pdb"
+  "farron_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farron_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

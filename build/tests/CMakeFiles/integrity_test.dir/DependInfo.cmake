@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integrity_test.cc" "tests/CMakeFiles/integrity_test.dir/integrity_test.cc.o" "gcc" "tests/CMakeFiles/integrity_test.dir/integrity_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/farron/CMakeFiles/sdc_farron.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/sdc_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/sdc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolchain/CMakeFiles/sdc_toolchain.dir/DependInfo.cmake"
+  "/root/repo/build/src/integrity/CMakeFiles/sdc_integrity.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/sdc_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sdc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sdc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/sdc_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdcctl.dir/sdcctl.cc.o"
+  "CMakeFiles/sdcctl.dir/sdcctl.cc.o.d"
+  "sdcctl"
+  "sdcctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdcctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -3,9 +3,11 @@
 // average 3.61. Observation 3: every micro-architecture is affected; rates do not fall
 // with newer parts.
 
+#include <chrono>
 #include <iostream>
 
 #include "bench/bench_util.h"
+#include "src/common/parallel.h"
 #include "src/common/table.h"
 #include "src/fleet/pipeline.h"
 #include "src/fleet/population.h"
@@ -14,12 +16,14 @@ int main() {
   using namespace sdc;
   PrintExperimentHeader("Table 2", "failure rate of different micro-architectures");
 
+  const auto start = std::chrono::steady_clock::now();
   PopulationConfig population_config;
   population_config.processor_count = 1'000'000;
   const FleetPopulation fleet = FleetPopulation::Generate(population_config);
   const TestSuite suite = TestSuite::BuildFull();
   ScreeningPipeline pipeline(&suite);
   const ScreeningStats stats = pipeline.Run(fleet, ScreeningConfig());
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
 
   TextTable table({"arch", "tested", "measured (permyriad)", "paper (permyriad)"});
   int arches_with_detections = 0;
@@ -34,5 +38,7 @@ int main() {
   table.Print(std::cout);
   std::cout << "\nObservation 3 check: " << arches_with_detections << " of " << kArchCount
             << " micro-architectures have detected faulty processors\n";
+  std::cout << "wall time: " << FormatDouble(elapsed.count(), 2) << " s (generate + screen, "
+            << ResolveThreadCount(0) << " threads; set SDC_THREADS to vary)\n";
   return 0;
 }

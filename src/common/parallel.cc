@@ -1,0 +1,151 @@
+#include "src/common/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace sdc {
+
+int HardwareThreads() {
+  const unsigned count = std::thread::hardware_concurrency();
+  return count == 0 ? 1 : static_cast<int>(count);
+}
+
+int ResolveThreadCount(int requested) {
+  if (const char* env = std::getenv("SDC_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 0 && parsed <= 4096) {
+      requested = static_cast<int>(parsed);
+    }
+  }
+  if (requested == 0) {
+    return HardwareThreads();
+  }
+  return std::max(requested, 1);
+}
+
+uint64_t ThreadPool::ShardCountFor(uint64_t begin, uint64_t end, uint64_t grain) {
+  if (end <= begin) {
+    return 0;
+  }
+  const uint64_t span = end - begin;
+  const uint64_t g = grain == 0 ? 1 : grain;
+  return (span + g - 1) / g;
+}
+
+ThreadPool::ThreadPool(int thread_count)
+    : thread_count_(ResolveThreadCount(thread_count)) {
+  workers_.reserve(static_cast<size_t>(thread_count_ - 1));
+  for (int i = 1; i < thread_count_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::DrainShards() {
+  for (;;) {
+    const uint64_t shard = next_shard_.fetch_add(1, std::memory_order_relaxed);
+    if (shard >= job_shards_) {
+      return;
+    }
+    if (!job_failed_.load(std::memory_order_acquire)) {
+      const uint64_t shard_begin = job_begin_ + shard * job_grain_;
+      const uint64_t shard_end = std::min(shard_begin + job_grain_, job_end_);
+      try {
+        (*job_fn_)(shard, shard_begin, shard_end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!first_error_) {
+          first_error_ = std::current_exception();
+        }
+        job_failed_.store(true, std::memory_order_release);
+      }
+    }
+    if (finished_shards_.fetch_add(1, std::memory_order_acq_rel) + 1 == job_shards_) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stopping_ || generation_ != seen_generation; });
+      if (stopping_) {
+        return;
+      }
+      seen_generation = generation_;
+      // Registering as a drainer under the lock pairs with ParallelFor's exit condition:
+      // the caller cannot return (and the next job cannot overwrite the job fields) while
+      // any worker is inside DrainShards.
+      ++active_drainers_;
+    }
+    DrainShards();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_drainers_;
+    }
+    done_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(uint64_t begin, uint64_t end, uint64_t grain,
+                             const ShardFn& fn) {
+  const uint64_t g = grain == 0 ? 1 : grain;
+  const uint64_t shards = ShardCountFor(begin, end, g);
+  if (shards == 0) {
+    return;
+  }
+  if (thread_count_ == 1 || shards == 1) {
+    // Serial lane: same shard layout, same call order, no workers involved.
+    for (uint64_t shard = 0; shard < shards; ++shard) {
+      const uint64_t shard_begin = begin + shard * g;
+      fn(shard, shard_begin, std::min(shard_begin + g, end));
+    }
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_fn_ = &fn;
+    job_begin_ = begin;
+    job_end_ = end;
+    job_grain_ = g;
+    job_shards_ = shards;
+    finished_shards_.store(0, std::memory_order_relaxed);
+    job_failed_.store(false, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    next_shard_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  wake_.notify_all();
+
+  DrainShards();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [&] {
+    return finished_shards_.load(std::memory_order_acquire) == shards &&
+           active_drainers_ == 0;
+  });
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace sdc

@@ -1,0 +1,118 @@
+// Deterministic data-parallel execution for the SDC library.
+//
+// ThreadPool is a fixed-size worker pool whose one primitive, ParallelFor, splits an index
+// range into consecutive shards of a fixed grain and distributes the shards across the
+// workers. The shard layout depends only on (begin, end, grain) -- never on the thread
+// count -- so a pipeline that derives all randomness from per-shard Rng::Fork(shard) streams
+// and merges per-shard results in shard order produces bit-identical output at any pool
+// size. That contract (see docs/parallelism.md) is what lets fleet generation, screening,
+// and the toolchain harness scale across cores without perturbing a single table or figure.
+//
+// Thread-count resolution: 0 means hardware concurrency, 1 means serial execution on the
+// calling thread (no workers are spawned), and the SDC_THREADS environment variable
+// overrides whatever the caller requested -- handy for benchmarking a binary at several
+// widths without recompiling.
+
+#ifndef SDC_SRC_COMMON_PARALLEL_H_
+#define SDC_SRC_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace sdc {
+
+// Number of hardware threads, at least 1.
+int HardwareThreads();
+
+// Resolves a requested worker count: SDC_THREADS (when set to a non-negative integer)
+// replaces `requested`; then 0 maps to HardwareThreads() and anything below 1 clamps to 1.
+int ResolveThreadCount(int requested);
+
+class ThreadPool {
+ public:
+  using ShardFn = std::function<void(uint64_t shard, uint64_t begin, uint64_t end)>;
+
+  // A pool of `thread_count` execution lanes (resolved via ResolveThreadCount). The calling
+  // thread participates in every ParallelFor, so N lanes spawn N-1 workers and a pool of
+  // size 1 spawns none.
+  explicit ThreadPool(int thread_count = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const { return thread_count_; }
+
+  // Number of shards ParallelFor produces for this range: ceil((end - begin) / grain).
+  static uint64_t ShardCountFor(uint64_t begin, uint64_t end, uint64_t grain);
+
+  // Invokes fn(shard, shard_begin, shard_end) for every shard of [begin, end), where shard
+  // s covers [begin + s*grain, min(begin + (s+1)*grain, end)). Blocks until all shards ran.
+  // The first exception thrown by fn is rethrown here after the remaining shards are
+  // drained (skipped). fn must not call back into the same pool.
+  void ParallelFor(uint64_t begin, uint64_t end, uint64_t grain, const ShardFn& fn);
+
+  // ParallelFor with one result slot per shard, returned in shard order. Result must be
+  // default-constructible; fn(shard, begin, end) -> Result.
+  template <typename Result, typename Fn>
+  std::vector<Result> ParallelMap(uint64_t begin, uint64_t end, uint64_t grain, Fn&& fn) {
+    std::vector<Result> results(ShardCountFor(begin, end, grain));
+    ParallelFor(begin, end, grain, [&](uint64_t shard, uint64_t b, uint64_t e) {
+      results[shard] = fn(shard, b, e);
+    });
+    return results;
+  }
+
+  // ParallelMap followed by an in-shard-order merge on the calling thread:
+  // merge(accumulator, shard_result) is applied for shard 0, 1, 2, ...
+  template <typename Result, typename Fn, typename Merge>
+  Result ParallelReduce(uint64_t begin, uint64_t end, uint64_t grain, Result accumulator,
+                        Fn&& fn, Merge&& merge) {
+    std::vector<Result> results =
+        ParallelMap<Result>(begin, end, grain, std::forward<Fn>(fn));
+    for (Result& shard_result : results) {
+      merge(accumulator, shard_result);
+    }
+    return accumulator;
+  }
+
+ private:
+  void WorkerLoop();
+  void DrainShards();
+
+  int thread_count_;
+  std::vector<std::thread> workers_;
+
+  // Job publication protocol: the caller writes the job fields and bumps generation_ under
+  // mutex_; a worker only enters DrainShards after observing the bump under the same lock
+  // (registering in active_drainers_ during that hold), and ParallelFor only returns once
+  // every shard finished and active_drainers_ is back to zero -- so job fields are never
+  // overwritten while any worker can still read them.
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  bool stopping_ = false;
+  uint64_t generation_ = 0;
+  int active_drainers_ = 0;
+
+  const ShardFn* job_fn_ = nullptr;
+  uint64_t job_begin_ = 0;
+  uint64_t job_end_ = 0;
+  uint64_t job_grain_ = 1;
+  uint64_t job_shards_ = 0;
+  std::atomic<uint64_t> next_shard_{0};
+  std::atomic<uint64_t> finished_shards_{0};
+  std::atomic<bool> job_failed_{false};
+  std::exception_ptr first_error_;
+};
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_COMMON_PARALLEL_H_

@@ -128,6 +128,6 @@ size_t Rng::NextWeighted(const std::vector<double>& weights) {
   return weights.size() - 1;
 }
 
-Rng Rng::Fork(uint64_t tag) { return Rng(Mix64(seed_ ^ Mix64(tag))); }
+Rng Rng::Fork(uint64_t tag) const { return Rng(Mix64(seed_ ^ Mix64(tag))); }
 
 }  // namespace sdc

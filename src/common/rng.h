@@ -60,8 +60,10 @@ class Rng {
   // Returns 0 if all weights are zero. `weights` must be non-empty.
   size_t NextWeighted(const std::vector<double>& weights);
 
-  // Creates an independent child stream; deterministic in (parent seed, tag).
-  Rng Fork(uint64_t tag);
+  // Creates an independent child stream; deterministic in (parent seed, tag). Reads only
+  // the stored seed, so concurrent forks off one parent are safe and the parent's own
+  // stream position is never perturbed.
+  Rng Fork(uint64_t tag) const;
 
  private:
   uint64_t state_[4];

@@ -4,6 +4,7 @@ namespace sdc {
 
 FaultyMachine::FaultyMachine(const FaultyProcessorInfo& info, uint64_t seed)
     : info_(info),
+      seed_(seed),
       cpu_(info.spec),
       bus_(cpu_, kSharedCells),
       txmem_(cpu_, kSharedCells),
@@ -18,6 +19,13 @@ FaultyMachine::FaultyMachine(const ProcessorSpec& spec)
       cpu_(spec),
       bus_(cpu_, kSharedCells),
       txmem_(cpu_, kSharedCells) {}
+
+FaultyMachine FaultyMachine::CloneFresh() const {
+  if (injector_ != nullptr) {
+    return FaultyMachine(info_, seed_);
+  }
+  return FaultyMachine(info_.spec);
+}
 
 void FaultyMachine::SetAllCoreUtilization(double utilization) {
   for (int pcore = 0; pcore < cpu_.spec().physical_cores; ++pcore) {

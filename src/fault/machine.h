@@ -37,8 +37,18 @@ class FaultyMachine {
   // Convenience: marks every physical core busy/idle (burn-in, background stress).
   void SetAllCoreUtilization(double utilization);
 
+  // A pristine machine with the same part info and injector seed: fresh thermal state,
+  // zeroed op counters, injector RNG rewound to the start. Two clones driven through the
+  // same schedule behave identically, which is what lets the toolchain run plan entries on
+  // independent clones in parallel without perturbing any result.
+  FaultyMachine CloneFresh() const;
+
+  // The injector seed this machine was built with (0 for healthy machines).
+  uint64_t seed() const { return seed_; }
+
  private:
   FaultyProcessorInfo info_;
+  uint64_t seed_ = 0;
   Processor cpu_;
   CoherentBus bus_;
   TxMemory txmem_;

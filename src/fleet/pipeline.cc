@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/parallel.h"
 #include "src/common/rng.h"
 
 namespace sdc {
@@ -55,6 +56,22 @@ double ScreeningStats::ArchRate(int arch_index) const {
 double ScreeningStats::PreProductionRate() const {
   return StageRate(TestStage::kFactory) + StageRate(TestStage::kDatacenter) +
          StageRate(TestStage::kReinstall);
+}
+
+void ScreeningStats::MergeFrom(const ScreeningStats& other) {
+  tested += other.tested;
+  faulty += other.faulty;
+  for (int stage = 0; stage < kStageCount; ++stage) {
+    detected_by_stage[static_cast<size_t>(stage)] +=
+        other.detected_by_stage[static_cast<size_t>(stage)];
+  }
+  for (int arch = 0; arch < kArchCount; ++arch) {
+    tested_by_arch[static_cast<size_t>(arch)] +=
+        other.tested_by_arch[static_cast<size_t>(arch)];
+    detected_by_arch[static_cast<size_t>(arch)] +=
+        other.detected_by_arch[static_cast<size_t>(arch)];
+  }
+  detections.insert(detections.end(), other.detections.begin(), other.detections.end());
 }
 
 int RegularGroupOf(uint64_t serial, const ScreeningConfig& config) {
@@ -122,72 +139,96 @@ double ScreeningPipeline::ExpectedErrors(const Defect& defect, const StageParams
   return expected;
 }
 
+namespace {
+
+// Fixed shard width for screening; like generation, shard s draws from Rng::Fork(s) so the
+// stats are a pure function of (fleet, config.seed) at any thread count.
+constexpr uint64_t kScreeningGrain = 4096;
+
+}  // namespace
+
 ScreeningStats ScreeningPipeline::Run(const FleetPopulation& fleet,
                                       const ScreeningConfig& config) const {
-  ScreeningStats stats;
-  Rng rng(config.seed);
-  for (const FleetProcessor& processor : fleet.processors()) {
-    ++stats.tested;
-    ++stats.tested_by_arch[processor.arch_index];
-    if (!processor.faulty) {
-      continue;
-    }
-    ++stats.faulty;
-    if (!processor.toolchain_detectable) {
-      continue;  // escapes every stage (Section 2.3's false negatives)
-    }
-    const int pcores = MakeArchSpec(processor.arch_index).physical_cores;
-
-    // Pre-computed per-stage detection probabilities across the part's defects (a part is
-    // detected when any defect reproduces).
-    auto stage_probability = [&](const StageParams& stage, double age_months) {
-      double survive = 1.0;
-      for (const Defect& defect : processor.defects) {
-        if (defect.onset_months > age_months) {
-          continue;  // not yet developed
+  const std::vector<FleetProcessor>& processors = fleet.processors();
+  const Rng base(config.seed);
+  ThreadPool pool(config.threads);
+  return pool.ParallelReduce<ScreeningStats>(
+      0, processors.size(), kScreeningGrain, ScreeningStats{},
+      [&](uint64_t shard, uint64_t begin, uint64_t end) {
+        ScreeningStats stats;
+        Rng rng = base.Fork(shard);
+        for (uint64_t index = begin; index < end; ++index) {
+          ScreenProcessor(processors[index], config, rng, stats);
         }
-        const double expected = ExpectedErrors(defect, stage, pcores);
-        survive *= 1.0 - stage.catch_factor * (1.0 - std::exp(-expected));
-      }
-      return 1.0 - survive;
-    };
+        return stats;
+      },
+      [](ScreeningStats& total, const ScreeningStats& shard_stats) {
+        total.MergeFrom(shard_stats);
+      });
+}
 
-    bool detected = false;
-    TestStage detected_stage = TestStage::kFactory;
-    double detected_month = 0.0;
-    const TestStage pre_production[] = {TestStage::kFactory, TestStage::kDatacenter,
-                                        TestStage::kReinstall};
-    for (TestStage stage : pre_production) {
-      if (rng.NextBernoulli(
-              stage_probability(config.stages[static_cast<int>(stage)], 0.0))) {
+void ScreeningPipeline::ScreenProcessor(const FleetProcessor& processor,
+                                        const ScreeningConfig& config, Rng& rng,
+                                        ScreeningStats& stats) const {
+  ++stats.tested;
+  ++stats.tested_by_arch[processor.arch_index];
+  if (!processor.faulty) {
+    return;
+  }
+  ++stats.faulty;
+  if (!processor.toolchain_detectable) {
+    return;  // escapes every stage (Section 2.3's false negatives)
+  }
+  const int pcores = MakeArchSpec(processor.arch_index).physical_cores;
+
+  // Pre-computed per-stage detection probabilities across the part's defects (a part is
+  // detected when any defect reproduces).
+  auto stage_probability = [&](const StageParams& stage, double age_months) {
+    double survive = 1.0;
+    for (const Defect& defect : processor.defects) {
+      if (defect.onset_months > age_months) {
+        continue;  // not yet developed
+      }
+      const double expected = ExpectedErrors(defect, stage, pcores);
+      survive *= 1.0 - stage.catch_factor * (1.0 - std::exp(-expected));
+    }
+    return 1.0 - survive;
+  };
+
+  bool detected = false;
+  TestStage detected_stage = TestStage::kFactory;
+  double detected_month = 0.0;
+  const TestStage pre_production[] = {TestStage::kFactory, TestStage::kDatacenter,
+                                      TestStage::kReinstall};
+  for (TestStage stage : pre_production) {
+    if (rng.NextBernoulli(
+            stage_probability(config.stages[static_cast<int>(stage)], 0.0))) {
+      detected = true;
+      detected_stage = stage;
+      break;
+    }
+  }
+  if (!detected) {
+    for (int cycle = 1;; ++cycle) {
+      const double month = RegularRoundMonth(processor.serial, cycle, config);
+      if (month > config.horizon_months) {
+        break;
+      }
+      if (rng.NextBernoulli(stage_probability(
+              config.stages[static_cast<int>(TestStage::kRegular)], month))) {
         detected = true;
-        detected_stage = stage;
+        detected_stage = TestStage::kRegular;
+        detected_month = month;
         break;
       }
     }
-    if (!detected) {
-      for (int cycle = 1;; ++cycle) {
-        const double month = RegularRoundMonth(processor.serial, cycle, config);
-        if (month > config.horizon_months) {
-          break;
-        }
-        if (rng.NextBernoulli(stage_probability(
-                config.stages[static_cast<int>(TestStage::kRegular)], month))) {
-          detected = true;
-          detected_stage = TestStage::kRegular;
-          detected_month = month;
-          break;
-        }
-      }
-    }
-    if (detected) {
-      ++stats.detected_by_stage[static_cast<int>(detected_stage)];
-      ++stats.detected_by_arch[processor.arch_index];
-      stats.detections.push_back({processor.serial, processor.arch_index, true,
-                                  detected_stage, detected_month});
-    }
   }
-  return stats;
+  if (detected) {
+    ++stats.detected_by_stage[static_cast<int>(detected_stage)];
+    ++stats.detected_by_arch[processor.arch_index];
+    stats.detections.push_back({processor.serial, processor.arch_index, true,
+                                detected_stage, detected_month});
+  }
 }
 
 }  // namespace sdc

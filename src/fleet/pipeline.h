@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/fleet/population.h"
 #include "src/toolchain/registry.h"
 
@@ -57,6 +58,10 @@ struct ScreeningConfig {
   // machine tests at the same month boundaries.
   int regular_groups = 6;
   uint64_t seed = 77;
+  // Worker threads for ScreeningPipeline::Run: 0 = hardware concurrency, 1 = serial.
+  // Stats are bit-identical for a given seed at any thread count (see docs/parallelism.md);
+  // SDC_THREADS overrides this value.
+  int threads = 0;
 };
 
 // Group a processor's regular tests belong to, and the absolute month of its round in a
@@ -85,6 +90,10 @@ struct ScreeningStats {
   double TotalRate() const;                  // all detections / tested
   double ArchRate(int arch_index) const;     // detections / tested within one arch
   double PreProductionRate() const;          // factory + datacenter + re-install
+
+  // Adds `other`'s counters and appends its detections. Shard results merged in shard
+  // order reproduce the serial stats exactly, detections in serial order included.
+  void MergeFrom(const ScreeningStats& other);
 };
 
 class ScreeningPipeline {
@@ -93,6 +102,9 @@ class ScreeningPipeline {
   // the pipeline.
   explicit ScreeningPipeline(const TestSuite* suite);
 
+  // Screens the whole fleet. Sharded across config.threads workers; per-shard stats are
+  // merged in shard order and each shard draws from its own forked RNG stream, so the
+  // result is bit-identical at any thread count.
   ScreeningStats Run(const FleetPopulation& fleet, const ScreeningConfig& config) const;
 
   // Expected error count for `defect` under one full-suite pass at the stage's settings on
@@ -103,6 +115,11 @@ class ScreeningPipeline {
   int MatchingTestcases(const Defect& defect) const;
 
  private:
+  // Screens one processor, drawing all randomness from `rng` and accumulating into
+  // `stats`. Called once per processor in serial order within each shard.
+  void ScreenProcessor(const FleetProcessor& processor, const ScreeningConfig& config,
+                       Rng& rng, ScreeningStats& stats) const;
+
   const TestSuite* suite_;
 };
 

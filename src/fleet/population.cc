@@ -1,46 +1,62 @@
 #include "src/fleet/population.h"
 
+#include "src/common/parallel.h"
 #include "src/common/rng.h"
 
 namespace sdc {
+namespace {
+
+// Fixed shard width for generation. Part of the determinism contract: shard s covers
+// serials [s * kGenerateGrain, (s+1) * kGenerateGrain) and draws from Rng::Fork(s), so the
+// fleet is a pure function of (config, seed) regardless of how many workers run the shards.
+constexpr uint64_t kGenerateGrain = 8192;
+
+struct ShardTally {
+  uint64_t faulty = 0;
+  std::array<uint64_t, kArchCount> by_arch{};
+};
+
+}  // namespace
 
 FleetPopulation FleetPopulation::Generate(const PopulationConfig& config) {
   FleetPopulation fleet;
   fleet.config_ = config;
-  fleet.processors_.reserve(config.processor_count);
-  Rng rng(config.seed);
-  std::vector<double> shares(config.arch_share.begin(), config.arch_share.end());
-  for (uint64_t serial = 0; serial < config.processor_count; ++serial) {
-    FleetProcessor processor;
-    processor.serial = serial;
-    processor.arch_index = static_cast<int>(rng.NextWeighted(shares));
-    const double prevalence =
-        config.detected_rate[processor.arch_index] / config.detectability;
-    processor.faulty = rng.NextBernoulli(prevalence);
-    if (processor.faulty) {
-      const int pcores = MakeArchSpec(processor.arch_index).physical_cores;
-      processor.defects = GenerateRandomDefects(rng, processor.arch_index, pcores);
-      processor.toolchain_detectable = !rng.NextBernoulli(config.undetectable_share);
+  fleet.processors_.resize(config.processor_count);
+  const Rng base(config.seed);
+  const std::vector<double> shares(config.arch_share.begin(), config.arch_share.end());
+
+  ThreadPool pool(config.threads);
+  const std::vector<ShardTally> tallies = pool.ParallelMap<ShardTally>(
+      0, config.processor_count, kGenerateGrain,
+      [&](uint64_t shard, uint64_t begin, uint64_t end) {
+        ShardTally tally;
+        Rng rng = base.Fork(shard);
+        for (uint64_t serial = begin; serial < end; ++serial) {
+          FleetProcessor& processor = fleet.processors_[serial];
+          processor.serial = serial;
+          processor.arch_index = static_cast<int>(rng.NextWeighted(shares));
+          const double prevalence =
+              config.detected_rate[processor.arch_index] / config.detectability;
+          processor.faulty = rng.NextBernoulli(prevalence);
+          if (processor.faulty) {
+            const int pcores = MakeArchSpec(processor.arch_index).physical_cores;
+            processor.defects = GenerateRandomDefects(rng, processor.arch_index, pcores);
+            processor.toolchain_detectable = !rng.NextBernoulli(config.undetectable_share);
+            ++tally.faulty;
+          }
+          ++tally.by_arch[static_cast<size_t>(processor.arch_index)];
+        }
+        return tally;
+      });
+
+  for (const ShardTally& tally : tallies) {
+    fleet.faulty_count_ += tally.faulty;
+    for (int arch = 0; arch < kArchCount; ++arch) {
+      fleet.counts_by_arch_[static_cast<size_t>(arch)] +=
+          tally.by_arch[static_cast<size_t>(arch)];
     }
-    fleet.processors_.push_back(std::move(processor));
   }
   return fleet;
-}
-
-uint64_t FleetPopulation::faulty_count() const {
-  uint64_t count = 0;
-  for (const FleetProcessor& processor : processors_) {
-    count += processor.faulty ? 1 : 0;
-  }
-  return count;
-}
-
-uint64_t FleetPopulation::CountByArch(int arch_index) const {
-  uint64_t count = 0;
-  for (const FleetProcessor& processor : processors_) {
-    count += processor.arch_index == arch_index ? 1 : 0;
-  }
-  return count;
 }
 
 }  // namespace sdc

@@ -40,6 +40,10 @@ struct PopulationConfig {
   // Share of faulty parts no testcase can expose (complex multi-thread scenarios).
   double undetectable_share = 0.04;
   uint64_t seed = 20210101;
+  // Worker threads for Generate: 0 = hardware concurrency, 1 = serial on the caller.
+  // Output is bit-identical for a given seed at any thread count (see docs/parallelism.md);
+  // SDC_THREADS overrides this value.
+  int threads = 0;
 };
 
 class FleetPopulation {
@@ -49,12 +53,17 @@ class FleetPopulation {
   const std::vector<FleetProcessor>& processors() const { return processors_; }
   const PopulationConfig& config() const { return config_; }
 
-  uint64_t faulty_count() const;
-  uint64_t CountByArch(int arch_index) const;
+  // O(1): counted per shard during Generate and merged, not recomputed by scanning.
+  uint64_t faulty_count() const { return faulty_count_; }
+  uint64_t CountByArch(int arch_index) const {
+    return counts_by_arch_[static_cast<size_t>(arch_index)];
+  }
 
  private:
   PopulationConfig config_;
   std::vector<FleetProcessor> processors_;
+  uint64_t faulty_count_ = 0;
+  std::array<uint64_t, kArchCount> counts_by_arch_{};
 };
 
 }  // namespace sdc

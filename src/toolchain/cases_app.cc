@@ -93,7 +93,7 @@ class MatrixMultiplyCase : public TestcaseBase {
 class StorageServerCase : public TestcaseBase {
  public:
   StorageServerCase(TestcaseInfo info, int block_bytes, bool vectorized_crc)
-      : TestcaseBase(std::move(info)), block_(static_cast<size_t>(block_bytes)),
+      : TestcaseBase(std::move(info)), block_bytes_(block_bytes),
         vectorized_crc_(vectorized_crc) {}
 
   void RunBatch(TestContext& context) override {
@@ -101,14 +101,17 @@ class StorageServerCase : public TestcaseBase {
     const int lcore = context.lcores.front();
     // Write path: fill a block, compute its checksum on the processor, "store" both, then
     // verify the stored pair host-side as a reader would (the Section 2.2 incident: a faulty
-    // checksum unit makes the service believe good data is corrupt).
-    for (auto& byte : block_) {
+    // checksum unit makes the service believe good data is corrupt). The block is
+    // batch-local: shared testcase objects must stay stateless so parallel plan entries
+    // can drive the same case on several machine clones at once.
+    std::vector<uint8_t> block(static_cast<size_t>(block_bytes_));
+    for (auto& byte : block) {
       byte = static_cast<uint8_t>(context.rng->Next());
     }
     const uint32_t stored_crc = vectorized_crc_
-                                    ? Crc32VectorOnProcessor(cpu, lcore, block_)
-                                    : Crc32OnProcessor(cpu, lcore, block_);
-    const uint32_t reader_crc = Crc32(block_);
+                                    ? Crc32VectorOnProcessor(cpu, lcore, block)
+                                    : Crc32OnProcessor(cpu, lcore, block);
+    const uint32_t reader_crc = Crc32(block);
     if (stored_crc != reader_crc) {
       context.RecordComputation(info_.id, lcore, DataType::kUInt32,
                                 BitsOfUInt32(reader_crc), BitsOfUInt32(stored_crc));
@@ -116,7 +119,7 @@ class StorageServerCase : public TestcaseBase {
   }
 
  private:
-  std::vector<uint8_t> block_;
+  int block_bytes_;
   bool vectorized_crc_;
 };
 

@@ -14,19 +14,23 @@
 namespace sdc {
 namespace {
 
+// The checksum cases keep their workload buffer batch-local: testcase objects are shared
+// across all machines driving the suite, and a parallel RunPlan may run the same case on
+// several machine clones at once, so kernels must not carry mutable state.
 class AdlerChecksumCase : public TestcaseBase {
  public:
   AdlerChecksumCase(TestcaseInfo info, int bytes)
-      : TestcaseBase(std::move(info)), buffer_(static_cast<size_t>(bytes)) {}
+      : TestcaseBase(std::move(info)), bytes_(bytes) {}
 
   void RunBatch(TestContext& context) override {
     Processor& cpu = context.cpu();
     const int lcore = context.lcores.front();
-    for (auto& byte : buffer_) {
+    std::vector<uint8_t> buffer(static_cast<size_t>(bytes_));
+    for (auto& byte : buffer) {
       byte = static_cast<uint8_t>(context.rng->Next());
     }
-    const uint32_t golden = Adler32(buffer_);
-    const uint32_t routed = Adler32OnProcessor(cpu, lcore, buffer_);
+    const uint32_t golden = Adler32(buffer);
+    const uint32_t routed = Adler32OnProcessor(cpu, lcore, buffer);
     if (routed != golden) {
       context.RecordComputation(info_.id, lcore, DataType::kUInt32, BitsOfUInt32(golden),
                                 BitsOfUInt32(routed));
@@ -34,22 +38,23 @@ class AdlerChecksumCase : public TestcaseBase {
   }
 
  private:
-  std::vector<uint8_t> buffer_;
+  int bytes_;
 };
 
 class Crc64Case : public TestcaseBase {
  public:
   Crc64Case(TestcaseInfo info, int bytes)
-      : TestcaseBase(std::move(info)), buffer_(static_cast<size_t>(bytes)) {}
+      : TestcaseBase(std::move(info)), bytes_(bytes) {}
 
   void RunBatch(TestContext& context) override {
     Processor& cpu = context.cpu();
     const int lcore = context.lcores.front();
-    for (auto& byte : buffer_) {
+    std::vector<uint8_t> buffer(static_cast<size_t>(bytes_));
+    for (auto& byte : buffer) {
       byte = static_cast<uint8_t>(context.rng->Next());
     }
-    const uint64_t golden = Crc64(buffer_);
-    const uint64_t routed = Crc64OnProcessor(cpu, lcore, buffer_);
+    const uint64_t golden = Crc64(buffer);
+    const uint64_t routed = Crc64OnProcessor(cpu, lcore, buffer);
     if (routed != golden) {
       context.RecordComputation(info_.id, lcore, DataType::kBin64, BitsOfRaw(golden, 64),
                                 BitsOfRaw(routed, 64));
@@ -57,7 +62,7 @@ class Crc64Case : public TestcaseBase {
   }
 
  private:
-  std::vector<uint8_t> buffer_;
+  int bytes_;
 };
 
 class FuzzCase : public TestcaseBase {

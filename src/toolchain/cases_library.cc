@@ -67,17 +67,20 @@ class ChecksumCase : public TestcaseBase {
  public:
   ChecksumCase(TestcaseInfo info, bool vectorized, int buffer_bytes)
       : TestcaseBase(std::move(info)), vectorized_(vectorized),
-        buffer_(static_cast<size_t>(buffer_bytes)) {}
+        buffer_bytes_(buffer_bytes) {}
 
   void RunBatch(TestContext& context) override {
     Processor& cpu = context.cpu();
     const int lcore = context.lcores.front();
-    for (auto& byte : buffer_) {
+    // Batch-local buffer: shared testcase objects must stay stateless so parallel plan
+    // entries can drive the same case on several machine clones at once.
+    std::vector<uint8_t> buffer(static_cast<size_t>(buffer_bytes_));
+    for (auto& byte : buffer) {
       byte = static_cast<uint8_t>(context.rng->Next());
     }
-    const uint32_t golden = Crc32(buffer_);
-    const uint32_t routed = vectorized_ ? Crc32VectorOnProcessor(cpu, lcore, buffer_)
-                                        : Crc32OnProcessor(cpu, lcore, buffer_);
+    const uint32_t golden = Crc32(buffer);
+    const uint32_t routed = vectorized_ ? Crc32VectorOnProcessor(cpu, lcore, buffer)
+                                        : Crc32OnProcessor(cpu, lcore, buffer);
     if (routed != golden) {
       context.RecordComputation(info_.id, lcore, DataType::kUInt32, BitsOfUInt32(golden),
                                 BitsOfUInt32(routed));
@@ -86,7 +89,7 @@ class ChecksumCase : public TestcaseBase {
 
  private:
   bool vectorized_;
-  std::vector<uint8_t> buffer_;
+  int buffer_bytes_;
 };
 
 class PolynomialCase : public TestcaseBase {

@@ -1,10 +1,34 @@
 #include "src/toolchain/framework.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "src/common/parallel.h"
 #include "src/common/rng.h"
 
 namespace sdc {
+namespace {
+
+// Brings a machine into the run's starting state: time scale, settled background
+// thermals, optional burn-in, optional pinned temperature.
+void PrepareMachine(FaultyMachine& machine, const TestRunConfig& config) {
+  Processor& cpu = machine.cpu();
+  cpu.SetTimeScale(config.time_scale);
+  machine.SetAllCoreUtilization(config.background_utilization);
+  std::vector<double> utilization(static_cast<size_t>(cpu.spec().physical_cores),
+                                  config.background_utilization);
+  cpu.thermal().SettleToSteadyState(utilization);
+  if (config.burn_in_seconds > 0.0) {
+    machine.SetAllCoreUtilization(1.0);
+    cpu.AdvanceSeconds(config.burn_in_seconds);
+    machine.SetAllCoreUtilization(config.background_utilization);
+  }
+  if (config.pin_temperature_celsius > 0.0) {
+    cpu.thermal().ForceUniform(config.pin_temperature_celsius);
+  }
+}
+
+}  // namespace
 
 bool RunReport::any_error() const {
   for (const auto& result : results) {
@@ -45,30 +69,55 @@ std::vector<TestPlanEntry> TestFramework::EqualPlan(double per_case_seconds) con
 RunReport TestFramework::RunPlan(FaultyMachine& machine,
                                  const std::vector<TestPlanEntry>& plan,
                                  const TestRunConfig& config) const {
+  if (config.parallel_plan_entries && plan.size() > 1) {
+    return RunPlanParallel(machine, plan, config);
+  }
   RunReport report;
   Processor& cpu = machine.cpu();
-  cpu.SetTimeScale(config.time_scale);
   const double start_seconds = cpu.now_seconds();
-
-  // Start from a thermally settled background state.
-  machine.SetAllCoreUtilization(config.background_utilization);
-  std::vector<double> utilization(static_cast<size_t>(cpu.spec().physical_cores),
-                                  config.background_utilization);
-  cpu.thermal().SettleToSteadyState(utilization);
-  if (config.burn_in_seconds > 0.0) {
-    machine.SetAllCoreUtilization(1.0);
-    cpu.AdvanceSeconds(config.burn_in_seconds);
-    machine.SetAllCoreUtilization(config.background_utilization);
-  }
-  if (config.pin_temperature_celsius > 0.0) {
-    cpu.thermal().ForceUniform(config.pin_temperature_celsius);
-  }
+  PrepareMachine(machine, config);
 
   for (const TestPlanEntry& entry : plan) {
     RunEntry(machine, entry, config, report);
   }
   machine.SetAllCoreUtilization(config.background_utilization);
   report.total_wall_seconds = cpu.now_seconds() - start_seconds;
+  return report;
+}
+
+RunReport TestFramework::RunPlanParallel(const FaultyMachine& machine,
+                                         const std::vector<TestPlanEntry>& plan,
+                                         const TestRunConfig& config) const {
+  // One fresh clone per entry makes entries fully independent: each starts from the same
+  // settled (and, if configured, burnt-in) state with its own injector RNG, so the merged
+  // report depends only on (machine, plan, config), never on the worker count. Grain 1:
+  // entries are coarse units of work.
+  ThreadPool pool(config.threads);
+  std::vector<RunReport> entry_reports = pool.ParallelMap<RunReport>(
+      0, plan.size(), 1, [&](uint64_t entry_index, uint64_t, uint64_t) {
+        FaultyMachine clone = machine.CloneFresh();
+        PrepareMachine(clone, config);
+        RunReport entry_report;
+        const double start_seconds = clone.cpu().now_seconds();
+        RunEntry(clone, plan[entry_index], config, entry_report);
+        entry_report.total_wall_seconds = clone.cpu().now_seconds() - start_seconds;
+        return entry_report;
+      });
+
+  // Merge in plan order; the record cap applies to the merged stream, as in a serial run.
+  RunReport report;
+  for (RunReport& entry_report : entry_reports) {
+    report.total_wall_seconds += entry_report.total_wall_seconds;
+    for (TestcaseResult& result : entry_report.results) {
+      report.results.push_back(std::move(result));
+    }
+    for (SdcRecord& record : entry_report.records) {
+      if (report.records.size() >= config.max_records) {
+        break;
+      }
+      report.records.push_back(std::move(record));
+    }
+  }
   return report;
 }
 

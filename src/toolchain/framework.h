@@ -50,6 +50,15 @@ struct TestRunConfig {
   std::vector<int> pcores_under_test;
   // Seed for workload-input randomness.
   uint64_t seed = 1;
+  // Fan plan entries out across a worker pool. Each entry then runs on a fresh clone of
+  // the machine (settled, burn-in applied per entry) with its own forked RNG stream, and
+  // results/records merge in plan order -- so the report is bit-identical at any thread
+  // count, and the caller's machine is left untouched. false = legacy sequential
+  // semantics, where entry N's thermal state carries into entry N+1 on the shared machine.
+  bool parallel_plan_entries = false;
+  // Worker threads when parallel_plan_entries is set: 0 = hardware concurrency, 1 = the
+  // same per-entry-isolated schedule run serially. SDC_THREADS overrides this value.
+  int threads = 0;
 };
 
 struct TestcaseResult {
@@ -82,7 +91,9 @@ class TestFramework {
   // `suite` must outlive the framework.
   explicit TestFramework(const TestSuite* suite) : suite_(suite) {}
 
-  // Executes the plan's testcases in order on `machine`.
+  // Executes the plan's testcases on `machine`: in order on the shared machine by
+  // default, or across a worker pool (one fresh machine clone per entry) when
+  // config.parallel_plan_entries is set.
   RunReport RunPlan(FaultyMachine& machine, const std::vector<TestPlanEntry>& plan,
                     const TestRunConfig& config) const;
 
@@ -94,6 +105,9 @@ class TestFramework {
  private:
   void RunEntry(FaultyMachine& machine, const TestPlanEntry& entry,
                 const TestRunConfig& config, RunReport& report) const;
+  RunReport RunPlanParallel(const FaultyMachine& machine,
+                            const std::vector<TestPlanEntry>& plan,
+                            const TestRunConfig& config) const;
 
   const TestSuite* suite_;
 };

@@ -130,6 +130,49 @@ TEST(RngTest, ForkIndependentButDeterministic) {
   EXPECT_NE(child1.Next(), other.Next());
 }
 
+TEST(RngTest, ForkStreamsShareNoPrefix) {
+  // Different tags off the same parent must give unrelated streams, and no child may
+  // replay its parent's stream -- shard RNGs in the parallel hot paths rely on this.
+  Rng parent(2023);
+  Rng child_a = parent.Fork(0);
+  Rng child_b = parent.Fork(1);
+  Rng parent_copy(2023);
+  for (int i = 0; i < 64; ++i) {
+    const uint64_t a = child_a.Next();
+    const uint64_t b = child_b.Next();
+    const uint64_t p = parent_copy.Next();
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, p);
+    EXPECT_NE(b, p);
+  }
+}
+
+TEST(RngTest, ForkDoesNotPerturbParent) {
+  // Forking is const: the parent's stream must be byte-for-byte what it would have been
+  // had the forks never happened.
+  Rng forked(7);
+  Rng pristine(7);
+  (void)forked.Fork(1);
+  EXPECT_EQ(forked.Next(), pristine.Next());
+  (void)forked.Fork(2);
+  (void)forked.Fork(3);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(forked.Next(), pristine.Next());
+  }
+}
+
+TEST(RngTest, ForkSameSeedSameTagReproduces) {
+  // (seed, tag) fully determines the child stream across separate parent instances.
+  Rng parent1(42);
+  Rng parent2(42);
+  (void)parent1.Next();  // parent position must not matter, only its seed
+  Rng child1 = parent1.Fork(17);
+  Rng child2 = parent2.Fork(17);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(child1.Next(), child2.Next());
+  }
+}
+
 TEST(BitsTest, DataTypeWidths) {
   EXPECT_EQ(BitWidth(DataType::kInt16), 16);
   EXPECT_EQ(BitWidth(DataType::kInt32), 32);

@@ -8,12 +8,19 @@
 //                                                     occurrence frequency of one setting
 //   sdcctl protect <cpu_id> [hours]                   Farron lifecycle on one part
 //
+// A global `--threads N` flag (anywhere on the command line) sets the worker count for
+// the parallel hot paths: fleet generation and screening always honor it, and `sweep` /
+// `export sweep:CPU` switch to per-entry parallel plan execution when it is given.
+// N=0 means hardware concurrency; the SDC_THREADS environment variable overrides N.
+// Results are bit-identical at every thread count.
+//
 // Everything is deterministic; see README.md for the library behind each command.
 
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "src/analysis/repro.h"
 #include "src/common/table.h"
@@ -26,6 +33,11 @@
 
 namespace sdc {
 namespace {
+
+struct GlobalOptions {
+  int threads = 0;        // worker count for parallel paths (0 = hardware concurrency)
+  bool threads_set = false;  // --threads given: sweeps opt into parallel plan entries
+};
 
 int CmdCatalog() {
   TextTable table({"cpu", "arch", "age(Y)", "cores", "defective", "type", "defects"});
@@ -61,7 +73,8 @@ int CmdSuite(const std::string& filter) {
   return 0;
 }
 
-int CmdSweep(const std::string& cpu_id, double seconds_per_case) {
+int CmdSweep(const std::string& cpu_id, double seconds_per_case,
+             const GlobalOptions& options) {
   if (!TryFindInCatalog(cpu_id).has_value()) {
     std::cerr << "unknown cpu id: " << cpu_id << " (see: sdcctl catalog)\n";
     return 1;
@@ -74,6 +87,8 @@ int CmdSweep(const std::string& cpu_id, double seconds_per_case) {
   config.simultaneous_cores = true;
   config.burn_in_seconds = 300.0;
   config.seed = 3;
+  config.parallel_plan_entries = options.threads_set;
+  config.threads = options.threads;
   std::cout << "sweeping " << cpu_id << " with " << suite.size() << " testcases at "
             << seconds_per_case << " s/case (hot environment)...\n";
   const RunReport report =
@@ -91,13 +106,16 @@ int CmdSweep(const std::string& cpu_id, double seconds_per_case) {
   return 0;
 }
 
-int CmdScreen(uint64_t processor_count) {
+int CmdScreen(uint64_t processor_count, const GlobalOptions& options) {
   PopulationConfig population_config;
   population_config.processor_count = processor_count;
+  population_config.threads = options.threads;
   const FleetPopulation fleet = FleetPopulation::Generate(population_config);
   const TestSuite suite = TestSuite::BuildFull();
   ScreeningPipeline pipeline(&suite);
-  const ScreeningStats stats = pipeline.Run(fleet, ScreeningConfig());
+  ScreeningConfig screening_config;
+  screening_config.threads = options.threads;
+  const ScreeningStats stats = pipeline.Run(fleet, screening_config);
   TextTable table({"stage", "detections", "rate"});
   for (int stage = 0; stage < kStageCount; ++stage) {
     table.AddRow({StageName(static_cast<TestStage>(stage)),
@@ -169,7 +187,7 @@ int CmdProtect(const std::string& cpu_id, double hours) {
   return 0;
 }
 
-int CmdExport(const std::string& what) {
+int CmdExport(const std::string& what, const GlobalOptions& options) {
   if (what == "catalog") {
     WriteCatalogJson(std::cout, StudyCatalog());
     return 0;
@@ -177,10 +195,13 @@ int CmdExport(const std::string& what) {
   if (what == "screening") {
     PopulationConfig population_config;
     population_config.processor_count = 250000;
+    population_config.threads = options.threads;
     const FleetPopulation fleet = FleetPopulation::Generate(population_config);
     const TestSuite suite = TestSuite::BuildFull();
     ScreeningPipeline pipeline(&suite);
-    WriteScreeningStatsJson(std::cout, pipeline.Run(fleet, ScreeningConfig()));
+    ScreeningConfig screening_config;
+    screening_config.threads = options.threads;
+    WriteScreeningStatsJson(std::cout, pipeline.Run(fleet, screening_config));
     return 0;
   }
   if (what.rfind("sweep:", 0) == 0) {
@@ -197,6 +218,8 @@ int CmdExport(const std::string& what) {
     config.simultaneous_cores = true;
     config.burn_in_seconds = 300.0;
     config.seed = 3;
+    config.parallel_plan_entries = options.threads_set;
+    config.threads = options.threads;
     WriteRunReportJson(std::cout,
                        framework.RunPlan(machine, framework.EqualPlan(30.0), config));
     return 0;
@@ -206,18 +229,35 @@ int CmdExport(const std::string& what) {
 }
 
 int Usage() {
-  std::cerr << "usage: sdcctl <catalog|suite|sweep|screen|frequency|protect|export> [args]\n"
+  std::cerr << "usage: sdcctl [--threads N] <catalog|suite|sweep|screen|frequency|protect"
+               "|export> [args]\n"
                "  catalog\n"
                "  suite [substring]\n"
                "  sweep <cpu_id> [seconds_per_case=30]\n"
                "  screen <processor_count>\n"
                "  frequency <cpu_id> <testcase_id> <pcore> <tempC> [duration_s=3600]\n"
                "  protect <cpu_id> [hours=4]\n"
-               "  export <catalog|screening|sweep:CPU>   (JSON to stdout)\n";
+               "  export <catalog|screening|sweep:CPU>   (JSON to stdout)\n"
+               "  --threads N   workers for generation/screening/sweeps; 0 = hardware\n"
+               "                concurrency; results are identical at any thread count\n";
   return 2;
 }
 
 int Main(int argc, char** argv) {
+  // Strip the global --threads flag (accepted anywhere) before positional dispatch.
+  GlobalOptions options;
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      options.threads = std::atoi(argv[++i]);
+      options.threads_set = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
   if (argc < 2) {
     return Usage();
   }
@@ -229,17 +269,17 @@ int Main(int argc, char** argv) {
     return CmdSuite(argc > 2 ? argv[2] : "");
   }
   if (command == "sweep" && argc >= 3) {
-    return CmdSweep(argv[2], argc > 3 ? std::strtod(argv[3], nullptr) : 30.0);
+    return CmdSweep(argv[2], argc > 3 ? std::strtod(argv[3], nullptr) : 30.0, options);
   }
   if (command == "screen" && argc >= 3) {
-    return CmdScreen(std::strtoull(argv[2], nullptr, 10));
+    return CmdScreen(std::strtoull(argv[2], nullptr, 10), options);
   }
   if (command == "frequency" && argc >= 6) {
     return CmdFrequency(argv[2], argv[3], std::atoi(argv[4]), std::strtod(argv[5], nullptr),
                         argc > 6 ? std::strtod(argv[6], nullptr) : 3600.0);
   }
   if (command == "export" && argc >= 3) {
-    return CmdExport(argv[2]);
+    return CmdExport(argv[2], options);
   }
   if (command == "protect" && argc >= 3) {
     return CmdProtect(argv[2], argc > 3 ? std::strtod(argv[3], nullptr) : 4.0);

@@ -11,18 +11,23 @@
 #include "src/common/table.h"
 #include "src/fleet/pipeline.h"
 #include "src/fleet/population.h"
+#include "src/telemetry/metrics.h"
 
 int main() {
   using namespace sdc;
   PrintExperimentHeader("Table 2", "failure rate of different micro-architectures");
 
+  MetricsRegistry metrics;
   const auto start = std::chrono::steady_clock::now();
   PopulationConfig population_config;
   population_config.processor_count = 1'000'000;
+  population_config.metrics = &metrics;
   const FleetPopulation fleet = FleetPopulation::Generate(population_config);
   const TestSuite suite = TestSuite::BuildFull();
   ScreeningPipeline pipeline(&suite);
-  const ScreeningStats stats = pipeline.Run(fleet, ScreeningConfig());
+  ScreeningConfig screening_config;
+  screening_config.metrics = &metrics;
+  const ScreeningStats stats = pipeline.Run(fleet, screening_config);
   const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
 
   TextTable table({"arch", "tested", "measured (permyriad)", "paper (permyriad)"});
@@ -40,5 +45,8 @@ int main() {
             << " micro-architectures have detected faulty processors\n";
   std::cout << "wall time: " << FormatDouble(elapsed.count(), 2) << " s (generate + screen, "
             << ResolveThreadCount(0) << " threads; set SDC_THREADS to vary)\n";
+  std::cout << "\nmetrics snapshot (counters/gauges/histograms are thread-count"
+               " invariant):\n";
+  metrics.Snapshot().DumpText(std::cout);
   return 0;
 }

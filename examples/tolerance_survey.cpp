@@ -70,7 +70,7 @@ int main() {
             << report.sdc_events << "; datapath cost: 1.00x\n\n";
   std::cout << "telemetry (" << log.total_recorded() << " events, newest window):\n";
   size_t shown = 0;
-  for (const Event& event : log.events()) {
+  for (const Event& event : log.RetainedEvents()) {
     if (event.kind != EventKind::kSdcDetected || shown < 3) {
       std::cout << "  [" << FormatDouble(event.time_seconds, 0) << "s] "
                 << EventKindName(event.kind) << " " << event.subject << "\n";

@@ -1,0 +1,77 @@
+#include "src/common/parse.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+namespace sdc {
+namespace {
+
+// strtol-family helpers need a NUL-terminated buffer and leave leading-whitespace /
+// partial-consumption acceptance to the caller; centralize the strict policy here.
+bool Preflight(std::string_view text, std::string& buffer) {
+  if (text.empty() || std::isspace(static_cast<unsigned char>(text.front()))) {
+    return false;
+  }
+  buffer.assign(text);
+  return true;
+}
+
+}  // namespace
+
+std::optional<int64_t> ParseInt64(std::string_view text) {
+  std::string buffer;
+  if (!Preflight(text, buffer)) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(buffer.c_str(), &end, 10);
+  if (errno == ERANGE || end != buffer.c_str() + buffer.size() || end == buffer.c_str()) {
+    return std::nullopt;
+  }
+  return static_cast<int64_t>(value);
+}
+
+std::optional<int> ParseInt(std::string_view text) {
+  const std::optional<int64_t> value = ParseInt64(text);
+  if (!value.has_value() || *value < std::numeric_limits<int>::min() ||
+      *value > std::numeric_limits<int>::max()) {
+    return std::nullopt;
+  }
+  return static_cast<int>(*value);
+}
+
+std::optional<uint64_t> ParseUint64(std::string_view text) {
+  std::string buffer;
+  if (!Preflight(text, buffer) || text.front() == '-') {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(buffer.c_str(), &end, 10);
+  if (errno == ERANGE || end != buffer.c_str() + buffer.size() || end == buffer.c_str()) {
+    return std::nullopt;
+  }
+  return static_cast<uint64_t>(value);
+}
+
+std::optional<double> ParseDouble(std::string_view text) {
+  std::string buffer;
+  if (!Preflight(text, buffer)) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buffer.c_str(), &end);
+  if (errno == ERANGE || end != buffer.c_str() + buffer.size() || end == buffer.c_str() ||
+      !std::isfinite(value)) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace sdc

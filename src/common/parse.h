@@ -1,0 +1,30 @@
+// Checked numeric parsing for command-line operands and environment values. Unlike atoi /
+// bare strtoull, these reject empty input, trailing garbage, overflow, and (for unsigned
+// parses) negative numbers, returning nullopt instead of silently coercing to 0 -- a
+// screening run over a "0-processor fleet" because of a typo is exactly the kind of silent
+// corruption this repository is about.
+
+#ifndef SDC_SRC_COMMON_PARSE_H_
+#define SDC_SRC_COMMON_PARSE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace sdc {
+
+// Base-10 signed integer; rejects anything but an optional sign and digits.
+std::optional<int64_t> ParseInt64(std::string_view text);
+
+// ParseInt64 narrowed to int; rejects values outside int's range.
+std::optional<int> ParseInt(std::string_view text);
+
+// Base-10 unsigned integer; rejects a leading '-' (strtoull would wrap it).
+std::optional<uint64_t> ParseUint64(std::string_view text);
+
+// Finite floating-point value (strtod grammar, full consumption required).
+std::optional<double> ParseDouble(std::string_view text);
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_COMMON_PARSE_H_

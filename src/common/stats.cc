@@ -7,14 +7,18 @@
 namespace sdc {
 
 double Mean(const std::vector<double>& values) {
-  if (values.empty()) {
+  double sum = 0.0;
+  size_t finite = 0;
+  for (double v : values) {
+    if (std::isfinite(v)) {
+      sum += v;
+      ++finite;
+    }
+  }
+  if (finite == 0) {
     return 0.0;
   }
-  double sum = 0.0;
-  for (double v : values) {
-    sum += v;
-  }
-  return sum / static_cast<double>(values.size());
+  return sum / static_cast<double>(finite);
 }
 
 double Variance(const std::vector<double>& values) {
@@ -76,6 +80,9 @@ LinearFit FitLeastSquares(const std::vector<double>& xs, const std::vector<doubl
 }
 
 double Quantile(std::vector<double> values, double q) {
+  // Non-finite samples would both break std::sort's strict weak ordering (NaN) and poison
+  // the interpolation (inf * 0), so they are dropped up front.
+  std::erase_if(values, [](double v) { return !std::isfinite(v); });
   if (values.empty()) {
     return 0.0;
   }
@@ -102,7 +109,15 @@ double FractionAtOrBelow(const std::vector<double>& values, double threshold) {
 }
 
 Histogram::Histogram(double lo, double hi, size_t bins)
-    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {}
+    : lo_(lo),
+      width_(bins == 0 ? 0.0 : (hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  // Degenerate ranges (hi <= lo, non-finite bounds) collapse to width 0: every sample then
+  // lands in an edge bin instead of dividing by zero on each Add.
+  if (!std::isfinite(width_) || width_ < 0.0) {
+    width_ = 0.0;
+  }
+}
 
 void Histogram::Add(double value) { AddN(value, 1); }
 
@@ -110,16 +125,40 @@ void Histogram::AddN(double value, uint64_t count) {
   if (counts_.empty()) {
     return;
   }
-  double position = (value - lo_) / width_;
-  if (position < 0.0) {
-    position = 0.0;
-  }
-  size_t bin = static_cast<size_t>(position);
-  if (bin >= counts_.size()) {
-    bin = counts_.size() - 1;
+  size_t bin;
+  if (std::isnan(value)) {
+    bin = 0;  // deterministic edge bin for NaN samples
+  } else if (width_ <= 0.0) {
+    bin = value > lo_ ? counts_.size() - 1 : 0;  // degenerate width: split at lo
+  } else {
+    // position is +-inf for infinite samples; the range checks below clamp it to an edge
+    // bin before the (otherwise UB) size_t cast.
+    const double position = (value - lo_) / width_;
+    if (position <= 0.0) {
+      bin = 0;
+    } else if (position >= static_cast<double>(counts_.size())) {
+      bin = counts_.size() - 1;
+    } else {
+      bin = static_cast<size_t>(position);
+    }
   }
   counts_[bin] += count;
   total_ += count;
+}
+
+bool Histogram::SameShape(const Histogram& other) const {
+  return lo_ == other.lo_ && width_ == other.width_ &&
+         counts_.size() == other.counts_.size();
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  if (!SameShape(other)) {
+    return;  // shape mismatch: nothing sensible to add bin-by-bin
+  }
+  for (size_t bin = 0; bin < counts_.size(); ++bin) {
+    counts_[bin] += other.counts_[bin];
+  }
+  total_ += other.total_;
 }
 
 double Histogram::Fraction(size_t bin) const {

@@ -10,7 +10,7 @@
 
 namespace sdc {
 
-// Mean of `values`; 0 for an empty input.
+// Mean of the finite entries of `values`; 0 when none are finite (or the input is empty).
 double Mean(const std::vector<double>& values);
 
 // Population variance; 0 for fewer than two samples.
@@ -34,13 +34,18 @@ struct LinearFit {
 // Fits `ys` against `xs`; returns a zero fit when the input is degenerate.
 LinearFit FitLeastSquares(const std::vector<double>& xs, const std::vector<double>& ys);
 
-// Linear interpolated quantile (q in [0, 1]) of an unsorted sample; 0 for empty input.
+// Linear interpolated quantile (q in [0, 1]) of an unsorted sample. Non-finite entries are
+// ignored; 0 when no finite samples remain.
 double Quantile(std::vector<double> values, double q);
 
 // Fraction of samples <= threshold; this is the empirical CDF evaluated at `threshold`.
 double FractionAtOrBelow(const std::vector<double>& values, double threshold);
 
-// Fixed-width histogram over [lo, hi); samples outside the range are clamped to the edge bins.
+// Fixed-width histogram over [lo, hi); samples outside the range are clamped to the edge
+// bins. Degenerate construction is safe: bins == 0 accepts (and drops) samples without
+// counting them, hi <= lo or non-finite bounds collapse to a zero-width histogram whose
+// samples split between the edge bins at lo. Non-finite samples land deterministically on
+// an edge bin (NaN and -inf on the first, +inf on the last) rather than invoking UB.
 class Histogram {
  public:
   Histogram(double lo, double hi, size_t bins);
@@ -51,10 +56,18 @@ class Histogram {
   size_t bin_count() const { return counts_.size(); }
   uint64_t count(size_t bin) const { return counts_[bin]; }
   uint64_t total() const { return total_; }
+  double lo() const { return lo_; }
+  // Per-bin width; 0 for degenerate construction.
+  double width() const { return width_; }
   // Fraction of all samples in `bin`; 0 when the histogram is empty.
   double Fraction(size_t bin) const;
   // Center x-value of `bin`.
   double BinCenter(size_t bin) const;
+
+  // True when `other` has identical bounds and bin count, i.e. counts are addable.
+  bool SameShape(const Histogram& other) const;
+  // Adds `other`'s per-bin counts; no-op on shape mismatch.
+  void MergeFrom(const Histogram& other);
 
  private:
   double lo_;

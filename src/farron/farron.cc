@@ -22,6 +22,7 @@ TestRunConfig Farron::MakeRunConfig() const {
   run_config.burn_in_seconds = config_.enable_hot_testing ? config_.burn_in_seconds : 0.0;
   run_config.seed = config_.seed;
   run_config.pcores_under_test = pool_.UsableCores();
+  run_config.metrics = config_.metrics;
   return run_config;
 }
 

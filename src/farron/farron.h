@@ -52,6 +52,11 @@ struct FarronConfig {
   bool enable_adaptive_boundary = true;
   bool enable_backoff = true;
   bool enable_fine_decommission = true;
+  // Optional metric sink: forwarded to every test round's TestRunConfig ("toolchain.*")
+  // and used by the protection loop ("protection.*", "farron.*"). For per-event counters,
+  // attach the same registry to the EventLog (EventLog::AttachMetrics). Null disables
+  // instrumentation. Must outlive the Farron instance.
+  MetricsRegistry* metrics = nullptr;
 };
 
 // Per-round summary used by the evaluation harnesses.

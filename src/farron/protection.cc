@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/rng.h"
+#include "src/telemetry/metrics.h"
 #include "src/toolchain/testcase.h"
 
 namespace sdc {
@@ -121,6 +122,21 @@ ProtectionReport SimulateProtectedWorkload(Farron& farron, FaultyMachine& machin
   report.final_boundary = farron.boundary().boundary_celsius();
   report.final_cooling_boost = cpu.thermal().cooling_boost();
   set_utilization(spec.base_utilization);
+  // One delta per simulated run: the loop above is serial, so a single end-of-run summary
+  // keeps the registry cheap and the values a pure function of (machine, spec, hours).
+  // Per-event counters ("events.*") flow separately through EventLog::AttachMetrics.
+  if (MetricsRegistry* metrics = farron.config().metrics; metrics != nullptr) {
+    MetricsDelta delta;
+    delta.Add("protection.runs");
+    delta.Add("protection.sdc_events", report.sdc_events);
+    delta.Add("protection.backoff_engagements", report.backoff_engagements);
+    delta.Add("protection.cooling_boosts", report.cooling_boosts);
+    delta.Set("protection.max_temperature_celsius", report.max_temperature);
+    delta.Set("protection.final_boundary_celsius", report.final_boundary);
+    delta.Set("protection.backoff_seconds_per_hour",
+              hours > 0.0 ? report.backoff_seconds / hours : 0.0);
+    metrics->MergeDelta(delta);
+  }
   return report;
 }
 

@@ -1,10 +1,12 @@
 #include "src/fleet/pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
+#include "src/telemetry/metrics.h"
 
 namespace sdc {
 
@@ -145,26 +147,72 @@ namespace {
 // stats are a pure function of (fleet, config.seed) at any thread count.
 constexpr uint64_t kScreeningGrain = 4096;
 
+// Per-stage pass/fail/SDC counters for one shard, derived from the shard's private stats
+// so the hot per-processor loop never touches a metric map.
+MetricsDelta DeltaFromShardStats(const ScreeningStats& stats) {
+  MetricsDelta delta;
+  delta.Add("screening.tested", stats.tested);
+  delta.Add("screening.faulty", stats.faulty);
+  delta.Add("screening.detected", stats.total_detected());
+  delta.Add("screening.escaped", stats.faulty - stats.total_detected());
+  for (int stage = 0; stage < kStageCount; ++stage) {
+    delta.Add("screening.stage." + StageName(static_cast<TestStage>(stage)) + ".detected",
+              stats.detected_by_stage[static_cast<size_t>(stage)]);
+  }
+  for (int arch = 0; arch < kArchCount; ++arch) {
+    const auto index = static_cast<size_t>(arch);
+    if (stats.tested_by_arch[index] > 0) {
+      delta.Add("screening.arch." + ArchName(arch) + ".tested",
+                stats.tested_by_arch[index]);
+    }
+    if (stats.detected_by_arch[index] > 0) {
+      delta.Add("screening.arch." + ArchName(arch) + ".detected",
+                stats.detected_by_arch[index]);
+    }
+  }
+  return delta;
+}
+
 }  // namespace
 
 ScreeningStats ScreeningPipeline::Run(const FleetPopulation& fleet,
                                       const ScreeningConfig& config) const {
   const std::vector<FleetProcessor>& processors = fleet.processors();
   const Rng base(config.seed);
+  MetricsRegistry::ScopedTimer run_timer(config.metrics, "screening.run.wall");
   ThreadPool pool(config.threads);
-  return pool.ParallelReduce<ScreeningStats>(
-      0, processors.size(), kScreeningGrain, ScreeningStats{},
+
+  // Stats plus the shard's metric delta travel together through the ordered reduce, so
+  // the registry sees exactly one delta per shard, applied in shard order.
+  struct ShardResult {
+    ScreeningStats stats;
+    MetricsDelta delta;
+  };
+  ShardResult total = pool.ParallelReduce<ShardResult>(
+      0, processors.size(), kScreeningGrain, ShardResult{},
       [&](uint64_t shard, uint64_t begin, uint64_t end) {
-        ScreeningStats stats;
+        const auto shard_start = std::chrono::steady_clock::now();
+        ShardResult result;
         Rng rng = base.Fork(shard);
         for (uint64_t index = begin; index < end; ++index) {
-          ScreenProcessor(processors[index], config, rng, stats);
+          ScreenProcessor(processors[index], config, rng, result.stats);
         }
-        return stats;
+        if (config.metrics != nullptr) {
+          result.delta = DeltaFromShardStats(result.stats);
+          const std::chrono::duration<double> elapsed =
+              std::chrono::steady_clock::now() - shard_start;
+          config.metrics->RecordTimerSeconds("screening.shard.wall", elapsed.count());
+        }
+        return result;
       },
-      [](ScreeningStats& total, const ScreeningStats& shard_stats) {
-        total.MergeFrom(shard_stats);
+      [](ShardResult& accumulator, const ShardResult& shard_result) {
+        accumulator.stats.MergeFrom(shard_result.stats);
+        accumulator.delta.MergeFrom(shard_result.delta);
       });
+  if (config.metrics != nullptr) {
+    config.metrics->MergeDelta(total.delta);
+  }
+  return std::move(total.stats);
 }
 
 void ScreeningPipeline::ScreenProcessor(const FleetProcessor& processor,

@@ -26,6 +26,8 @@
 
 namespace sdc {
 
+class MetricsRegistry;
+
 enum class TestStage {
   kFactory = 0,
   kDatacenter = 1,
@@ -62,6 +64,10 @@ struct ScreeningConfig {
   // Stats are bit-identical for a given seed at any thread count (see docs/parallelism.md);
   // SDC_THREADS overrides this value.
   int threads = 0;
+  // Optional metric sink ("screening.*"): per-shard MetricsDelta objects merged in shard
+  // order, thread-count invariant except the wall-clock shard timers
+  // (docs/observability.md). Null disables instrumentation.
+  MetricsRegistry* metrics = nullptr;
 };
 
 // Group a processor's regular tests belong to, and the absolute month of its round in a

@@ -2,6 +2,7 @@
 
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
+#include "src/telemetry/metrics.h"
 
 namespace sdc {
 namespace {
@@ -13,8 +14,33 @@ constexpr uint64_t kGenerateGrain = 8192;
 
 struct ShardTally {
   uint64_t faulty = 0;
+  uint64_t defects = 0;
+  uint64_t undetectable = 0;
   std::array<uint64_t, kArchCount> by_arch{};
+  std::array<uint64_t, kArchCount> defects_by_arch{};
+  // Built once per shard (not per processor) from the tallies above; merged in shard
+  // order, so metric values are thread-count invariant like the fleet itself.
+  MetricsDelta delta;
 };
+
+void FillShardDelta(ShardTally& tally, uint64_t processors) {
+  MetricsDelta& delta = tally.delta;
+  delta.Add("fleet.generate.processors", processors);
+  delta.Add("fleet.generate.faulty", tally.faulty);
+  delta.Add("fleet.generate.defects", tally.defects);
+  delta.Add("fleet.generate.undetectable", tally.undetectable);
+  for (int arch = 0; arch < kArchCount; ++arch) {
+    const auto index = static_cast<size_t>(arch);
+    if (tally.by_arch[index] > 0) {
+      delta.Add("fleet.generate.arch." + ArchName(arch) + ".processors",
+                tally.by_arch[index]);
+    }
+    if (tally.defects_by_arch[index] > 0) {
+      delta.Add("fleet.generate.arch." + ArchName(arch) + ".defects",
+                tally.defects_by_arch[index]);
+    }
+  }
+}
 
 }  // namespace
 
@@ -25,6 +51,7 @@ FleetPopulation FleetPopulation::Generate(const PopulationConfig& config) {
   const Rng base(config.seed);
   const std::vector<double> shares(config.arch_share.begin(), config.arch_share.end());
 
+  MetricsRegistry::ScopedTimer generate_timer(config.metrics, "fleet.generate.wall");
   ThreadPool pool(config.threads);
   const std::vector<ShardTally> tallies = pool.ParallelMap<ShardTally>(
       0, config.processor_count, kGenerateGrain,
@@ -43,8 +70,17 @@ FleetPopulation FleetPopulation::Generate(const PopulationConfig& config) {
             processor.defects = GenerateRandomDefects(rng, processor.arch_index, pcores);
             processor.toolchain_detectable = !rng.NextBernoulli(config.undetectable_share);
             ++tally.faulty;
+            tally.defects += processor.defects.size();
+            tally.defects_by_arch[static_cast<size_t>(processor.arch_index)] +=
+                processor.defects.size();
+            if (!processor.toolchain_detectable) {
+              ++tally.undetectable;
+            }
           }
           ++tally.by_arch[static_cast<size_t>(processor.arch_index)];
+        }
+        if (config.metrics != nullptr) {
+          FillShardDelta(tally, end - begin);
         }
         return tally;
       });
@@ -54,6 +90,9 @@ FleetPopulation FleetPopulation::Generate(const PopulationConfig& config) {
     for (int arch = 0; arch < kArchCount; ++arch) {
       fleet.counts_by_arch_[static_cast<size_t>(arch)] +=
           tally.by_arch[static_cast<size_t>(arch)];
+    }
+    if (config.metrics != nullptr) {
+      config.metrics->MergeDelta(tally.delta);
     }
   }
   return fleet;

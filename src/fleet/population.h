@@ -16,6 +16,8 @@
 
 namespace sdc {
 
+class MetricsRegistry;
+
 struct FleetProcessor {
   uint64_t serial = 0;
   int arch_index = 0;
@@ -44,6 +46,10 @@ struct PopulationConfig {
   // Output is bit-identical for a given seed at any thread count (see docs/parallelism.md);
   // SDC_THREADS overrides this value.
   int threads = 0;
+  // Optional metric sink ("fleet.generate.*"): per-shard deltas merged in shard order, so
+  // recorded values obey the same thread-count invariance as the fleet itself
+  // (docs/observability.md). Null disables instrumentation.
+  MetricsRegistry* metrics = nullptr;
 };
 
 class FleetPopulation {

@@ -133,4 +133,48 @@ void WriteCatalogJson(std::ostream& out,
   json.EndArray();
 }
 
+void WriteMetricsJson(std::ostream& out, const MetricsSnapshot& snapshot,
+                      bool include_timers) {
+  JsonWriter json(out);
+  json.BeginObject();
+  json.Key("counters").BeginObject();
+  for (const auto& [name, value] : snapshot.counters) {
+    json.KeyValue(name, value);
+  }
+  json.EndObject();
+  json.Key("gauges").BeginObject();
+  for (const auto& [name, value] : snapshot.gauges) {
+    json.KeyValue(name, value);
+  }
+  json.EndObject();
+  json.Key("histograms").BeginObject();
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    json.Key(name).BeginObject();
+    json.KeyValue("lo", histogram.lo());
+    json.KeyValue("width", histogram.width());
+    json.KeyValue("total", histogram.total());
+    json.Key("counts").BeginArray();
+    for (size_t bin = 0; bin < histogram.bin_count(); ++bin) {
+      json.Value(histogram.count(bin));
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndObject();
+  if (include_timers) {
+    json.Key("timers").BeginObject();
+    for (const auto& [name, timer] : snapshot.timers) {
+      json.Key(name).BeginObject();
+      json.KeyValue("count", timer.count);
+      json.KeyValue("total_seconds", timer.total_seconds);
+      json.KeyValue("min_seconds", timer.min_seconds);
+      json.KeyValue("max_seconds", timer.max_seconds);
+      json.KeyValue("nondeterministic", true);
+      json.EndObject();
+    }
+    json.EndObject();
+  }
+  json.EndObject();
+}
+
 }  // namespace sdc

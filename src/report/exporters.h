@@ -11,6 +11,7 @@
 
 #include "src/fault/catalog.h"
 #include "src/fleet/pipeline.h"
+#include "src/telemetry/metrics.h"
 #include "src/toolchain/framework.h"
 
 namespace sdc {
@@ -25,6 +26,13 @@ void WriteScreeningStatsJson(std::ostream& out, const ScreeningStats& stats);
 // The study catalog: hardware attributes and full defect parameters per processor.
 void WriteCatalogJson(std::ostream& out,
                       const std::vector<FaultyProcessorInfo>& catalog);
+
+// A metrics snapshot: counters and gauges as name->value objects, histograms as
+// {lo, width, total, counts[]}. Timers measure host wall clock and are therefore
+// nondeterministic; pass include_timers = false to emit only the sections the
+// determinism contract covers (byte-identical at any thread count).
+void WriteMetricsJson(std::ostream& out, const MetricsSnapshot& snapshot,
+                      bool include_timers = true);
 
 }  // namespace sdc
 

@@ -1,5 +1,6 @@
 #include "src/report/json_writer.h"
 
+#include <cassert>
 #include <cmath>
 #include <cstdio>
 
@@ -78,7 +79,19 @@ JsonWriter& JsonWriter::BeginObject() {
   return *this;
 }
 
+void JsonWriter::CloseDanglingKey() {
+  if (!expecting_value_) {
+    return;
+  }
+  // A Key() with no following value: "{"k":}" is not JSON, and the stale flag would also
+  // swallow the separator of the next write. Complete the pair with an explicit null (the
+  // flag is consumed by Null()'s Prefix) -- but this is a caller bug, so say so in debug.
+  assert(!"JsonWriter: Key() was not followed by a value");
+  Null();
+}
+
 JsonWriter& JsonWriter::EndObject() {
+  CloseDanglingKey();
   const bool had_items = has_items_.back();
   stack_.pop_back();
   has_items_.pop_back();
@@ -104,6 +117,7 @@ JsonWriter& JsonWriter::BeginArray() {
 }
 
 JsonWriter& JsonWriter::EndArray() {
+  CloseDanglingKey();
   const bool had_items = has_items_.back();
   stack_.pop_back();
   has_items_.pop_back();
@@ -121,6 +135,7 @@ JsonWriter& JsonWriter::EndArray() {
 }
 
 JsonWriter& JsonWriter::Key(std::string_view key) {
+  CloseDanglingKey();  // Key() directly after Key(): null out the abandoned one
   Prefix(true);
   out_ << "\"" << Escape(key) << "\":";
   if (pretty_) {

@@ -22,7 +22,9 @@ class JsonWriter {
   JsonWriter& BeginArray();
   JsonWriter& EndArray();
 
-  // Emits an object key; must be followed by a value or Begin*.
+  // Emits an object key; must be followed by a value or Begin*. A dangling key (another
+  // Key() or an End* before any value) asserts in debug builds; release builds emit an
+  // explicit null so the output stays parseable.
   JsonWriter& Key(std::string_view key);
 
   JsonWriter& Value(std::string_view value);
@@ -52,6 +54,8 @@ class JsonWriter {
   enum class Scope { kObject, kArray };
   void Prefix(bool is_key);
   void Indent();
+  // Emits a null (and asserts in debug) when a Key() is still awaiting its value.
+  void CloseDanglingKey();
 
   std::ostream& out_;
   bool pretty_;

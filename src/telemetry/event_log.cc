@@ -1,5 +1,7 @@
 #include "src/telemetry/event_log.h"
 
+#include "src/telemetry/metrics.h"
+
 namespace sdc {
 
 std::string EventKindName(EventKind kind) {
@@ -29,8 +31,13 @@ std::string EventKindName(EventKind kind) {
 EventLog::EventLog(size_t capacity) : capacity_(capacity) {}
 
 void EventLog::Record(Event event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   ++total_recorded_;
   ++counts_[event.kind];
+  if (metrics_ != nullptr) {
+    metrics_->Add("events.recorded");
+    metrics_->Add("events." + EventKindName(event.kind));
+  }
   events_.push_back(std::move(event));
   if (events_.size() > capacity_) {
     events_.pop_front();
@@ -48,12 +55,29 @@ void EventLog::Record(EventKind kind, double time_seconds, std::string subject, 
   Record(std::move(event));
 }
 
+void EventLog::AttachMetrics(MetricsRegistry* metrics) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  metrics_ = metrics;
+}
+
+std::vector<Event> EventLog::RetainedEvents() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<Event>(events_.begin(), events_.end());
+}
+
+uint64_t EventLog::total_recorded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_recorded_;
+}
+
 uint64_t EventLog::CountOf(EventKind kind) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = counts_.find(kind);
   return it == counts_.end() ? 0 : it->second;
 }
 
 std::vector<Event> EventLog::EventsOf(EventKind kind) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<Event> out;
   for (const Event& event : events_) {
     if (event.kind == kind) {
@@ -64,6 +88,7 @@ std::vector<Event> EventLog::EventsOf(EventKind kind) const {
 }
 
 void EventLog::Dump(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   for (const Event& event : events_) {
     out << "[" << event.time_seconds << "s] " << EventKindName(event.kind) << " "
         << event.subject;
@@ -78,6 +103,7 @@ void EventLog::Dump(std::ostream& out) const {
 }
 
 void EventLog::Clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
   events_.clear();
   counts_.clear();
   total_recorded_ = 0;

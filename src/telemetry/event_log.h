@@ -9,11 +9,14 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
 namespace sdc {
+
+class MetricsRegistry;
 
 enum class EventKind {
   kSdcDetected,        // a testcase observed corruption
@@ -39,6 +42,12 @@ struct Event {
 
 // Bounded in-memory event log with per-kind counters. Oldest events are dropped once the
 // capacity is reached (the counters keep the full totals).
+//
+// Thread safety: all members serialize on an internal mutex, so emitters running under
+// parallel_plan_entries may Record concurrently. When a MetricsRegistry is attached, each
+// Record also bumps that registry's "events.<kind-name>" counter while still holding the
+// log's lock; the lock order is always EventLog -> MetricsRegistry (the registry never
+// calls back into the log), so sharing both across threads cannot deadlock.
 class EventLog {
  public:
   explicit EventLog(size_t capacity = 4096);
@@ -47,8 +56,15 @@ class EventLog {
   void Record(EventKind kind, double time_seconds, std::string subject, int pcore = -1,
               double value = 0.0);
 
-  const std::deque<Event>& events() const { return events_; }
-  uint64_t total_recorded() const { return total_recorded_; }
+  // Bridges events into `metrics` as "events.<kind-name>" counters (plus the
+  // "events.recorded" total). Pass nullptr to detach; the registry must outlive the log
+  // or be detached first. Bridged counts are deterministic whenever the emitting workload
+  // is: merge order only matters for gauges, and the bridge emits none.
+  void AttachMetrics(MetricsRegistry* metrics);
+
+  // Snapshot of the retained window, oldest first.
+  std::vector<Event> RetainedEvents() const;
+  uint64_t total_recorded() const;
   uint64_t CountOf(EventKind kind) const;
 
   // Events of one kind, oldest first (within the retained window).
@@ -60,10 +76,12 @@ class EventLog {
   void Clear();
 
  private:
+  mutable std::mutex mutex_;
   size_t capacity_;
   std::deque<Event> events_;
   std::map<EventKind, uint64_t> counts_;
   uint64_t total_recorded_ = 0;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace sdc

@@ -1,0 +1,159 @@
+#include "src/telemetry/metrics.h"
+
+#include <utility>
+
+namespace sdc {
+
+void TimerStat::Record(double seconds) {
+  if (count == 0 || seconds < min_seconds) {
+    min_seconds = seconds;
+  }
+  if (count == 0 || seconds > max_seconds) {
+    max_seconds = seconds;
+  }
+  ++count;
+  total_seconds += seconds;
+}
+
+void TimerStat::MergeFrom(const TimerStat& other) {
+  if (other.count == 0) {
+    return;
+  }
+  if (count == 0 || other.min_seconds < min_seconds) {
+    min_seconds = other.min_seconds;
+  }
+  if (count == 0 || other.max_seconds > max_seconds) {
+    max_seconds = other.max_seconds;
+  }
+  count += other.count;
+  total_seconds += other.total_seconds;
+}
+
+void MetricsDelta::Add(std::string_view counter, uint64_t n) {
+  const auto it = counters_.find(counter);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(counter), n);
+  } else {
+    it->second += n;
+  }
+}
+
+void MetricsDelta::Set(std::string_view gauge, double value) {
+  const auto it = gauges_.find(gauge);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(gauge), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsDelta::Observe(std::string_view histogram, double value, double lo, double hi,
+                           size_t bins) {
+  auto it = histograms_.find(histogram);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(histogram), Histogram(lo, hi, bins)).first;
+  }
+  it->second.Add(value);
+}
+
+void MetricsDelta::MergeFrom(const MetricsDelta& other) {
+  for (const auto& [name, n] : other.counters_) {
+    Add(name, n);
+  }
+  for (const auto& [name, value] : other.gauges_) {
+    Set(name, value);
+  }
+  for (const auto& [name, histogram] : other.histograms_) {
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, histogram);
+    } else {
+      it->second.MergeFrom(histogram);
+    }
+  }
+}
+
+uint64_t MetricsSnapshot::CounterOr(std::string_view name, uint64_t fallback) const {
+  const auto it = counters.find(name);
+  return it == counters.end() ? fallback : it->second;
+}
+
+void MetricsSnapshot::DumpText(std::ostream& out) const {
+  for (const auto& [name, n] : counters) {
+    out << "counter " << name << " = " << n << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out << "gauge " << name << " = " << value << "\n";
+  }
+  for (const auto& [name, histogram] : histograms) {
+    out << "histogram " << name << " total=" << histogram.total() << " bins=[";
+    for (size_t bin = 0; bin < histogram.bin_count(); ++bin) {
+      out << (bin == 0 ? "" : " ") << histogram.count(bin);
+    }
+    out << "]\n";
+  }
+  for (const auto& [name, timer] : timers) {
+    out << "timer " << name << " count=" << timer.count << " total=" << timer.total_seconds
+        << "s min=" << timer.min_seconds << "s max=" << timer.max_seconds
+        << "s (wall clock, nondeterministic)\n";
+  }
+}
+
+void MetricsRegistry::Add(std::string_view counter, uint64_t n) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  data_.Add(counter, n);
+}
+
+void MetricsRegistry::Set(std::string_view gauge, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  data_.Set(gauge, value);
+}
+
+void MetricsRegistry::Observe(std::string_view histogram, double value, double lo,
+                              double hi, size_t bins) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  data_.Observe(histogram, value, lo, hi, bins);
+}
+
+void MetricsRegistry::MergeDelta(const MetricsDelta& delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  data_.MergeFrom(delta);
+}
+
+void MetricsRegistry::RecordTimerSeconds(std::string_view timer, double seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = timers_.find(timer);
+  if (it == timers_.end()) {
+    TimerStat stat;
+    stat.Record(seconds);
+    timers_.emplace(std::string(timer), stat);
+  } else {
+    it->second.Record(seconds);
+  }
+}
+
+MetricsRegistry::ScopedTimer::~ScopedTimer() {
+  if (registry_ == nullptr) {
+    return;
+  }
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start_;
+  registry_->RecordTimerSeconds(timer_, elapsed.count());
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.insert(data_.counters().begin(), data_.counters().end());
+  snapshot.gauges.insert(data_.gauges().begin(), data_.gauges().end());
+  snapshot.histograms.insert(data_.histograms().begin(), data_.histograms().end());
+  snapshot.timers = timers_;
+  return snapshot;
+}
+
+void MetricsRegistry::Clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  data_ = MetricsDelta();
+  timers_.clear();
+}
+
+}  // namespace sdc

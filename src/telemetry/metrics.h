@@ -1,0 +1,142 @@
+// Fleet-wide metrics for the screening machinery itself: named counters, gauges, and
+// bounded histograms, plus RAII wall-clock timers. The paper's whole methodology is
+// counting -- failure rates per stage, per architecture, per testcase -- and production
+// screening fleets (Meta's SDC program, SiliFuzz) live or die by the observability of the
+// screening pipeline, so the pipeline that computes those numbers instruments itself here.
+//
+// Determinism contract (the same one docs/parallelism.md imposes on results): parallel
+// stages accumulate into per-shard MetricsDelta objects that the caller merges in shard
+// order, so every counter, gauge, and histogram value is bit-identical at any thread
+// count. Wall-clock timers are the one deliberate exception: they measure the host, not
+// the simulation, and are segregated into their own section flagged nondeterministic so
+// snapshot comparisons can exclude them (MetricsSnapshot::timers, WriteMetricsJson's
+// include_timers switch).
+//
+// Thread safety: MetricsDelta is a plain single-thread accumulator (one per shard);
+// MetricsRegistry serializes every entry point behind one mutex, so worker threads may
+// record timers concurrently while shard merges happen on the calling thread. EventLog
+// can bridge into a registry (EventLog::AttachMetrics); its lock is always taken before
+// the registry's, never the reverse, so the pair cannot deadlock.
+
+#ifndef SDC_SRC_TELEMETRY_METRICS_H_
+#define SDC_SRC_TELEMETRY_METRICS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "src/common/stats.h"
+
+namespace sdc {
+
+// Aggregate of one wall-clock timer: total/min/max over `count` recorded spans. Values are
+// host-dependent and therefore excluded from the determinism contract.
+struct TimerStat {
+  uint64_t count = 0;
+  double total_seconds = 0.0;
+  double min_seconds = 0.0;  // 0 until the first record
+  double max_seconds = 0.0;
+
+  void Record(double seconds);
+  void MergeFrom(const TimerStat& other);
+};
+
+// Single-threaded accumulator for one shard of a parallel stage. Shards fill private
+// deltas and the caller merges them in shard order (MetricsRegistry::MergeDelta), which
+// keeps order-sensitive updates (gauges are last-write-wins) reproducible.
+class MetricsDelta {
+ public:
+  // Adds `n` to a named monotonic counter.
+  void Add(std::string_view counter, uint64_t n = 1);
+  // Sets a named gauge; the last write (in merge order) wins.
+  void Set(std::string_view gauge, double value);
+  // Adds `value` to a named bounded histogram over [lo, hi) with `bins` buckets. The
+  // bounds are fixed by the first observation of the name; later calls reuse them.
+  void Observe(std::string_view histogram, double value, double lo, double hi, size_t bins);
+
+  // Folds `other` into this delta, other's entries applied after this delta's own.
+  void MergeFrom(const MetricsDelta& other);
+
+  bool empty() const { return counters_.empty() && gauges_.empty() && histograms_.empty(); }
+
+  const std::map<std::string, uint64_t, std::less<>>& counters() const { return counters_; }
+  const std::map<std::string, double, std::less<>>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram, std::less<>>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+// Point-in-time copy of a registry: the deterministic sections (counters, gauges,
+// histograms) plus the wall-clock timers. Maps are name-sorted, so rendering a snapshot
+// is itself deterministic.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t, std::less<>> counters;
+  std::map<std::string, double, std::less<>> gauges;
+  std::map<std::string, Histogram, std::less<>> histograms;
+  std::map<std::string, TimerStat, std::less<>> timers;  // nondeterministic (wall clock)
+
+  uint64_t CounterOr(std::string_view name, uint64_t fallback = 0) const;
+
+  // One line per metric ("counter fleet.generate.processors = 100000"); timers last,
+  // marked with their unit. Meant for the bench harnesses' stdout.
+  void DumpText(std::ostream& out) const;
+};
+
+// Shared, mutex-guarded metric sink. Hot paths accept an optional MetricsRegistry* and
+// stay silent when it is null.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Deterministic metrics (same semantics as MetricsDelta, serialized by the mutex).
+  void Add(std::string_view counter, uint64_t n = 1);
+  void Set(std::string_view gauge, double value);
+  void Observe(std::string_view histogram, double value, double lo, double hi, size_t bins);
+
+  // Applies one shard's delta. Call in ascending shard order for reproducible gauges;
+  // counters and histograms commute regardless.
+  void MergeDelta(const MetricsDelta& delta);
+
+  // Wall-clock timers: nondeterministic by contract, safe to record from worker threads.
+  void RecordTimerSeconds(std::string_view timer, double seconds);
+
+  // RAII span timer; records into `registry` (nothing when null) on destruction.
+  class ScopedTimer {
+   public:
+    ScopedTimer(MetricsRegistry* registry, std::string timer)
+        : registry_(registry),
+          timer_(std::move(timer)),
+          start_(std::chrono::steady_clock::now()) {}
+    ~ScopedTimer();
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+   private:
+    MetricsRegistry* registry_;
+    std::string timer_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  MetricsSnapshot Snapshot() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  MetricsDelta data_;
+  std::map<std::string, TimerStat, std::less<>> timers_;
+};
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_TELEMETRY_METRICS_H_

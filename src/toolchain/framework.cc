@@ -1,10 +1,12 @@
 #include "src/toolchain/framework.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
+#include "src/telemetry/metrics.h"
 
 namespace sdc {
 namespace {
@@ -26,6 +28,30 @@ void PrepareMachine(FaultyMachine& machine, const TestRunConfig& config) {
   if (config.pin_temperature_celsius > 0.0) {
     cpu.thermal().ForceUniform(config.pin_temperature_celsius);
   }
+}
+
+// Plan-level metrics from the merged report, walked in plan order so the values (and the
+// gauge merge order) match at any thread count. Per-testcase error counters are only
+// emitted for failing entries to keep the snapshot's cardinality proportional to the
+// corruption actually observed, not to the 633-case suite.
+void AccumulatePlanMetrics(const RunReport& report, MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    return;
+  }
+  MetricsDelta delta;
+  for (const TestcaseResult& result : report.results) {
+    delta.Add("toolchain.invocations");
+    delta.Add("toolchain.errors", result.errors);
+    delta.Observe("toolchain.entry_errors", static_cast<double>(result.errors), 0.0, 50.0,
+                  10);
+    if (result.failed()) {
+      delta.Add("toolchain.testcases_failed");
+      delta.Add("toolchain.errors." + result.testcase_id, result.errors);
+    }
+  }
+  delta.Add("toolchain.records", report.records.size());
+  delta.Set("toolchain.plan_wall_seconds", report.total_wall_seconds);  // simulated clock
+  metrics->MergeDelta(delta);
 }
 
 }  // namespace
@@ -82,6 +108,7 @@ RunReport TestFramework::RunPlan(FaultyMachine& machine,
   }
   machine.SetAllCoreUtilization(config.background_utilization);
   report.total_wall_seconds = cpu.now_seconds() - start_seconds;
+  AccumulatePlanMetrics(report, config.metrics);
   return report;
 }
 
@@ -95,8 +122,17 @@ RunReport TestFramework::RunPlanParallel(const FaultyMachine& machine,
   ThreadPool pool(config.threads);
   std::vector<RunReport> entry_reports = pool.ParallelMap<RunReport>(
       0, plan.size(), 1, [&](uint64_t entry_index, uint64_t, uint64_t) {
+        const auto clone_start = std::chrono::steady_clock::now();
         FaultyMachine clone = machine.CloneFresh();
         PrepareMachine(clone, config);
+        if (config.metrics != nullptr) {
+          // Clone + settle/burn-in cost of entry isolation: host wall clock, recorded from
+          // worker threads, outside the deterministic sections by contract.
+          const std::chrono::duration<double> elapsed =
+              std::chrono::steady_clock::now() - clone_start;
+          config.metrics->Add("toolchain.clones");
+          config.metrics->RecordTimerSeconds("toolchain.clone.wall", elapsed.count());
+        }
         RunReport entry_report;
         const double start_seconds = clone.cpu().now_seconds();
         RunEntry(clone, plan[entry_index], config, entry_report);
@@ -118,6 +154,7 @@ RunReport TestFramework::RunPlanParallel(const FaultyMachine& machine,
       report.records.push_back(std::move(record));
     }
   }
+  AccumulatePlanMetrics(report, config.metrics);
   return report;
 }
 

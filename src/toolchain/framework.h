@@ -24,6 +24,8 @@
 
 namespace sdc {
 
+class MetricsRegistry;
+
 struct TestPlanEntry {
   size_t testcase_index = 0;
   double duration_seconds = 60.0;
@@ -59,6 +61,11 @@ struct TestRunConfig {
   // Worker threads when parallel_plan_entries is set: 0 = hardware concurrency, 1 = the
   // same per-entry-isolated schedule run serially. SDC_THREADS overrides this value.
   int threads = 0;
+  // Optional metric sink ("toolchain.*"): per-entry invocation/corruption counters are
+  // derived from the merged report in plan order (thread-count invariant); machine-clone
+  // costs are wall-clock timers and excluded from that contract (docs/observability.md).
+  // Null disables instrumentation.
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct TestcaseResult {

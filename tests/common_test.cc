@@ -1,11 +1,13 @@
 // Unit tests for src/common: RNG, bit views, statistics, table rendering.
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
 #include "src/common/bits.h"
+#include "src/common/parse.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/table.h"
@@ -349,6 +351,118 @@ TEST(StatsTest, HistogramBinning) {
   EXPECT_EQ(histogram.count(5), 2u);
   EXPECT_DOUBLE_EQ(histogram.Fraction(5), 2.0 / 6.0);
   EXPECT_DOUBLE_EQ(histogram.BinCenter(0), 0.5);
+}
+
+TEST(StatsTest, MeanIgnoresNonFiniteEntries) {
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(Mean({1.0, nan, 3.0, inf, -inf}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({nan, inf}), 0.0);  // nothing finite left
+}
+
+TEST(StatsTest, QuantileIgnoresNonFiniteEntries) {
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(Quantile({nan, 4.0, 1.0, inf, 3.0, 2.0}, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile({nan, -inf}, 0.5), 0.0);
+}
+
+TEST(StatsTest, HistogramZeroBinsDropsSamplesSafely) {
+  Histogram histogram(0.0, 10.0, 0);
+  histogram.Add(5.0);
+  histogram.AddN(7.0, 3);
+  EXPECT_EQ(histogram.bin_count(), 0u);
+  EXPECT_EQ(histogram.total(), 0u);
+}
+
+TEST(StatsTest, HistogramDegenerateRangeSplitsAtLo) {
+  Histogram histogram(5.0, 5.0, 4);  // lo == hi: width collapses to 0
+  EXPECT_DOUBLE_EQ(histogram.width(), 0.0);
+  histogram.Add(4.0);  // <= lo: first bin
+  histogram.Add(5.0);
+  histogram.Add(6.0);  // > lo: last bin
+  EXPECT_EQ(histogram.count(0), 2u);
+  EXPECT_EQ(histogram.count(3), 1u);
+  EXPECT_EQ(histogram.total(), 3u);
+
+  Histogram inverted(10.0, 0.0, 4);  // hi < lo would make the width negative
+  EXPECT_DOUBLE_EQ(inverted.width(), 0.0);
+  inverted.Add(20.0);
+  EXPECT_EQ(inverted.count(3), 1u);
+}
+
+TEST(StatsTest, HistogramNonFiniteBoundsCollapse) {
+  const double inf = std::numeric_limits<double>::infinity();
+  Histogram histogram(0.0, inf, 4);  // infinite width is degenerate, not UB
+  EXPECT_DOUBLE_EQ(histogram.width(), 0.0);
+  histogram.Add(1.0);
+  EXPECT_EQ(histogram.count(3), 1u);
+  Histogram nan_bounds(std::nan(""), 1.0, 2);
+  EXPECT_DOUBLE_EQ(nan_bounds.width(), 0.0);
+  nan_bounds.Add(0.5);
+  EXPECT_EQ(nan_bounds.total(), 1u);
+}
+
+TEST(StatsTest, HistogramNonFiniteSamplesLandOnEdgeBins) {
+  const double inf = std::numeric_limits<double>::infinity();
+  Histogram histogram(0.0, 10.0, 10);
+  histogram.Add(std::nan(""));
+  histogram.Add(-inf);
+  histogram.Add(inf);
+  EXPECT_EQ(histogram.count(0), 2u);  // NaN and -inf
+  EXPECT_EQ(histogram.count(9), 1u);  // +inf
+  EXPECT_EQ(histogram.total(), 3u);
+}
+
+TEST(StatsTest, HistogramMergeFromRequiresSameShape) {
+  Histogram a(0.0, 10.0, 5);
+  Histogram b(0.0, 10.0, 5);
+  a.Add(1.0);
+  b.AddN(9.0, 2);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.count(4), 2u);
+  Histogram mismatched(0.0, 20.0, 5);
+  mismatched.Add(1.0);
+  a.MergeFrom(mismatched);  // shape mismatch: no-op
+  EXPECT_EQ(a.total(), 3u);
+}
+
+TEST(ParseTest, ParseInt64AcceptsOnlyCleanIntegers) {
+  EXPECT_EQ(ParseInt64("42"), 42);
+  EXPECT_EQ(ParseInt64("-7"), -7);
+  EXPECT_EQ(ParseInt64("+3"), 3);
+  EXPECT_FALSE(ParseInt64("").has_value());
+  EXPECT_FALSE(ParseInt64(" 42").has_value());
+  EXPECT_FALSE(ParseInt64("42 ").has_value());
+  EXPECT_FALSE(ParseInt64("42x").has_value());
+  EXPECT_FALSE(ParseInt64("0x10").has_value());
+  EXPECT_FALSE(ParseInt64("99999999999999999999").has_value());  // overflow
+}
+
+TEST(ParseTest, ParseIntNarrowsWithRangeCheck) {
+  EXPECT_EQ(ParseInt("2147483647"), 2147483647);
+  EXPECT_FALSE(ParseInt("2147483648").has_value());
+  EXPECT_FALSE(ParseInt("-2147483649").has_value());
+}
+
+TEST(ParseTest, ParseUint64RejectsNegativesInsteadOfWrapping) {
+  EXPECT_EQ(ParseUint64("100000"), 100000u);
+  EXPECT_EQ(ParseUint64("18446744073709551615"), 18446744073709551615ull);
+  EXPECT_FALSE(ParseUint64("-5").has_value());  // strtoull would wrap this
+  EXPECT_FALSE(ParseUint64("18446744073709551616").has_value());
+  EXPECT_FALSE(ParseUint64("10x").has_value());
+  EXPECT_FALSE(ParseUint64("").has_value());
+}
+
+TEST(ParseTest, ParseDoubleRequiresFiniteFullConsumption) {
+  EXPECT_DOUBLE_EQ(ParseDouble("2.5").value(), 2.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3").value(), -1000.0);
+  EXPECT_FALSE(ParseDouble("inf").has_value());
+  EXPECT_FALSE(ParseDouble("nan").has_value());
+  EXPECT_FALSE(ParseDouble("1.5abc").has_value());
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble("1e999").has_value());  // overflows to inf
 }
 
 TEST(TableTest, RendersAlignedColumns) {

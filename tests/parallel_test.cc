@@ -5,7 +5,9 @@
 #include <atomic>
 #include <cstdlib>
 #include <numeric>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -14,6 +16,8 @@
 #include "src/fault/catalog.h"
 #include "src/fleet/pipeline.h"
 #include "src/fleet/population.h"
+#include "src/report/exporters.h"
+#include "src/telemetry/metrics.h"
 #include "src/toolchain/framework.h"
 #include "src/toolchain/registry.h"
 
@@ -236,6 +240,53 @@ TEST(ParallelDeterminismTest, RunPlanIsThreadCountInvariant) {
                       0 &&
                   (parallel.records[i].actual ^ serial.records[i].actual).Popcount() == 0);
     }
+  }
+}
+
+TEST(ParallelDeterminismTest, MetricsSnapshotIsByteIdenticalAcrossThreadCounts) {
+  // The tentpole acceptance check: instrument every parallel hot path, render the
+  // deterministic sections of the snapshot (timers excluded -- they measure the host),
+  // and require the JSON to be byte-identical at 1, 2, and 8 threads.
+  const TestSuite suite = TestSuite::BuildSampled(10);  // ~63 cases
+  TestFramework framework(&suite);
+  const ScreeningPipeline pipeline(&suite);
+
+  auto run_all = [&](int threads) {
+    MetricsRegistry registry;
+
+    PopulationConfig population_config;
+    population_config.processor_count = 30000;
+    population_config.seed = 20230901;
+    population_config.threads = threads;
+    population_config.metrics = &registry;
+    const FleetPopulation fleet = FleetPopulation::Generate(population_config);
+
+    ScreeningConfig screening_config;
+    screening_config.threads = threads;
+    screening_config.metrics = &registry;
+    (void)pipeline.Run(fleet, screening_config);
+
+    FaultyMachine machine(FindInCatalog("MIX2"), 77);
+    TestRunConfig run_config;
+    run_config.time_scale = 2e7;
+    run_config.simultaneous_cores = true;
+    run_config.seed = 11;
+    run_config.parallel_plan_entries = true;
+    run_config.threads = threads;
+    run_config.metrics = &registry;
+    (void)framework.RunPlan(machine, framework.EqualPlan(2.0), run_config);
+
+    std::ostringstream out;
+    WriteMetricsJson(out, registry.Snapshot(), /*include_timers=*/false);
+    return out.str();
+  };
+
+  const std::string serial = run_all(1);
+  EXPECT_NE(serial.find("fleet.generate.processors"), std::string::npos);
+  EXPECT_NE(serial.find("screening.tested"), std::string::npos);
+  EXPECT_NE(serial.find("toolchain.invocations"), std::string::npos);
+  for (int threads : {2, 8}) {
+    EXPECT_EQ(run_all(threads), serial) << "metrics diverge at threads=" << threads;
   }
 }
 

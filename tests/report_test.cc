@@ -99,6 +99,65 @@ TEST(JsonWriterTest, PrettyPrintingIndents) {
   EXPECT_NE(out.str().find("\n  \"k\": 1"), std::string::npos);
 }
 
+#ifdef NDEBUG
+// Dangling-key recovery is release-only behaviour: in debug builds the same misuse
+// asserts instead of silently papering over the bug.
+TEST(JsonWriterTest, DanglingKeyBeforeEndEmitsNull) {
+  std::ostringstream out;
+  JsonWriter json(out, false);
+  json.BeginObject().Key("orphan").EndObject();
+  EXPECT_EQ(out.str(), R"({"orphan":null})");
+  EXPECT_TRUE(json.Complete());
+}
+
+TEST(JsonWriterTest, KeyAfterKeyClosesTheAbandonedKey) {
+  std::ostringstream out;
+  JsonWriter json(out, false);
+  json.BeginObject().Key("first").Key("second").Value(2).EndObject();
+  EXPECT_EQ(out.str(), R"({"first":null,"second":2})");
+}
+
+TEST(JsonWriterTest, DanglingKeyBeforeEndArrayStaysParseable) {
+  std::ostringstream out;
+  JsonWriter json(out, false);
+  json.BeginObject();
+  json.Key("list").BeginArray().Value(1).EndArray();
+  json.Key("orphan");
+  json.EndObject();
+  ExpectStructurallyValidJson(out.str());
+  EXPECT_EQ(out.str(), R"({"list":[1],"orphan":null})");
+}
+#endif  // NDEBUG
+
+TEST(ExportersTest, MetricsJsonIsStructurallyValid) {
+  MetricsRegistry registry;
+  registry.Add("screening.tested", 1000);
+  registry.Add("screening.faulty", 3);
+  registry.Set("protection.max_temperature_celsius", 61.5);
+  registry.Observe("toolchain.entry_errors", 2.0, 0.0, 50.0, 10);
+  registry.RecordTimerSeconds("screening.run.wall", 0.125);
+  std::ostringstream out;
+  WriteMetricsJson(out, registry.Snapshot());
+  ExpectStructurallyValidJson(out.str());
+  EXPECT_NE(out.str().find(R"("screening.tested": 1000)"), std::string::npos);
+  EXPECT_NE(out.str().find(R"("protection.max_temperature_celsius")"), std::string::npos);
+  EXPECT_NE(out.str().find(R"("counts")"), std::string::npos);
+  EXPECT_NE(out.str().find(R"("nondeterministic": true)"), std::string::npos);
+}
+
+TEST(ExportersTest, MetricsJsonCanExcludeTimers) {
+  MetricsRegistry registry;
+  registry.Add("n", 1);
+  registry.RecordTimerSeconds("t", 0.5);
+  std::ostringstream with_timers;
+  WriteMetricsJson(with_timers, registry.Snapshot(), /*include_timers=*/true);
+  std::ostringstream without_timers;
+  WriteMetricsJson(without_timers, registry.Snapshot(), /*include_timers=*/false);
+  EXPECT_NE(with_timers.str().find(R"("timers")"), std::string::npos);
+  EXPECT_EQ(without_timers.str().find(R"("timers")"), std::string::npos);
+  ExpectStructurallyValidJson(without_timers.str());
+}
+
 TEST(ExportersTest, RunReportJsonIsStructurallyValid) {
   RunReport report;
   TestcaseResult result;

@@ -1,15 +1,175 @@
 // Tests for src/telemetry and its wiring into Farron and the protection loop.
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/common/parallel.h"
 #include "src/farron/farron.h"
 #include "src/farron/protection.h"
 #include "src/telemetry/event_log.h"
+#include "src/telemetry/metrics.h"
 
 namespace sdc {
 namespace {
+
+TEST(MetricsDeltaTest, AccumulatesAllKinds) {
+  MetricsDelta delta;
+  delta.Add("c");
+  delta.Add("c", 4);
+  delta.Set("g", 1.5);
+  delta.Set("g", 2.5);
+  delta.Observe("h", 5.0, 0.0, 10.0, 2);
+  delta.Observe("h", 9.0, 0.0, 10.0, 2);
+  EXPECT_EQ(delta.counters().at("c"), 5u);
+  EXPECT_DOUBLE_EQ(delta.gauges().at("g"), 2.5);  // last write wins
+  const Histogram& histogram = delta.histograms().at("h");
+  EXPECT_EQ(histogram.total(), 2u);
+  EXPECT_EQ(histogram.count(1), 2u);
+  EXPECT_FALSE(delta.empty());
+}
+
+TEST(MetricsDeltaTest, MergeFromAppliesOtherAfterOwn) {
+  MetricsDelta first;
+  first.Add("c", 2);
+  first.Set("g", 1.0);
+  first.Observe("h", 1.0, 0.0, 4.0, 4);
+  MetricsDelta second;
+  second.Add("c", 3);
+  second.Set("g", 7.0);
+  second.Observe("h", 3.0, 0.0, 4.0, 4);
+  first.MergeFrom(second);
+  EXPECT_EQ(first.counters().at("c"), 5u);
+  EXPECT_DOUBLE_EQ(first.gauges().at("g"), 7.0);  // other's gauge applied after
+  EXPECT_EQ(first.histograms().at("h").total(), 2u);
+}
+
+TEST(MetricsRegistryTest, SnapshotAndClear) {
+  MetricsRegistry registry;
+  registry.Add("c", 2);
+  registry.Set("g", 3.0);
+  registry.Observe("h", 0.5, 0.0, 1.0, 4);
+  registry.RecordTimerSeconds("t", 0.25);
+  registry.RecordTimerSeconds("t", 0.75);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterOr("c"), 2u);
+  EXPECT_EQ(snapshot.CounterOr("absent", 9u), 9u);
+  EXPECT_DOUBLE_EQ(snapshot.gauges.at("g"), 3.0);
+  EXPECT_EQ(snapshot.histograms.at("h").total(), 1u);
+  const TimerStat& timer = snapshot.timers.at("t");
+  EXPECT_EQ(timer.count, 2u);
+  EXPECT_DOUBLE_EQ(timer.total_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(timer.min_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(timer.max_seconds, 0.75);
+  registry.Clear();
+  const MetricsSnapshot cleared = registry.Snapshot();
+  EXPECT_TRUE(cleared.counters.empty());
+  EXPECT_TRUE(cleared.timers.empty());
+}
+
+TEST(MetricsRegistryTest, MergeDeltaInShardOrderIsDeterministic) {
+  // Two shards built in shard order must produce the same registry contents no matter how
+  // the shard bodies interleaved, because each shard's delta is private until the merge.
+  auto run = [] {
+    MetricsDelta shard0;
+    shard0.Add("n", 1);
+    shard0.Set("last", 0.0);
+    MetricsDelta shard1;
+    shard1.Add("n", 2);
+    shard1.Set("last", 1.0);
+    MetricsRegistry registry;
+    registry.MergeDelta(shard0);
+    registry.MergeDelta(shard1);
+    return registry.Snapshot();
+  };
+  const MetricsSnapshot a = run();
+  const MetricsSnapshot b = run();
+  EXPECT_EQ(a.counters.at("n"), 3u);
+  EXPECT_EQ(a.counters, b.counters);
+  EXPECT_EQ(a.gauges, b.gauges);
+  EXPECT_DOUBLE_EQ(a.gauges.at("last"), 1.0);  // shard 1 merged last
+}
+
+TEST(MetricsRegistryTest, ScopedTimerRecordsAndToleratesNull) {
+  MetricsRegistry registry;
+  {
+    MetricsRegistry::ScopedTimer timer(&registry, "span");
+  }
+  {
+    MetricsRegistry::ScopedTimer null_timer(nullptr, "span");  // must not crash
+  }
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.timers.at("span").count, 1u);
+}
+
+TEST(MetricsRegistryTest, DumpTextRendersEverySection) {
+  MetricsRegistry registry;
+  registry.Add("my.counter", 7);
+  registry.Set("my.gauge", 2.0);
+  registry.Observe("my.hist", 1.0, 0.0, 2.0, 2);
+  registry.RecordTimerSeconds("my.timer", 0.5);
+  std::ostringstream out;
+  registry.Snapshot().DumpText(out);
+  EXPECT_NE(out.str().find("counter my.counter = 7"), std::string::npos);
+  EXPECT_NE(out.str().find("my.gauge"), std::string::npos);
+  EXPECT_NE(out.str().find("my.hist"), std::string::npos);
+  EXPECT_NE(out.str().find("my.timer"), std::string::npos);
+  EXPECT_NE(out.str().find("nondeterministic"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentUpdatesAreSerialized) {
+  // Hammer one registry from the worker pool; run under SDC_TSAN=ON this doubles as the
+  // data-race check for the registry's single-mutex design.
+  MetricsRegistry registry;
+  ThreadPool pool(8);
+  constexpr uint64_t kItems = 4096;
+  pool.ParallelFor(0, kItems, 64, [&](uint64_t, uint64_t begin, uint64_t end) {
+    for (uint64_t index = begin; index < end; ++index) {
+      registry.Add("n");
+      registry.RecordTimerSeconds("t", 1e-9 * static_cast<double>(index + 1));
+    }
+  });
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterOr("n"), kItems);
+  EXPECT_EQ(snapshot.timers.at("t").count, kItems);
+}
+
+TEST(EventLogTest, BridgesRecordsIntoMetrics) {
+  MetricsRegistry registry;
+  EventLog log;
+  log.AttachMetrics(&registry);
+  log.Record(EventKind::kSdcDetected, 1.0, "case-a");
+  log.Record(EventKind::kSdcDetected, 2.0, "case-b");
+  log.Record(EventKind::kBackoffEngaged, 3.0, "CPU");
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterOr("events.recorded"), 3u);
+  EXPECT_EQ(snapshot.CounterOr("events." + EventKindName(EventKind::kSdcDetected)), 2u);
+  EXPECT_EQ(snapshot.CounterOr("events." + EventKindName(EventKind::kBackoffEngaged)), 1u);
+  log.AttachMetrics(nullptr);
+  log.Record(EventKind::kSdcDetected, 4.0, "case-c");
+  EXPECT_EQ(registry.Snapshot().CounterOr("events.recorded"), 3u);  // detached
+}
+
+TEST(EventLogTest, ConcurrentRecordKeepsTotals) {
+  // The TSAN-covered regression for the unsynchronized-Record bug: many workers logging
+  // at once (as under parallel_plan_entries) must neither race nor lose counts.
+  MetricsRegistry registry;
+  EventLog log(64);
+  log.AttachMetrics(&registry);
+  ThreadPool pool(8);
+  constexpr uint64_t kEvents = 2048;
+  pool.ParallelFor(0, kEvents, 32, [&](uint64_t, uint64_t begin, uint64_t end) {
+    for (uint64_t index = begin; index < end; ++index) {
+      log.Record(EventKind::kBackoffEngaged, static_cast<double>(index), "worker");
+    }
+  });
+  EXPECT_EQ(log.total_recorded(), kEvents);
+  EXPECT_EQ(log.CountOf(EventKind::kBackoffEngaged), kEvents);
+  EXPECT_EQ(log.RetainedEvents().size(), 64u);  // bounded window intact
+  EXPECT_EQ(registry.Snapshot().CounterOr("events.recorded"), kEvents);
+}
 
 TEST(EventLogTest, RecordsAndCounts) {
   EventLog log;
@@ -32,10 +192,10 @@ TEST(EventLogTest, BoundedRetentionKeepsTotals) {
   for (int i = 0; i < 10; ++i) {
     log.Record(EventKind::kBackoffEngaged, i, "w");
   }
-  EXPECT_EQ(log.events().size(), 4u);
+  EXPECT_EQ(log.RetainedEvents().size(), 4u);
   EXPECT_EQ(log.total_recorded(), 10u);
   EXPECT_EQ(log.CountOf(EventKind::kBackoffEngaged), 10u);
-  EXPECT_DOUBLE_EQ(log.events().front().time_seconds, 6.0);  // oldest retained
+  EXPECT_DOUBLE_EQ(log.RetainedEvents().front().time_seconds, 6.0);  // oldest retained
 }
 
 TEST(EventLogTest, DumpRendersEveryRetainedEvent) {
@@ -52,7 +212,7 @@ TEST(EventLogTest, ClearResetsEverything) {
   log.Record(EventKind::kRoundStarted, 0.0, "x");
   log.Clear();
   EXPECT_EQ(log.total_recorded(), 0u);
-  EXPECT_TRUE(log.events().empty());
+  EXPECT_TRUE(log.RetainedEvents().empty());
 }
 
 TEST(EventLogTest, EveryKindHasAName) {
@@ -128,6 +288,36 @@ TEST_F(FarronTelemetryTest, ProtectionLoopEmitsBackoffTransitions) {
             log.CountOf(EventKind::kBackoffReleased));
   EXPECT_LE(log.CountOf(EventKind::kBackoffEngaged),
             log.CountOf(EventKind::kBackoffReleased) + 1);
+}
+
+TEST_F(FarronTelemetryTest, ProtectionLoopRecordsMetrics) {
+  FaultyMachine machine(MakeArchSpec("M2"));
+  MetricsRegistry registry;
+  FarronConfig config;
+  config.enable_adaptive_boundary = false;
+  config.metrics = &registry;
+  Farron farron(suite_, &machine, config);
+  EventLog log;
+  log.AttachMetrics(&registry);
+  farron.SetEventLog(&log);
+  WorkloadSpec spec;
+  spec.kernel_case_index = static_cast<size_t>(suite_->IndexOf("lib.crc32.scalar.b1024"));
+  spec.burst_probability = 0.02;
+  spec.burst_seconds = 120.0;
+  const ProtectionReport report =
+      SimulateProtectedWorkload(farron, machine, *suite_, spec, 1.0, true);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterOr("protection.runs"), 1u);
+  EXPECT_EQ(snapshot.CounterOr("protection.sdc_events"), report.sdc_events);
+  EXPECT_EQ(snapshot.CounterOr("protection.backoff_engagements"),
+            report.backoff_engagements);
+  EXPECT_DOUBLE_EQ(snapshot.gauges.at("protection.max_temperature_celsius"),
+                   report.max_temperature);
+  EXPECT_DOUBLE_EQ(snapshot.gauges.at("protection.backoff_seconds_per_hour"),
+                   report.BackoffSecondsPerHour());
+  // The attached log bridged the same engagements into event counters.
+  EXPECT_EQ(snapshot.CounterOr("events." + EventKindName(EventKind::kBackoffEngaged)),
+            report.backoff_engagements);
 }
 
 TEST_F(FarronTelemetryTest, NoLogMeansNoCrash) {

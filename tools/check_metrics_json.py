@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Acceptance check for `sdcctl screen N --metrics-out -` (docs/observability.md).
+
+Runs a screen with the metrics snapshot routed to stdout, asserts the stream is exactly
+one parseable JSON document, and cross-checks the screening counters against the
+arithmetic identities the pipeline guarantees (tested == fleet size, detected + escaped
+== faulty, per-stage detections sum to the total).
+"""
+
+import json
+import subprocess
+import sys
+
+PROCESSOR_COUNT = 20000
+STAGES = ("factory", "datacenter", "re-install", "regular")
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} <sdcctl-binary>", file=sys.stderr)
+        return 2
+    result = subprocess.run(
+        [sys.argv[1], "screen", str(PROCESSOR_COUNT), "--metrics-out", "-"],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    snapshot = json.loads(result.stdout)  # must be a single valid document
+    counters = snapshot["counters"]
+
+    assert counters["screening.tested"] == PROCESSOR_COUNT, counters
+    faulty = counters["screening.faulty"]
+    detected = counters["screening.detected"]
+    escaped = counters["screening.escaped"]
+    assert detected + escaped == faulty, (detected, escaped, faulty)
+    stage_total = sum(counters[f"screening.stage.{stage}.detected"] for stage in STAGES)
+    assert stage_total == detected, (stage_total, detected)
+    arch_tested = sum(
+        value for name, value in counters.items()
+        if name.startswith("screening.arch.") and name.endswith(".tested")
+    )
+    assert arch_tested == PROCESSOR_COUNT, arch_tested
+    assert counters["fleet.generate.processors"] == PROCESSOR_COUNT, counters
+
+    # Timers are present but flagged nondeterministic.
+    for timer in snapshot["timers"].values():
+        assert timer["nondeterministic"] is True, timer
+    print("ok: metrics JSON parses and matches screening totals")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

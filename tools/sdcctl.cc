@@ -7,22 +7,33 @@
 //   sdcctl frequency <cpu_id> <testcase_id> <pcore> <tempC> [duration_s]
 //                                                     occurrence frequency of one setting
 //   sdcctl protect <cpu_id> [hours]                   Farron lifecycle on one part
+//   sdcctl metrics [processor_count]                  generate+screen, metrics JSON only
 //
-// A global `--threads N` flag (anywhere on the command line) sets the worker count for
-// the parallel hot paths: fleet generation and screening always honor it, and `sweep` /
-// `export sweep:CPU` switch to per-entry parallel plan execution when it is given.
-// N=0 means hardware concurrency; the SDC_THREADS environment variable overrides N.
-// Results are bit-identical at every thread count.
+// Global flags (accepted anywhere on the command line):
+//   --threads N        worker count for the parallel hot paths: fleet generation and
+//                      screening always honor it, and `sweep` / `export sweep:CPU` switch
+//                      to per-entry parallel plan execution when it is given. N=0 means
+//                      hardware concurrency; SDC_THREADS overrides N. Results are
+//                      bit-identical at every thread count.
+//   --metrics-out FILE attach a MetricsRegistry to the command's hot paths and write the
+//                      snapshot JSON (docs/observability.md) to FILE after the command
+//                      finishes. FILE may be `-` for stdout; the command's human-readable
+//                      output then moves to stderr so stdout is exactly the JSON document.
+//
+// Numeric operands are parsed strictly (src/common/parse.h): empty input, trailing
+// garbage, overflow, and negative values where an unsigned count is expected are usage
+// errors (exit 2), not silent zeroes.
 //
 // Everything is deterministic; see README.md for the library behind each command.
 
-#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "src/analysis/repro.h"
+#include "src/common/parse.h"
 #include "src/common/table.h"
 #include "src/farron/baseline.h"
 #include "src/farron/farron.h"
@@ -30,6 +41,8 @@
 #include "src/fleet/pipeline.h"
 #include "src/fleet/population.h"
 #include "src/report/exporters.h"
+#include "src/telemetry/event_log.h"
+#include "src/telemetry/metrics.h"
 
 namespace sdc {
 namespace {
@@ -37,7 +50,16 @@ namespace {
 struct GlobalOptions {
   int threads = 0;        // worker count for parallel paths (0 = hardware concurrency)
   bool threads_set = false;  // --threads given: sweeps opt into parallel plan entries
+  std::string metrics_out;   // --metrics-out target; empty = no metrics export
+  MetricsRegistry* metrics = nullptr;  // non-null when a snapshot will be written
 };
+
+// Usage error helper: strict-parsing failures report what was wrong and exit 2, the same
+// status Usage() returns, so scripts can distinguish bad invocations from run failures.
+int InvalidOperand(const char* what, const char* text) {
+  std::cerr << "sdcctl: invalid " << what << ": '" << text << "'\n";
+  return 2;
+}
 
 int CmdCatalog() {
   TextTable table({"cpu", "arch", "age(Y)", "cores", "defective", "type", "defects"});
@@ -89,6 +111,7 @@ int CmdSweep(const std::string& cpu_id, double seconds_per_case,
   config.seed = 3;
   config.parallel_plan_entries = options.threads_set;
   config.threads = options.threads;
+  config.metrics = options.metrics;
   std::cout << "sweeping " << cpu_id << " with " << suite.size() << " testcases at "
             << seconds_per_case << " s/case (hot environment)...\n";
   const RunReport report =
@@ -110,11 +133,13 @@ int CmdScreen(uint64_t processor_count, const GlobalOptions& options) {
   PopulationConfig population_config;
   population_config.processor_count = processor_count;
   population_config.threads = options.threads;
+  population_config.metrics = options.metrics;
   const FleetPopulation fleet = FleetPopulation::Generate(population_config);
   const TestSuite suite = TestSuite::BuildFull();
   ScreeningPipeline pipeline(&suite);
   ScreeningConfig screening_config;
   screening_config.threads = options.threads;
+  screening_config.metrics = options.metrics;
   const ScreeningStats stats = pipeline.Run(fleet, screening_config);
   TextTable table({"stage", "detections", "rate"});
   for (int stage = 0; stage < kStageCount; ++stage) {
@@ -125,6 +150,24 @@ int CmdScreen(uint64_t processor_count, const GlobalOptions& options) {
   table.AddRow({"total", std::to_string(stats.total_detected()),
                 FormatPermyriad(stats.TotalRate())});
   table.Print(std::cout);
+  return 0;
+}
+
+// Quiet generate+screen whose only product is the metric stream: the snapshot covers
+// fleet.generate.* and screening.* for a standard run. Main routes the snapshot JSON to
+// stdout (or wherever --metrics-out points).
+int CmdMetrics(uint64_t processor_count, const GlobalOptions& options) {
+  PopulationConfig population_config;
+  population_config.processor_count = processor_count;
+  population_config.threads = options.threads;
+  population_config.metrics = options.metrics;
+  const FleetPopulation fleet = FleetPopulation::Generate(population_config);
+  const TestSuite suite = TestSuite::BuildFull();
+  ScreeningPipeline pipeline(&suite);
+  ScreeningConfig screening_config;
+  screening_config.threads = options.threads;
+  screening_config.metrics = options.metrics;
+  (void)pipeline.Run(fleet, screening_config);
   return 0;
 }
 
@@ -150,7 +193,7 @@ int CmdFrequency(const std::string& cpu_id, const std::string& testcase_id, int 
   return 0;
 }
 
-int CmdProtect(const std::string& cpu_id, double hours) {
+int CmdProtect(const std::string& cpu_id, double hours, const GlobalOptions& options) {
   const auto maybe_info = TryFindInCatalog(cpu_id);
   if (!maybe_info.has_value()) {
     std::cerr << "unknown cpu id: " << cpu_id << " (see: sdcctl catalog)\n";
@@ -159,7 +202,14 @@ int CmdProtect(const std::string& cpu_id, double hours) {
   const TestSuite suite = TestSuite::BuildFull();
   const FaultyProcessorInfo info = *maybe_info;
   FaultyMachine machine(info, 7);
-  Farron farron(&suite, &machine, FarronConfig{});
+  FarronConfig farron_config;
+  farron_config.metrics = options.metrics;
+  Farron farron(&suite, &machine, farron_config);
+  // Farron's lifecycle events land in the log; with a registry attached the log bridges
+  // each kind into an "events.*" counter alongside the protection loop's own metrics.
+  EventLog event_log;
+  event_log.AttachMetrics(options.metrics);
+  farron.SetEventLog(&event_log);
   std::cout << "[pre-production] testing " << cpu_id << "...\n";
   const FarronRoundSummary pre = farron.RunPreProduction();
   std::cout << "  failing cases: " << pre.report.failed_testcase_ids().size()
@@ -196,11 +246,13 @@ int CmdExport(const std::string& what, const GlobalOptions& options) {
     PopulationConfig population_config;
     population_config.processor_count = 250000;
     population_config.threads = options.threads;
+    population_config.metrics = options.metrics;
     const FleetPopulation fleet = FleetPopulation::Generate(population_config);
     const TestSuite suite = TestSuite::BuildFull();
     ScreeningPipeline pipeline(&suite);
     ScreeningConfig screening_config;
     screening_config.threads = options.threads;
+    screening_config.metrics = options.metrics;
     WriteScreeningStatsJson(std::cout, pipeline.Run(fleet, screening_config));
     return 0;
   }
@@ -220,6 +272,7 @@ int CmdExport(const std::string& what, const GlobalOptions& options) {
     config.seed = 3;
     config.parallel_plan_entries = options.threads_set;
     config.threads = options.threads;
+    config.metrics = options.metrics;
     WriteRunReportJson(std::cout,
                        framework.RunPlan(machine, framework.EqualPlan(30.0), config));
     return 0;
@@ -229,8 +282,8 @@ int CmdExport(const std::string& what, const GlobalOptions& options) {
 }
 
 int Usage() {
-  std::cerr << "usage: sdcctl [--threads N] <catalog|suite|sweep|screen|frequency|protect"
-               "|export> [args]\n"
+  std::cerr << "usage: sdcctl [--threads N] [--metrics-out FILE] "
+               "<catalog|suite|sweep|screen|frequency|protect|export|metrics> [args]\n"
                "  catalog\n"
                "  suite [substring]\n"
                "  sweep <cpu_id> [seconds_per_case=30]\n"
@@ -238,20 +291,113 @@ int Usage() {
                "  frequency <cpu_id> <testcase_id> <pcore> <tempC> [duration_s=3600]\n"
                "  protect <cpu_id> [hours=4]\n"
                "  export <catalog|screening|sweep:CPU>   (JSON to stdout)\n"
-               "  --threads N   workers for generation/screening/sweeps; 0 = hardware\n"
-               "                concurrency; results are identical at any thread count\n";
+               "  metrics [processor_count=100000]       (metrics JSON to stdout)\n"
+               "  --threads N        workers for generation/screening/sweeps; 0 = hardware\n"
+               "                     concurrency; results are identical at any thread count\n"
+               "  --metrics-out FILE write the run's metrics snapshot JSON to FILE\n"
+               "                     (`-` = stdout; tables then move to stderr)\n";
   return 2;
 }
 
+int Dispatch(int argc, char** argv, const GlobalOptions& options) {
+  const std::string command = argv[1];
+  if (command == "catalog") {
+    return CmdCatalog();
+  }
+  if (command == "suite") {
+    return CmdSuite(argc > 2 ? argv[2] : "");
+  }
+  if (command == "sweep" && argc >= 3) {
+    double seconds_per_case = 30.0;
+    if (argc > 3) {
+      const auto parsed = ParseDouble(argv[3]);
+      if (!parsed.has_value() || *parsed <= 0.0) {
+        return InvalidOperand("seconds_per_case", argv[3]);
+      }
+      seconds_per_case = *parsed;
+    }
+    return CmdSweep(argv[2], seconds_per_case, options);
+  }
+  if (command == "screen" && argc >= 3) {
+    const auto count = ParseUint64(argv[2]);
+    if (!count.has_value()) {
+      return InvalidOperand("processor_count", argv[2]);
+    }
+    return CmdScreen(*count, options);
+  }
+  if (command == "metrics") {
+    uint64_t count = 100000;
+    if (argc > 2) {
+      const auto parsed = ParseUint64(argv[2]);
+      if (!parsed.has_value()) {
+        return InvalidOperand("processor_count", argv[2]);
+      }
+      count = *parsed;
+    }
+    return CmdMetrics(count, options);
+  }
+  if (command == "frequency" && argc >= 6) {
+    const auto pcore = ParseInt(argv[4]);
+    if (!pcore.has_value() || *pcore < 0) {
+      return InvalidOperand("pcore", argv[4]);
+    }
+    const auto temperature = ParseDouble(argv[5]);
+    if (!temperature.has_value()) {
+      return InvalidOperand("temperature", argv[5]);
+    }
+    double duration = 3600.0;
+    if (argc > 6) {
+      const auto parsed = ParseDouble(argv[6]);
+      if (!parsed.has_value() || *parsed <= 0.0) {
+        return InvalidOperand("duration", argv[6]);
+      }
+      duration = *parsed;
+    }
+    return CmdFrequency(argv[2], argv[3], *pcore, *temperature, duration);
+  }
+  if (command == "export" && argc >= 3) {
+    return CmdExport(argv[2], options);
+  }
+  if (command == "protect" && argc >= 3) {
+    double hours = 4.0;
+    if (argc > 3) {
+      const auto parsed = ParseDouble(argv[3]);
+      if (!parsed.has_value() || *parsed <= 0.0) {
+        return InvalidOperand("hours", argv[3]);
+      }
+      hours = *parsed;
+    }
+    return CmdProtect(argv[2], hours, options);
+  }
+  return Usage();
+}
+
 int Main(int argc, char** argv) {
-  // Strip the global --threads flag (accepted anywhere) before positional dispatch.
+  // Strip the global flags (accepted anywhere) before positional dispatch. A flag whose
+  // operand is missing or unparseable is a usage error, never a silent default.
   GlobalOptions options;
   std::vector<char*> args;
   args.reserve(static_cast<size_t>(argc));
   for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      options.threads = std::atoi(argv[++i]);
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "sdcctl: --threads requires an operand\n";
+        return 2;
+      }
+      const auto threads = ParseInt(argv[++i]);
+      if (!threads.has_value() || *threads < 0) {
+        return InvalidOperand("--threads operand", argv[i]);
+      }
+      options.threads = *threads;
       options.threads_set = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "sdcctl: --metrics-out requires an operand\n";
+        return 2;
+      }
+      options.metrics_out = argv[++i];
       continue;
     }
     args.push_back(argv[i]);
@@ -261,30 +407,41 @@ int Main(int argc, char** argv) {
   if (argc < 2) {
     return Usage();
   }
-  const std::string command = argv[1];
-  if (command == "catalog") {
-    return CmdCatalog();
+  // `metrics` with no explicit target defaults to stdout.
+  if (std::strcmp(argv[1], "metrics") == 0 && options.metrics_out.empty()) {
+    options.metrics_out = "-";
   }
-  if (command == "suite") {
-    return CmdSuite(argc > 2 ? argv[2] : "");
+
+  MetricsRegistry registry;
+  if (!options.metrics_out.empty()) {
+    options.metrics = &registry;
   }
-  if (command == "sweep" && argc >= 3) {
-    return CmdSweep(argv[2], argc > 3 ? std::strtod(argv[3], nullptr) : 30.0, options);
+  // With the snapshot bound for stdout, human-readable output moves to stderr so stdout
+  // carries exactly one JSON document.
+  std::streambuf* saved_cout = nullptr;
+  if (options.metrics_out == "-") {
+    saved_cout = std::cout.rdbuf(std::cerr.rdbuf());
   }
-  if (command == "screen" && argc >= 3) {
-    return CmdScreen(std::strtoull(argv[2], nullptr, 10), options);
+  const int status = Dispatch(argc, argv, options);
+  if (saved_cout != nullptr) {
+    std::cout.rdbuf(saved_cout);
   }
-  if (command == "frequency" && argc >= 6) {
-    return CmdFrequency(argv[2], argv[3], std::atoi(argv[4]), std::strtod(argv[5], nullptr),
-                        argc > 6 ? std::strtod(argv[6], nullptr) : 3600.0);
+  if (options.metrics != nullptr && status == 0) {
+    if (options.metrics_out == "-") {
+      WriteMetricsJson(std::cout, registry.Snapshot());
+      std::cout << "\n";
+    } else {
+      std::ofstream out(options.metrics_out);
+      if (!out) {
+        std::cerr << "sdcctl: cannot open metrics output file: " << options.metrics_out
+                  << "\n";
+        return 1;
+      }
+      WriteMetricsJson(out, registry.Snapshot());
+      out << "\n";
+    }
   }
-  if (command == "export" && argc >= 3) {
-    return CmdExport(argv[2], options);
-  }
-  if (command == "protect" && argc >= 3) {
-    return CmdProtect(argv[2], argc > 3 ? std::strtod(argv[3], nullptr) : 4.0);
-  }
-  return Usage();
+  return status;
 }
 
 }  // namespace

@@ -37,14 +37,9 @@ int main() {
         continue;
       }
       double onset = 0.0;
-      for (const FleetProcessor& processor : fleet.processors()) {
-        if (processor.serial == outcome.serial) {
-          for (const Defect& defect : processor.defects) {
-            if (defect.onset_months > 0.0 && defect.onset_months <= outcome.month) {
-              onset = defect.onset_months;
-            }
-          }
-          break;
+      for (const Defect& defect : fleet.DefectsOf(outcome.serial)) {
+        if (defect.onset_months > 0.0 && defect.onset_months <= outcome.month) {
+          onset = defect.onset_months;
         }
       }
       exposures.push_back(outcome.month - onset);

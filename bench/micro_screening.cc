@@ -1,0 +1,153 @@
+// micro_screening: throughput of fleet generation and fleet screening under the
+// defect-arena layout and the memoized detection model (docs/performance.md).
+//
+// Emits one JSON object per line so runs can be diffed and checked mechanically
+// (tools/check_screening_json.py). Phases: "generate" (arena fleet build),
+// "screen" and "generate_screen", each at 1/2/8 worker threads; "screen" and
+// "generate_screen" run under both models:
+//   cached    -- the production path: per-defect survive terms memoized once per
+//                faulty processor, clean parts streamed via the packed byte columns.
+//   reference -- the pre-memoization implementation kept behind
+//                ScreeningConfig::use_reference_model, recomputing
+//                MatchingTestcases/ExpectedErrors at every probe.
+// The binary asserts that both models, at every thread count, produce identical
+// ScreeningStats (counters and the detections vector, months compared bitwise) and
+// exits non-zero on any divergence; the closing "summary" line reports the
+// cached-vs-reference screening speedup at one thread.
+//
+// Usage: micro_screening [processor_count] [repeats]
+// Defaults: 1,000,000 processors, best-of-5. CI smoke runs use a small count.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+
+#include "src/fleet/pipeline.h"
+#include "src/fleet/population.h"
+#include "src/toolchain/registry.h"
+
+namespace sdc {
+namespace {
+
+double BestWallSeconds(int repeats, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int i = 0; i < repeats; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+    best = std::min(best, elapsed.count());
+  }
+  return best;
+}
+
+void EmitJson(const char* phase, const char* model, int threads, double wall_seconds,
+              uint64_t processors) {
+  const double ns_per_processor = wall_seconds * 1e9 / static_cast<double>(processors);
+  const double fleets_per_second = wall_seconds > 0.0 ? 1.0 / wall_seconds : 0.0;
+  std::printf("{\"bench\": \"%s\", \"model\": \"%s\", \"threads\": %d, "
+              "\"processors\": %llu, \"wall_seconds\": %.6f, \"ns_per_processor\": %.2f, "
+              "\"fleets_per_second\": %.2f}\n",
+              phase, model, threads, static_cast<unsigned long long>(processors),
+              wall_seconds, ns_per_processor, fleets_per_second);
+  std::fflush(stdout);
+}
+
+// Bitwise equality of two screening results: every counter and every detection,
+// including the exact bit pattern of the detection-month doubles.
+bool IdenticalStats(const ScreeningStats& a, const ScreeningStats& b) {
+  if (a.tested != b.tested || a.faulty != b.faulty ||
+      a.detected_by_stage != b.detected_by_stage || a.tested_by_arch != b.tested_by_arch ||
+      a.detected_by_arch != b.detected_by_arch ||
+      a.detections.size() != b.detections.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.detections.size(); ++i) {
+    const ProcessorOutcome& x = a.detections[i];
+    const ProcessorOutcome& y = b.detections[i];
+    if (x.serial != y.serial || x.arch_index != y.arch_index || x.detected != y.detected ||
+        x.stage != y.stage ||
+        std::memcmp(&x.month, &y.month, sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  const uint64_t processors =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1'000'000ull;
+  const int repeats = argc > 2 ? std::atoi(argv[2]) : 5;
+  std::printf("# micro_screening: %llu processors, best of %d\n",
+              static_cast<unsigned long long>(processors), repeats);
+
+  const TestSuite suite = TestSuite::BuildFull();
+  ScreeningPipeline pipeline(&suite);
+  bool deterministic = true;
+  double cached_screen_t1 = 0.0;
+  double reference_screen_t1 = 0.0;
+
+  // Ground truth for the determinism assertion: the cached model at one thread.
+  ScreeningStats golden;
+  {
+    PopulationConfig population_config;
+    population_config.processor_count = processors;
+    population_config.threads = 1;
+    const FleetPopulation fleet = FleetPopulation::Generate(population_config);
+    golden = pipeline.Run(fleet, ScreeningConfig{.threads = 1});
+  }
+
+  for (int threads : {1, 2, 8}) {
+    PopulationConfig population_config;
+    population_config.processor_count = processors;
+    population_config.threads = threads;
+
+    const double generate_wall = BestWallSeconds(repeats, [&] {
+      (void)FleetPopulation::Generate(population_config);
+    });
+    EmitJson("generate", "cached", threads, generate_wall, processors);
+
+    const FleetPopulation fleet = FleetPopulation::Generate(population_config);
+    for (const bool use_reference : {false, true}) {
+      ScreeningConfig screening_config;
+      screening_config.threads = threads;
+      screening_config.use_reference_model = use_reference;
+      const char* model = use_reference ? "reference" : "cached";
+
+      deterministic &= IdenticalStats(golden, pipeline.Run(fleet, screening_config));
+
+      const double screen_wall = BestWallSeconds(repeats, [&] {
+        (void)pipeline.Run(fleet, screening_config);
+      });
+      EmitJson("screen", model, threads, screen_wall, processors);
+      if (threads == 1) {
+        (use_reference ? reference_screen_t1 : cached_screen_t1) = screen_wall;
+      }
+
+      const double both_wall = BestWallSeconds(repeats, [&] {
+        const FleetPopulation f = FleetPopulation::Generate(population_config);
+        (void)pipeline.Run(f, screening_config);
+      });
+      EmitJson("generate_screen", model, threads, both_wall, processors);
+    }
+  }
+
+  const double speedup =
+      cached_screen_t1 > 0.0 ? reference_screen_t1 / cached_screen_t1 : 0.0;
+  std::printf("{\"bench\": \"summary\", \"screen_speedup_cached_vs_reference\": %.2f, "
+              "\"deterministic\": %s}\n",
+              speedup, deterministic ? "true" : "false");
+  if (!deterministic) {
+    std::fprintf(stderr,
+                 "FAIL: cached and reference models diverged (see docs/performance.md)\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sdc
+
+int main(int argc, char** argv) { return sdc::Main(argc, argv); }

@@ -39,7 +39,7 @@ int main() {
   table.AddRow({"total", FormatDouble(stats.TotalRate() * 1e4, 3), "3.610"});
   table.Print(std::cout);
 
-  std::cout << "\nfleet: " << fleet.processors().size() << " processors, "
+  std::cout << "\nfleet: " << fleet.size() << " processors, "
             << fleet.faulty_count() << " with latent defects; "
             << stats.total_detected() << " detected\n";
   std::cout << "pre-production share of detections: "

@@ -1,11 +1,10 @@
 #include "src/fleet/capacity.h"
 
 #include <set>
-#include <unordered_map>
 
 namespace sdc {
 
-int DefectiveCoreCount(const FleetProcessor& processor) {
+int DefectiveCoreCount(const FleetProcessorView& processor) {
   const int total = MakeArchSpec(processor.arch_index).physical_cores;
   std::set<int> cores;
   for (const Defect& defect : processor.defects) {
@@ -21,13 +20,11 @@ CapacityReport SimulateCapacityRetention(const FleetPopulation& fleet,
                                          const ScreeningStats& stats,
                                          const ScreeningConfig& config) {
   CapacityReport report;
-  std::unordered_map<uint64_t, const FleetProcessor*> by_serial;
-  for (const FleetProcessor& processor : fleet.processors()) {
-    report.fleet_cores +=
-        static_cast<uint64_t>(MakeArchSpec(processor.arch_index).physical_cores);
-    if (processor.faulty) {
-      by_serial.emplace(processor.serial, &processor);
-    }
+  // Per-arch core totals come from the population's cached arch histogram -- no fleet
+  // scan, and detections address faulty parts through the fleet's sorted serial index.
+  for (int arch = 0; arch < kArchCount; ++arch) {
+    report.fleet_cores += fleet.CountByArch(arch) *
+                          static_cast<uint64_t>(MakeArchSpec(arch).physical_cores);
   }
   const int periods =
       static_cast<int>(config.horizon_months / config.regular_period_months);
@@ -40,11 +37,10 @@ CapacityReport SimulateCapacityRetention(const FleetPopulation& fleet,
     if (outcome.stage != TestStage::kRegular) {
       continue;  // pre-production: the part never carried production load
     }
-    const auto it = by_serial.find(outcome.serial);
-    if (it == by_serial.end()) {
+    if (outcome.serial >= fleet.size() || !fleet.faulty(outcome.serial)) {
       continue;
     }
-    const FleetProcessor& processor = *it->second;
+    const FleetProcessorView processor = fleet.processor(outcome.serial);
     const int total_cores = MakeArchSpec(processor.arch_index).physical_cores;
     const int defective = DefectiveCoreCount(processor);
     ++report.production_detections;

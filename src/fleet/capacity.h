@@ -50,7 +50,7 @@ CapacityReport SimulateCapacityRetention(const FleetPopulation& fleet,
 
 // Number of defective physical cores of a fleet part (union over its defects; a defect with
 // no core list affects every core).
-int DefectiveCoreCount(const FleetProcessor& processor);
+int DefectiveCoreCount(const FleetProcessorView& processor);
 
 }  // namespace sdc
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <iterator>
+#include <numeric>
+#include <utility>
 
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
@@ -60,7 +63,7 @@ double ScreeningStats::PreProductionRate() const {
          StageRate(TestStage::kReinstall);
 }
 
-void ScreeningStats::MergeFrom(const ScreeningStats& other) {
+void ScreeningStats::MergeFrom(ScreeningStats&& other) {
   tested += other.tested;
   faulty += other.faulty;
   for (int stage = 0; stage < kStageCount; ++stage) {
@@ -73,7 +76,13 @@ void ScreeningStats::MergeFrom(const ScreeningStats& other) {
     detected_by_arch[static_cast<size_t>(arch)] +=
         other.detected_by_arch[static_cast<size_t>(arch)];
   }
-  detections.insert(detections.end(), other.detections.begin(), other.detections.end());
+  if (detections.empty()) {
+    detections = std::move(other.detections);
+  } else {
+    detections.reserve(detections.size() + other.detections.size());
+    detections.insert(detections.end(), std::make_move_iterator(other.detections.begin()),
+                      std::make_move_iterator(other.detections.end()));
+  }
 }
 
 int RegularGroupOf(uint64_t serial, const ScreeningConfig& config) {
@@ -122,9 +131,17 @@ int ScreeningPipeline::MatchingTestcases(const Defect& defect) const {
   return matches;
 }
 
-double ScreeningPipeline::ExpectedErrors(const Defect& defect, const StageParams& stage,
-                                         int pcores) const {
-  const int matching = MatchingTestcases(defect);
+namespace {
+
+// Fixed shard width for screening; like generation, shard s draws from Rng::Fork(s) so the
+// stats are a pure function of (fleet, config.seed) at any thread count.
+constexpr uint64_t kScreeningGrain = 4096;
+
+// Shared by the public ExpectedErrors and the memo builder so both evaluate the exact
+// same floating-point expression: byte-identical stats between the memoized and the
+// reference model depend on the terms being bitwise equal.
+double ExpectedErrorsWithMatching(const Defect& defect, const StageParams& stage,
+                                  int pcores, int matching) {
   if (matching == 0) {
     return 0.0;
   }
@@ -140,12 +157,6 @@ double ScreeningPipeline::ExpectedErrors(const Defect& defect, const StageParams
   }
   return expected;
 }
-
-namespace {
-
-// Fixed shard width for screening; like generation, shard s draws from Rng::Fork(s) so the
-// stats are a pure function of (fleet, config.seed) at any thread count.
-constexpr uint64_t kScreeningGrain = 4096;
 
 // Per-stage pass/fail/SDC counters for one shard, derived from the shard's private stats
 // so the hot per-processor loop never touches a metric map.
@@ -175,12 +186,25 @@ MetricsDelta DeltaFromShardStats(const ScreeningStats& stats) {
 
 }  // namespace
 
+double ScreeningPipeline::ExpectedErrors(const Defect& defect, const StageParams& stage,
+                                         int pcores) const {
+  return ExpectedErrorsWithMatching(defect, stage, pcores, MatchingTestcases(defect));
+}
+
 ScreeningStats ScreeningPipeline::Run(const FleetPopulation& fleet,
                                       const ScreeningConfig& config) const {
-  const std::vector<FleetProcessor>& processors = fleet.processors();
   const Rng base(config.seed);
   MetricsRegistry::ScopedTimer run_timer(config.metrics, "screening.run.wall");
   ThreadPool pool(config.threads);
+
+  // Satellite of the memoization work: the per-arch hardware model is invariant across the
+  // fleet, so it is materialized once per Run instead of once per faulty processor.
+  std::array<ProcessorSpec, kArchCount> arch_specs;
+  for (int arch = 0; arch < kArchCount; ++arch) {
+    arch_specs[static_cast<size_t>(arch)] = MakeArchSpec(arch);
+  }
+  const std::vector<uint8_t>& arch_bytes = fleet.arch_bytes();
+  const std::vector<uint64_t>& faulty_serials = fleet.faulty_serials();
 
   // Stats plus the shard's metric delta travel together through the ordered reduce, so
   // the registry sees exactly one delta per shard, applied in shard order.
@@ -189,24 +213,66 @@ ScreeningStats ScreeningPipeline::Run(const FleetPopulation& fleet,
     MetricsDelta delta;
   };
   ShardResult total = pool.ParallelReduce<ShardResult>(
-      0, processors.size(), kScreeningGrain, ShardResult{},
+      0, fleet.size(), kScreeningGrain, ShardResult{},
       [&](uint64_t shard, uint64_t begin, uint64_t end) {
         const auto shard_start = std::chrono::steady_clock::now();
         ShardResult result;
+        ScreeningStats& stats = result.stats;
         Rng rng = base.Fork(shard);
-        for (uint64_t index = begin; index < end; ++index) {
-          ScreenProcessor(processors[index], config, rng, result.stats);
+        if (config.use_reference_model) {
+          for (uint64_t serial = begin; serial < end; ++serial) {
+            ScreenProcessorReference(fleet.processor(serial), config, rng, stats);
+          }
+        } else {
+          // Clean-processor fast path: the shard's tested counters come from a sequential
+          // scan of the packed arch bytes; the detection model only ever runs for the
+          // (rare) faulty parts, located via the fleet's sorted faulty-serial index.
+          stats.tested = end - begin;
+          // Four interleaved sub-histograms keep the counter increments out of each
+          // other's store-to-load dependency chains (~4x over the naive scan here).
+          uint64_t hist[4][kArchCount] = {};
+          uint64_t serial = begin;
+          for (; serial + 4 <= end; serial += 4) {
+            ++hist[0][arch_bytes[serial]];
+            ++hist[1][arch_bytes[serial + 1]];
+            ++hist[2][arch_bytes[serial + 2]];
+            ++hist[3][arch_bytes[serial + 3]];
+          }
+          for (; serial < end; ++serial) {
+            ++hist[0][arch_bytes[serial]];
+          }
+          for (int arch = 0; arch < kArchCount; ++arch) {
+            stats.tested_by_arch[static_cast<size_t>(arch)] =
+                hist[0][arch] + hist[1][arch] + hist[2][arch] + hist[3][arch];
+          }
+          const auto first = std::lower_bound(faulty_serials.begin(),
+                                              faulty_serials.end(), begin);
+          const auto last = std::lower_bound(first, faulty_serials.end(), end);
+          stats.detections.reserve(static_cast<size_t>(last - first));
+          for (auto it = first; it != last; ++it) {
+            ++stats.faulty;
+            const uint64_t serial = *it;
+            if (!fleet.toolchain_detectable(serial)) {
+              continue;  // escapes every stage (Section 2.3's false negatives)
+            }
+            const int arch_index = arch_bytes[serial];
+            const size_t ordinal =
+                static_cast<size_t>(it - faulty_serials.begin());
+            ScreenFaultyProcessor(
+                serial, arch_index, fleet.FaultyDefects(ordinal), config,
+                arch_specs[static_cast<size_t>(arch_index)].physical_cores, rng, stats);
+          }
         }
         if (config.metrics != nullptr) {
-          result.delta = DeltaFromShardStats(result.stats);
+          result.delta = DeltaFromShardStats(stats);
           const std::chrono::duration<double> elapsed =
               std::chrono::steady_clock::now() - shard_start;
           config.metrics->RecordTimerSeconds("screening.shard.wall", elapsed.count());
         }
         return result;
       },
-      [](ShardResult& accumulator, const ShardResult& shard_result) {
-        accumulator.stats.MergeFrom(shard_result.stats);
+      [](ShardResult& accumulator, ShardResult& shard_result) {
+        accumulator.stats.MergeFrom(std::move(shard_result.stats));
         accumulator.delta.MergeFrom(shard_result.delta);
       });
   if (config.metrics != nullptr) {
@@ -215,9 +281,103 @@ ScreeningStats ScreeningPipeline::Run(const FleetPopulation& fleet,
   return std::move(total.stats);
 }
 
-void ScreeningPipeline::ScreenProcessor(const FleetProcessor& processor,
-                                        const ScreeningConfig& config, Rng& rng,
-                                        ScreeningStats& stats) const {
+void ScreeningPipeline::ScreenFaultyProcessor(uint64_t serial, int arch_index,
+                                              std::span<const Defect> defects,
+                                              const ScreeningConfig& config,
+                                              int physical_cores, Rng& rng,
+                                              ScreeningStats& stats) const {
+  const size_t defect_count = defects.size();
+  // Memoized detection model: MatchingTestcases is stage-invariant (one suite scan per
+  // defect instead of one per probe) and the per-stage survive factor
+  // 1 - catch_factor * (1 - exp(-E)) is probe-invariant, so every probe below is a table
+  // lookup. The expressions mirror ScreenProcessorReference exactly -- same helper, same
+  // term shape -- so the cached doubles are bitwise equal to what the reference computes.
+  std::vector<std::array<double, kStageCount>> survive_terms(defect_count);
+  for (size_t d = 0; d < defect_count; ++d) {
+    const Defect& defect = defects[d];
+    const int matching = MatchingTestcases(defect);
+    for (int stage = 0; stage < kStageCount; ++stage) {
+      const StageParams& params = config.stages[static_cast<size_t>(stage)];
+      const double expected =
+          ExpectedErrorsWithMatching(defect, params, physical_cores, matching);
+      survive_terms[d][static_cast<size_t>(stage)] =
+          1.0 - params.catch_factor * (1.0 - std::exp(-expected));
+    }
+  }
+
+  // Survive product over the defects active at age 0, folded in storage order (the same
+  // order the reference multiplies in, so the product rounds identically).
+  auto probability_at = [&](int stage, double age_months) {
+    double survive = 1.0;
+    for (size_t d = 0; d < defect_count; ++d) {
+      if (defects[d].onset_months > age_months) {
+        continue;  // not yet developed
+      }
+      survive *= survive_terms[d][static_cast<size_t>(stage)];
+    }
+    return 1.0 - survive;
+  };
+
+  bool detected = false;
+  TestStage detected_stage = TestStage::kFactory;
+  double detected_month = 0.0;
+  const TestStage pre_production[] = {TestStage::kFactory, TestStage::kDatacenter,
+                                      TestStage::kReinstall};
+  for (TestStage stage : pre_production) {
+    if (rng.NextBernoulli(probability_at(static_cast<int>(stage), 0.0))) {
+      detected = true;
+      detected_stage = stage;
+      break;
+    }
+  }
+  if (!detected) {
+    // Onset-gated regular rounds: defect onsets sorted ascending gate when the cached
+    // probability must be re-derived; cycles between onset crossings reuse it untouched.
+    std::vector<double> sorted_onsets(defect_count);
+    for (size_t d = 0; d < defect_count; ++d) {
+      sorted_onsets[d] = defects[d].onset_months;
+    }
+    std::sort(sorted_onsets.begin(), sorted_onsets.end());
+
+    const int groups = config.regular_groups < 1 ? 1 : config.regular_groups;
+    const double offset = config.regular_period_months *
+                          static_cast<double>(RegularGroupOf(serial, config)) /
+                          static_cast<double>(groups);
+    size_t active = 0;
+    double probability = 0.0;
+    bool stale = true;
+    for (int cycle = 1;; ++cycle) {
+      const double month =
+          static_cast<double>(cycle) * config.regular_period_months + offset;
+      if (month > config.horizon_months) {
+        break;
+      }
+      while (active < defect_count && sorted_onsets[active] <= month) {
+        ++active;
+        stale = true;
+      }
+      if (stale) {
+        probability = probability_at(static_cast<int>(TestStage::kRegular), month);
+        stale = false;
+      }
+      if (rng.NextBernoulli(probability)) {
+        detected = true;
+        detected_stage = TestStage::kRegular;
+        detected_month = month;
+        break;
+      }
+    }
+  }
+  if (detected) {
+    ++stats.detected_by_stage[static_cast<int>(detected_stage)];
+    ++stats.detected_by_arch[arch_index];
+    stats.detections.push_back({serial, arch_index, true, detected_stage, detected_month});
+  }
+}
+
+void ScreeningPipeline::ScreenProcessorReference(const FleetProcessorView& processor,
+                                                 const ScreeningConfig& config, Rng& rng,
+                                                 ScreeningStats& stats) const {
   ++stats.tested;
   ++stats.tested_by_arch[processor.arch_index];
   if (!processor.faulty) {
@@ -229,7 +389,7 @@ void ScreeningPipeline::ScreenProcessor(const FleetProcessor& processor,
   }
   const int pcores = MakeArchSpec(processor.arch_index).physical_cores;
 
-  // Pre-computed per-stage detection probabilities across the part's defects (a part is
+  // Per-stage detection probabilities recomputed from scratch at every probe (a part is
   // detected when any defect reproduces).
   auto stage_probability = [&](const StageParams& stage, double age_months) {
     double survive = 1.0;

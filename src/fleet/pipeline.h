@@ -11,12 +11,24 @@
 // how much of the stage's test program overlaps the toolchain's SDC sensitivity (factory
 // HVM tests are weak SDC detectors; the re-install full-suite run is the strong one --
 // which is exactly why Table 1's re-install column dominates).
+//
+// Cost model (docs/performance.md): the per-defect expected-error terms depend only on
+// (defect, stage params, core count), so Run evaluates them exactly once per faulty
+// processor and memoizes the per-stage survive factors. Pre-production probes are then
+// table lookups, and the regular-cycle loop re-derives its detection probability only
+// when a wear-out defect's onset month is crossed -- every other cycle is a cached
+// lookup. The clean-processor fast path never touches the model at all: it streams the
+// packed per-processor byte columns and jumps between faulty parts via the fleet's
+// sorted faulty-serial index. The pre-memoization implementation is retained as a
+// test-only reference (ScreeningConfig::use_reference_model) and the equivalence suite
+// asserts byte-identical stats between the two at several thread counts.
 
 #ifndef SDC_SRC_FLEET_PIPELINE_H_
 #define SDC_SRC_FLEET_PIPELINE_H_
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -64,6 +76,10 @@ struct ScreeningConfig {
   // Stats are bit-identical for a given seed at any thread count (see docs/parallelism.md);
   // SDC_THREADS overrides this value.
   int threads = 0;
+  // Test-only hook: run the slow pre-memoization model that recomputes MatchingTestcases
+  // and ExpectedErrors at every probe. Output must be byte-identical to the default
+  // memoized path (tests/screening_model_test.cc); production callers leave this false.
+  bool use_reference_model = false;
   // Optional metric sink ("screening.*"): per-shard MetricsDelta objects merged in shard
   // order, thread-count invariant except the wall-clock shard timers
   // (docs/observability.md). Null disables instrumentation.
@@ -97,9 +113,10 @@ struct ScreeningStats {
   double ArchRate(int arch_index) const;     // detections / tested within one arch
   double PreProductionRate() const;          // factory + datacenter + re-install
 
-  // Adds `other`'s counters and appends its detections. Shard results merged in shard
+  // Adds `other`'s counters and move-appends its detections (reserving first, so the
+  // shard-order reduce never reallocates per element). Shard results merged in shard
   // order reproduce the serial stats exactly, detections in serial order included.
-  void MergeFrom(const ScreeningStats& other);
+  void MergeFrom(ScreeningStats&& other);
 };
 
 class ScreeningPipeline {
@@ -121,10 +138,21 @@ class ScreeningPipeline {
   int MatchingTestcases(const Defect& defect) const;
 
  private:
-  // Screens one processor, drawing all randomness from `rng` and accumulating into
-  // `stats`. Called once per processor in serial order within each shard.
-  void ScreenProcessor(const FleetProcessor& processor, const ScreeningConfig& config,
-                       Rng& rng, ScreeningStats& stats) const;
+  // Memoized fast path: screens one faulty, toolchain-detectable processor. Evaluates the
+  // detection model once per (defect, stage), then replays the probe schedule against the
+  // cached survive terms, drawing all randomness from `rng` in the same order as the
+  // reference implementation.
+  void ScreenFaultyProcessor(uint64_t serial, int arch_index,
+                             std::span<const Defect> defects,
+                             const ScreeningConfig& config, int physical_cores, Rng& rng,
+                             ScreeningStats& stats) const;
+
+  // Pre-memoization implementation, kept verbatim as the equivalence-test oracle. Screens
+  // one processor (clean parts included), recomputing MatchingTestcases / ExpectedErrors
+  // at every probe. Reached only via ScreeningConfig::use_reference_model.
+  void ScreenProcessorReference(const FleetProcessorView& processor,
+                                const ScreeningConfig& config, Rng& rng,
+                                ScreeningStats& stats) const;
 
   const TestSuite* suite_;
 };

@@ -1,5 +1,9 @@
 #include "src/fleet/population.h"
 
+#include <algorithm>
+#include <iterator>
+#include <utility>
+
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
 #include "src/telemetry/metrics.h"
@@ -23,6 +27,15 @@ struct ShardTally {
   MetricsDelta delta;
 };
 
+// One shard's contribution to the sparse faulty index and the defect arena. The byte
+// columns are written in place (shards own disjoint serial ranges); the variable-length
+// pieces are produced shard-locally and stitched together in shard order afterwards.
+struct ShardOutput {
+  ShardTally tally;
+  std::vector<std::pair<uint64_t, uint32_t>> faulty;  // (serial, defect count)
+  std::vector<Defect> arena;                          // defects in serial order
+};
+
 void FillShardDelta(ShardTally& tally, uint64_t processors) {
   MetricsDelta& delta = tally.delta;
   delta.Add("fleet.generate.processors", processors);
@@ -44,49 +57,88 @@ void FillShardDelta(ShardTally& tally, uint64_t processors) {
 
 }  // namespace
 
+std::span<const Defect> FleetPopulation::DefectsOf(uint64_t serial) const {
+  const auto it =
+      std::lower_bound(faulty_serials_.begin(), faulty_serials_.end(), serial);
+  if (it == faulty_serials_.end() || *it != serial) {
+    return {};
+  }
+  return FaultyDefects(static_cast<size_t>(it - faulty_serials_.begin()));
+}
+
 FleetPopulation FleetPopulation::Generate(const PopulationConfig& config) {
   FleetPopulation fleet;
   fleet.config_ = config;
-  fleet.processors_.resize(config.processor_count);
+  fleet.arch_.resize(config.processor_count);
+  fleet.flags_.resize(config.processor_count);
   const Rng base(config.seed);
   const std::vector<double> shares(config.arch_share.begin(), config.arch_share.end());
+  std::array<int, kArchCount> pcores_by_arch;
+  for (int arch = 0; arch < kArchCount; ++arch) {
+    pcores_by_arch[static_cast<size_t>(arch)] = MakeArchSpec(arch).physical_cores;
+  }
 
   MetricsRegistry::ScopedTimer generate_timer(config.metrics, "fleet.generate.wall");
   ThreadPool pool(config.threads);
-  const std::vector<ShardTally> tallies = pool.ParallelMap<ShardTally>(
+  std::vector<ShardOutput> outputs = pool.ParallelMap<ShardOutput>(
       0, config.processor_count, kGenerateGrain,
       [&](uint64_t shard, uint64_t begin, uint64_t end) {
-        ShardTally tally;
+        ShardOutput output;
+        ShardTally& tally = output.tally;
         Rng rng = base.Fork(shard);
         for (uint64_t serial = begin; serial < end; ++serial) {
-          FleetProcessor& processor = fleet.processors_[serial];
-          processor.serial = serial;
-          processor.arch_index = static_cast<int>(rng.NextWeighted(shares));
+          const int arch_index = static_cast<int>(rng.NextWeighted(shares));
+          fleet.arch_[serial] = static_cast<uint8_t>(arch_index);
           const double prevalence =
-              config.detected_rate[processor.arch_index] / config.detectability;
-          processor.faulty = rng.NextBernoulli(prevalence);
-          if (processor.faulty) {
-            const int pcores = MakeArchSpec(processor.arch_index).physical_cores;
-            processor.defects = GenerateRandomDefects(rng, processor.arch_index, pcores);
-            processor.toolchain_detectable = !rng.NextBernoulli(config.undetectable_share);
+              config.detected_rate[arch_index] / config.detectability;
+          uint8_t flags = kDetectableFlag;
+          if (rng.NextBernoulli(prevalence)) {
+            std::vector<Defect> defects = GenerateRandomDefects(
+                rng, arch_index, pcores_by_arch[static_cast<size_t>(arch_index)]);
+            const bool detectable = !rng.NextBernoulli(config.undetectable_share);
+            flags = detectable ? (kFaultyFlag | kDetectableFlag) : kFaultyFlag;
             ++tally.faulty;
-            tally.defects += processor.defects.size();
-            tally.defects_by_arch[static_cast<size_t>(processor.arch_index)] +=
-                processor.defects.size();
-            if (!processor.toolchain_detectable) {
+            tally.defects += defects.size();
+            tally.defects_by_arch[static_cast<size_t>(arch_index)] += defects.size();
+            if (!detectable) {
               ++tally.undetectable;
             }
+            output.faulty.emplace_back(serial, static_cast<uint32_t>(defects.size()));
+            output.arena.insert(output.arena.end(),
+                                std::make_move_iterator(defects.begin()),
+                                std::make_move_iterator(defects.end()));
           }
-          ++tally.by_arch[static_cast<size_t>(processor.arch_index)];
+          fleet.flags_[serial] = flags;
+          ++tally.by_arch[static_cast<size_t>(arch_index)];
         }
         if (config.metrics != nullptr) {
           FillShardDelta(tally, end - begin);
         }
-        return tally;
+        return output;
       });
 
-  for (const ShardTally& tally : tallies) {
-    fleet.faulty_count_ += tally.faulty;
+  // Stitch the shard-local pieces together in shard order: offsets are running sums, so
+  // the arena holds every defect grouped by owning processor in ascending serial order.
+  uint64_t total_faulty = 0;
+  uint64_t total_defects = 0;
+  for (const ShardOutput& output : outputs) {
+    total_faulty += output.faulty.size();
+    total_defects += output.arena.size();
+  }
+  fleet.faulty_serials_.reserve(total_faulty);
+  fleet.faulty_ranges_.reserve(total_faulty);
+  fleet.defect_arena_.reserve(total_defects);
+  for (ShardOutput& output : outputs) {
+    uint64_t offset = fleet.defect_arena_.size();
+    for (const auto& [serial, defect_count] : output.faulty) {
+      fleet.faulty_serials_.push_back(serial);
+      fleet.faulty_ranges_.push_back({offset, defect_count});
+      offset += defect_count;
+    }
+    fleet.defect_arena_.insert(fleet.defect_arena_.end(),
+                               std::make_move_iterator(output.arena.begin()),
+                               std::make_move_iterator(output.arena.end()));
+    const ShardTally& tally = output.tally;
     for (int arch = 0; arch < kArchCount; ++arch) {
       fleet.counts_by_arch_[static_cast<size_t>(arch)] +=
           tally.by_arch[static_cast<size_t>(arch)];

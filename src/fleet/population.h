@@ -4,12 +4,21 @@
 // permyriad total). Faulty parts carry concrete Defect models drawn from the same
 // distributions as the study catalog; a small share is undetectable by the toolchain
 // (Section 2.3 observes such escapes).
+//
+// Storage layout (docs/performance.md): the fleet is structure-of-arrays. The hot
+// screening fields live in packed parallel byte arrays (`arch_bytes`, `flag_bytes`) so
+// the 99.96%-clean fleet scan streams sequentially through 2 bytes per processor, and
+// all Defect objects live in one shared per-fleet arena (`defect_arena`) addressed by
+// {offset, count} ranges held only for the faulty parts. Ranges and the arena are built
+// deterministically in shard order during Generate, so the layout -- like the fleet
+// content itself -- is a pure function of (config, seed) at any thread count.
 
 #ifndef SDC_SRC_FLEET_POPULATION_H_
 #define SDC_SRC_FLEET_POPULATION_H_
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/fault/catalog.h"
@@ -18,12 +27,21 @@ namespace sdc {
 
 class MetricsRegistry;
 
-struct FleetProcessor {
+// Slice of the defect arena owned by one faulty processor.
+struct DefectRange {
+  uint64_t offset = 0;
+  uint32_t count = 0;
+};
+
+// Borrowed view of one fleet processor, assembled from the column arrays. Cheap to copy;
+// valid only while the owning FleetPopulation (or, in tests, the backing defect vector)
+// is alive.
+struct FleetProcessorView {
   uint64_t serial = 0;
   int arch_index = 0;
   bool faulty = false;
   bool toolchain_detectable = true;  // false: fails only under conditions no testcase covers
-  std::vector<Defect> defects;       // non-empty only for faulty parts
+  std::span<const Defect> defects;   // non-empty only for faulty parts
 };
 
 struct PopulationConfig {
@@ -54,21 +72,65 @@ struct PopulationConfig {
 
 class FleetPopulation {
  public:
+  // Flag bits of flag_bytes() entries.
+  static constexpr uint8_t kFaultyFlag = 1;
+  static constexpr uint8_t kDetectableFlag = 2;
+
   static FleetPopulation Generate(const PopulationConfig& config);
 
-  const std::vector<FleetProcessor>& processors() const { return processors_; }
+  uint64_t size() const { return arch_.size(); }
   const PopulationConfig& config() const { return config_; }
 
+  // Per-processor hot fields. Serial numbers equal fleet indices by construction.
+  int arch_index(uint64_t serial) const { return arch_[serial]; }
+  bool faulty(uint64_t serial) const { return (flags_[serial] & kFaultyFlag) != 0; }
+  bool toolchain_detectable(uint64_t serial) const {
+    return (flags_[serial] & kDetectableFlag) != 0;
+  }
+
+  // Raw column arrays for streaming consumers (one byte per processor each). flag_bytes
+  // entries are combinations of kFaultyFlag / kDetectableFlag; clean processors carry
+  // kDetectableFlag alone (nothing to detect, but nothing escapes either).
+  const std::vector<uint8_t>& arch_bytes() const { return arch_; }
+  const std::vector<uint8_t>& flag_bytes() const { return flags_; }
+
+  // Serials of the faulty parts, ascending; the screening fast path iterates this list
+  // instead of testing every processor's flag byte.
+  const std::vector<uint64_t>& faulty_serials() const { return faulty_serials_; }
+
+  // Defects of the faulty part at `ordinal` within faulty_serials().
+  std::span<const Defect> FaultyDefects(size_t ordinal) const {
+    const DefectRange& range = faulty_ranges_[ordinal];
+    return {defect_arena_.data() + range.offset, range.count};
+  }
+
+  // Defects of an arbitrary processor (empty for clean parts). O(log faulty_count).
+  std::span<const Defect> DefectsOf(uint64_t serial) const;
+
+  // Assembled per-processor view for callers that want all fields together.
+  FleetProcessorView processor(uint64_t serial) const {
+    return {serial, arch_index(serial), faulty(serial), toolchain_detectable(serial),
+            DefectsOf(serial)};
+  }
+
+  // Every defect in the fleet, grouped by owning processor in serial order.
+  const std::vector<Defect>& defect_arena() const { return defect_arena_; }
+
   // O(1): counted per shard during Generate and merged, not recomputed by scanning.
-  uint64_t faulty_count() const { return faulty_count_; }
+  uint64_t faulty_count() const { return faulty_serials_.size(); }
   uint64_t CountByArch(int arch_index) const {
     return counts_by_arch_[static_cast<size_t>(arch_index)];
   }
 
  private:
   PopulationConfig config_;
-  std::vector<FleetProcessor> processors_;
-  uint64_t faulty_count_ = 0;
+  // Structure-of-arrays processor columns, indexed by serial.
+  std::vector<uint8_t> arch_;
+  std::vector<uint8_t> flags_;
+  // Sparse faulty-part index: sorted serials plus each part's arena slice.
+  std::vector<uint64_t> faulty_serials_;
+  std::vector<DefectRange> faulty_ranges_;
+  std::vector<Defect> defect_arena_;
   std::array<uint64_t, kArchCount> counts_by_arch_{};
 };
 

@@ -1,5 +1,6 @@
 #include "src/fleet/stats.h"
 
+#include <array>
 #include <cmath>
 
 namespace sdc {
@@ -34,21 +35,24 @@ TestcaseEffectiveness ComputeTestcaseEffectiveness(const TestSuite& suite,
                                                    const StageParams& stage) {
   TestcaseEffectiveness effectiveness;
   effectiveness.total_testcases = suite.size();
-  // The faulty slice is tiny; extract it once instead of rescanning the million-part fleet
-  // per testcase.
-  std::vector<const FleetProcessor*> faulty;
-  for (const FleetProcessor& processor : fleet.processors()) {
-    if (processor.faulty && processor.toolchain_detectable) {
-      faulty.push_back(&processor);
-    }
+  // The faulty slice is tiny and the fleet already indexes it: walk faulty_serials()
+  // directly instead of rescanning the million-part fleet per testcase.
+  const std::vector<uint64_t>& faulty_serials = fleet.faulty_serials();
+  std::array<int, kArchCount> pcores_by_arch;
+  for (int arch = 0; arch < kArchCount; ++arch) {
+    pcores_by_arch[static_cast<size_t>(arch)] = MakeArchSpec(arch).physical_cores;
   }
   for (size_t i = 0; i < suite.size(); ++i) {
     const TestcaseInfo& info = suite.info(i);
     bool effective = false;
-    for (const FleetProcessor* faulty_processor : faulty) {
-      const FleetProcessor& processor = *faulty_processor;
-      const int pcores = MakeArchSpec(processor.arch_index).physical_cores;
-      for (const Defect& defect : processor.defects) {
+    for (size_t ordinal = 0; ordinal < faulty_serials.size(); ++ordinal) {
+      const uint64_t serial = faulty_serials[ordinal];
+      if (!fleet.toolchain_detectable(serial)) {
+        continue;
+      }
+      const int pcores =
+          pcores_by_arch[static_cast<size_t>(fleet.arch_index(serial))];
+      for (const Defect& defect : fleet.FaultyDefects(ordinal)) {
         if (!TestcaseMatchesDefect(info, defect)) {
           continue;
         }

@@ -41,16 +41,17 @@ ScreeningPipeline* CapacityTest::pipeline_ = nullptr;
 ScreeningStats* CapacityTest::stats_ = nullptr;
 
 TEST_F(CapacityTest, DefectiveCoreCountUnionsDefects) {
-  FleetProcessor processor;
+  FleetProcessorView processor;
   processor.arch_index = 1;  // M2: 16 cores
   Defect a;
   a.affected_pcores = {1, 2};
   Defect b;
   b.affected_pcores = {2, 3};
-  processor.defects = {a, b};
+  const std::vector<Defect> two_defects = {a, b};
+  processor.defects = two_defects;
   EXPECT_EQ(DefectiveCoreCount(processor), 3);
-  Defect all_cores;  // empty list = every core
-  processor.defects = {all_cores};
+  const std::vector<Defect> all_cores(1);  // empty pcore list = every core
+  processor.defects = all_cores;
   EXPECT_EQ(DefectiveCoreCount(processor), 16);
 }
 

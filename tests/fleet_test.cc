@@ -38,7 +38,7 @@ FleetPopulation* FleetTest::fleet_ = nullptr;
 TestSuite* FleetTest::suite_ = nullptr;
 
 TEST_F(FleetTest, PopulationSizeAndArchShares) {
-  EXPECT_EQ(fleet_->processors().size(), 200000u);
+  EXPECT_EQ(fleet_->size(), 200000u);
   for (int arch = 0; arch < kArchCount; ++arch) {
     const double share = static_cast<double>(fleet_->CountByArch(arch)) / 200000.0;
     EXPECT_NEAR(share, fleet_->config().arch_share[arch], 0.01) << ArchName(arch);
@@ -59,13 +59,45 @@ TEST_F(FleetTest, TruePrevalenceAboveDetectedTargets) {
 }
 
 TEST_F(FleetTest, FaultyPartsHaveDefects) {
-  for (const FleetProcessor& processor : fleet_->processors()) {
-    if (processor.faulty) {
-      EXPECT_FALSE(processor.defects.empty());
+  for (uint64_t serial = 0; serial < fleet_->size(); ++serial) {
+    if (fleet_->faulty(serial)) {
+      EXPECT_FALSE(fleet_->DefectsOf(serial).empty());
     } else {
-      EXPECT_TRUE(processor.defects.empty());
+      EXPECT_TRUE(fleet_->DefectsOf(serial).empty());
     }
   }
+}
+
+TEST_F(FleetTest, FaultyIndexMatchesFlagColumns) {
+  // The sorted faulty-serial index, the packed flag bytes, and the defect arena ranges
+  // must describe the same fleet (docs/performance.md layout invariants).
+  uint64_t listed = 0;
+  uint64_t last_serial = 0;
+  uint64_t arena_cursor = 0;
+  for (size_t ordinal = 0; ordinal < fleet_->faulty_serials().size(); ++ordinal) {
+    const uint64_t serial = fleet_->faulty_serials()[ordinal];
+    if (ordinal > 0) {
+      EXPECT_GT(serial, last_serial);  // strictly ascending
+    }
+    last_serial = serial;
+    EXPECT_TRUE(fleet_->faulty(serial));
+    const auto defects = fleet_->FaultyDefects(ordinal);
+    EXPECT_FALSE(defects.empty());
+    EXPECT_EQ(defects.data(), fleet_->defect_arena().data() + arena_cursor)
+        << "arena ranges must tile the arena contiguously in serial order";
+    arena_cursor += defects.size();
+    ++listed;
+  }
+  EXPECT_EQ(arena_cursor, fleet_->defect_arena().size());
+  EXPECT_EQ(listed, fleet_->faulty_count());
+  uint64_t flagged = 0;
+  for (uint64_t serial = 0; serial < fleet_->size(); ++serial) {
+    flagged += fleet_->faulty(serial) ? 1 : 0;
+    if (!fleet_->faulty(serial)) {
+      EXPECT_TRUE(fleet_->toolchain_detectable(serial));
+    }
+  }
+  EXPECT_EQ(flagged, listed);
 }
 
 TEST_F(FleetTest, GenerationDeterministic) {
@@ -75,9 +107,9 @@ TEST_F(FleetTest, GenerationDeterministic) {
   const FleetPopulation a = FleetPopulation::Generate(config);
   const FleetPopulation b = FleetPopulation::Generate(config);
   EXPECT_EQ(a.faulty_count(), b.faulty_count());
-  for (size_t i = 0; i < a.processors().size(); ++i) {
-    EXPECT_EQ(a.processors()[i].arch_index, b.processors()[i].arch_index);
-    EXPECT_EQ(a.processors()[i].faulty, b.processors()[i].faulty);
+  for (uint64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.arch_index(i), b.arch_index(i));
+    EXPECT_EQ(a.faulty(i), b.faulty(i));
   }
 }
 
@@ -143,10 +175,8 @@ TEST_F(FleetTest, LateOnsetDefectsDetectedInRegularRounds) {
   // Wear-out defects exist in the population and are only ever caught in regular testing
   // (month > 0), never pre-production.
   bool any_late_onset = false;
-  for (const FleetProcessor& processor : fleet_->processors()) {
-    for (const Defect& defect : processor.defects) {
-      any_late_onset |= defect.onset_months > 0.0;
-    }
+  for (const Defect& defect : fleet_->defect_arena()) {
+    any_late_onset |= defect.onset_months > 0.0;
   }
   EXPECT_TRUE(any_late_onset);  // the generator produces wear-out defects
   ScreeningPipeline pipeline(suite_);

@@ -136,7 +136,7 @@ TEST(ThreadPoolTest, ResolveThreadCountHonorsEnvOverride) {
 
 // --- Determinism across thread counts (the regression the refactor must never break) ---
 
-bool SameProcessor(const FleetProcessor& a, const FleetProcessor& b) {
+bool SameProcessor(const FleetProcessorView& a, const FleetProcessorView& b) {
   if (a.serial != b.serial || a.arch_index != b.arch_index || a.faulty != b.faulty ||
       a.toolchain_detectable != b.toolchain_detectable ||
       a.defects.size() != b.defects.size()) {
@@ -165,13 +165,14 @@ TEST(ParallelDeterminismTest, GenerationIsThreadCountInvariant) {
   for (int threads : {2, 8}) {
     config.threads = threads;
     const FleetPopulation parallel = FleetPopulation::Generate(config);
-    ASSERT_EQ(parallel.processors().size(), serial.processors().size());
+    ASSERT_EQ(parallel.size(), serial.size());
     EXPECT_EQ(parallel.faulty_count(), serial.faulty_count());
     for (int arch = 0; arch < kArchCount; ++arch) {
       EXPECT_EQ(parallel.CountByArch(arch), serial.CountByArch(arch));
     }
-    for (size_t i = 0; i < serial.processors().size(); ++i) {
-      ASSERT_TRUE(SameProcessor(serial.processors()[i], parallel.processors()[i]))
+    EXPECT_EQ(parallel.faulty_serials(), serial.faulty_serials());
+    for (uint64_t i = 0; i < serial.size(); ++i) {
+      ASSERT_TRUE(SameProcessor(serial.processor(i), parallel.processor(i)))
           << "serial " << i << " differs at threads=" << threads;
     }
   }
@@ -313,9 +314,9 @@ TEST(PopulationCountsTest, CachedCountsMatchFullScan) {
 
   uint64_t scanned_faulty = 0;
   std::vector<uint64_t> scanned_by_arch(kArchCount, 0);
-  for (const FleetProcessor& processor : fleet.processors()) {
-    scanned_faulty += processor.faulty ? 1 : 0;
-    ++scanned_by_arch[static_cast<size_t>(processor.arch_index)];
+  for (uint64_t serial = 0; serial < fleet.size(); ++serial) {
+    scanned_faulty += fleet.faulty(serial) ? 1 : 0;
+    ++scanned_by_arch[static_cast<size_t>(fleet.arch_index(serial))];
   }
   EXPECT_EQ(fleet.faulty_count(), scanned_faulty);
   uint64_t total = 0;

@@ -1,0 +1,124 @@
+// Equivalence suite for the memoized detection model (docs/performance.md): the default
+// cached screening path must be byte-identical -- every counter, every detection in
+// order, detection months compared bitwise -- to the retained pre-memoization reference
+// implementation (ScreeningConfig::use_reference_model) at several thread counts. Any
+// divergence means the memoization changed the model or the RNG draw order, both of
+// which break the determinism contract in docs/parallelism.md.
+
+#include <cstring>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/fleet/pipeline.h"
+#include "src/fleet/population.h"
+#include "src/report/exporters.h"
+#include "src/telemetry/metrics.h"
+
+namespace sdc {
+namespace {
+
+constexpr uint64_t kFleetSize = 250000;
+
+class ScreeningModelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    PopulationConfig config;
+    config.processor_count = kFleetSize;
+    config.seed = 20260805;
+    fleet_ = new FleetPopulation(FleetPopulation::Generate(config));
+    suite_ = new TestSuite(TestSuite::BuildFull());
+  }
+  static void TearDownTestSuite() {
+    delete fleet_;
+    delete suite_;
+    fleet_ = nullptr;
+    suite_ = nullptr;
+  }
+
+  static ScreeningStats RunModel(bool use_reference, int threads,
+                                 MetricsRegistry* metrics = nullptr) {
+    ScreeningPipeline pipeline(suite_);
+    ScreeningConfig config;
+    config.threads = threads;
+    config.use_reference_model = use_reference;
+    config.metrics = metrics;
+    return pipeline.Run(*fleet_, config);
+  }
+
+  static void ExpectIdentical(const ScreeningStats& cached, const ScreeningStats& reference) {
+    EXPECT_EQ(cached.tested, reference.tested);
+    EXPECT_EQ(cached.faulty, reference.faulty);
+    EXPECT_EQ(cached.detected_by_stage, reference.detected_by_stage);
+    EXPECT_EQ(cached.tested_by_arch, reference.tested_by_arch);
+    EXPECT_EQ(cached.detected_by_arch, reference.detected_by_arch);
+    ASSERT_EQ(cached.detections.size(), reference.detections.size());
+    for (size_t i = 0; i < cached.detections.size(); ++i) {
+      const ProcessorOutcome& c = cached.detections[i];
+      const ProcessorOutcome& r = reference.detections[i];
+      EXPECT_EQ(c.serial, r.serial) << "detection " << i;
+      EXPECT_EQ(c.arch_index, r.arch_index) << "detection " << i;
+      EXPECT_EQ(c.detected, r.detected) << "detection " << i;
+      EXPECT_EQ(c.stage, r.stage) << "detection " << i;
+      // Bitwise, not EXPECT_DOUBLE_EQ: the cached path must reproduce the reference's
+      // floating-point rounding exactly, not merely approximately.
+      EXPECT_EQ(std::memcmp(&c.month, &r.month, sizeof(double)), 0)
+          << "detection " << i << " month " << c.month << " vs " << r.month;
+    }
+  }
+
+  static FleetPopulation* fleet_;
+  static TestSuite* suite_;
+};
+
+FleetPopulation* ScreeningModelTest::fleet_ = nullptr;
+TestSuite* ScreeningModelTest::suite_ = nullptr;
+
+TEST_F(ScreeningModelTest, CachedMatchesReferenceAtOneThread) {
+  ExpectIdentical(RunModel(false, 1), RunModel(true, 1));
+}
+
+TEST_F(ScreeningModelTest, CachedMatchesReferenceAtTwoThreads) {
+  ExpectIdentical(RunModel(false, 2), RunModel(true, 2));
+}
+
+TEST_F(ScreeningModelTest, CachedMatchesReferenceAtEightThreads) {
+  ExpectIdentical(RunModel(false, 8), RunModel(true, 8));
+}
+
+TEST_F(ScreeningModelTest, CachedIsThreadCountInvariant) {
+  // The cached fast path skips clean processors outright; that must not perturb the
+  // shard-order merge that makes stats thread-count invariant.
+  const ScreeningStats one = RunModel(false, 1);
+  ExpectIdentical(RunModel(false, 2), one);
+  ExpectIdentical(RunModel(false, 8), one);
+  // And both models agree across thread counts, not just within one.
+  ExpectIdentical(one, RunModel(true, 8));
+}
+
+TEST_F(ScreeningModelTest, MetricsSnapshotsIdenticalAcrossModels) {
+  // The observable metric stream (sans wall-clock timers) is part of the contract too.
+  const auto snapshot_json = [](bool use_reference, int threads) {
+    MetricsRegistry registry;
+    (void)RunModel(use_reference, threads, &registry);
+    std::ostringstream out;
+    WriteMetricsJson(out, registry.Snapshot(), /*include_timers=*/false);
+    return out.str();
+  };
+  const std::string cached = snapshot_json(false, 1);
+  EXPECT_EQ(cached, snapshot_json(true, 1));
+  EXPECT_EQ(cached, snapshot_json(false, 8));
+  EXPECT_NE(cached.find("screening.tested"), std::string::npos);
+}
+
+TEST_F(ScreeningModelTest, FastPathActuallyDetects) {
+  // Guard against the equivalence holding vacuously (nothing detected at all).
+  const ScreeningStats stats = RunModel(false, 1);
+  EXPECT_EQ(stats.tested, kFleetSize);
+  EXPECT_GT(stats.faulty, 0u);
+  EXPECT_GT(stats.total_detected(), 0u);
+  EXPECT_FALSE(stats.detections.empty());
+}
+
+}  // namespace
+}  // namespace sdc

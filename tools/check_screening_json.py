@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Acceptance check for `bench/micro_screening` (docs/performance.md).
+
+Runs the bench at a small fleet size, asserts every non-comment stdout line is a valid
+JSON object, that all expected (bench, model, threads) combinations are present exactly
+once with positive throughput numbers, and that the closing summary line reports a
+deterministic run (the binary itself exits non-zero when the cached and reference
+models diverge -- this script double-checks the emitted flag).
+"""
+
+import json
+import subprocess
+import sys
+
+PROCESSOR_COUNT = 50000
+REPEATS = 2
+THREADS = (1, 2, 8)
+REQUIRED_KEYS = {
+    "bench", "model", "threads", "processors", "wall_seconds",
+    "ns_per_processor", "fleets_per_second",
+}
+
+
+def expected_combinations():
+    for threads in THREADS:
+        yield ("generate", "cached", threads)
+        for model in ("cached", "reference"):
+            yield ("screen", model, threads)
+            yield ("generate_screen", model, threads)
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} <micro_screening-binary>", file=sys.stderr)
+        return 2
+    result = subprocess.run(
+        [sys.argv[1], str(PROCESSOR_COUNT), str(REPEATS)],
+        capture_output=True,
+        text=True,
+        check=True,  # the binary exits non-zero on model divergence
+    )
+
+    rows = []
+    summary = None
+    for line in result.stdout.splitlines():
+        if not line.strip() or line.startswith("#"):
+            continue
+        record = json.loads(line)  # every data line must parse on its own
+        if record["bench"] == "summary":
+            assert summary is None, "duplicate summary line"
+            summary = record
+            continue
+        assert set(record) == REQUIRED_KEYS, sorted(set(record) ^ REQUIRED_KEYS)
+        assert record["processors"] == PROCESSOR_COUNT, record
+        assert record["wall_seconds"] > 0.0, record
+        assert record["ns_per_processor"] > 0.0, record
+        assert record["fleets_per_second"] > 0.0, record
+        rows.append((record["bench"], record["model"], record["threads"]))
+
+    expected = list(expected_combinations())
+    assert rows == expected, (
+        f"combination mismatch:\n  got      {rows}\n  expected {expected}")
+
+    assert summary is not None, "missing summary line"
+    assert summary["deterministic"] is True, summary
+    assert summary["screen_speedup_cached_vs_reference"] > 1.0, summary
+    print(f"ok: {len(rows)} bench rows, deterministic, cached screen "
+          f"{summary['screen_speedup_cached_vs_reference']:.2f}x the reference model")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

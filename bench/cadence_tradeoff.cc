@@ -3,6 +3,12 @@
 // frequently"). Sweeps the regular period and measures (a) mean months a wear-out defect
 // sits undetected in production and (b) the testing overhead that cadence costs under the
 // baseline's 10.55 h rounds and under Farron's prioritized ~1 h rounds.
+//
+// Runs on the streaming shard pipeline (docs/streaming.md): each period's sweep is one
+// fused generate->screen pass with a WearoutExposureObserver deriving the exposure
+// windows shard by shard, so the 400k-processor fleet is never materialized. The records
+// are identical to the old materialized fleet.DefectsOf scan (tests/stream_test.cc pins
+// that equivalence bitwise).
 
 #include <iostream>
 #include <vector>
@@ -10,8 +16,10 @@
 #include "bench/bench_util.h"
 #include "src/common/stats.h"
 #include "src/common/table.h"
+#include "src/farron/longitudinal.h"
 #include "src/fleet/pipeline.h"
 #include "src/fleet/population.h"
+#include "src/fleet/stream.h"
 
 int main() {
   using namespace sdc;
@@ -19,7 +27,7 @@ int main() {
 
   PopulationConfig population_config;
   population_config.processor_count = 400000;
-  const FleetPopulation fleet = FleetPopulation::Generate(population_config);
+  const FleetShardStream stream(population_config);
   const TestSuite suite = TestSuite::BuildFull();
   ScreeningPipeline pipeline(&suite);
 
@@ -28,21 +36,14 @@ int main() {
   for (double period : {1.0, 2.0, 3.0, 6.0}) {
     ScreeningConfig config;
     config.regular_period_months = period;
-    const ScreeningStats stats = pipeline.Run(fleet, config);
-    // Exposure: detection month minus the defect's onset (0 for defects that slipped
-    // through pre-production), averaged over regular detections.
+    StreamingScreen screen(&pipeline, config);
+    WearoutExposureObserver exposure;
+    screen.AddObserver(&exposure);
+    stream.Drive({&screen});
     std::vector<double> exposures;
-    for (const ProcessorOutcome& outcome : stats.detections) {
-      if (outcome.stage != TestStage::kRegular) {
-        continue;
-      }
-      double onset = 0.0;
-      for (const Defect& defect : fleet.DefectsOf(outcome.serial)) {
-        if (defect.onset_months > 0.0 && defect.onset_months <= outcome.month) {
-          onset = defect.onset_months;
-        }
-      }
-      exposures.push_back(outcome.month - onset);
+    exposures.reserve(exposure.exposures().size());
+    for (const WearoutExposure& record : exposure.exposures()) {
+      exposures.push_back(record.exposure_months());
     }
     const double period_seconds = period * 30.44 * 24.0 * 3600.0;
     table.AddRow({FormatDouble(period, 0), std::to_string(exposures.size()),

@@ -37,7 +37,7 @@ ThreadPool::ThreadPool(int thread_count)
     : thread_count_(ResolveThreadCount(thread_count)) {
   workers_.reserve(static_cast<size_t>(thread_count_ - 1));
   for (int i = 1; i < thread_count_; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, lane = i] { WorkerLoop(lane); });
   }
 }
 
@@ -52,7 +52,7 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::DrainShards() {
+void ThreadPool::DrainShards(int lane) {
   for (;;) {
     const uint64_t shard = next_shard_.fetch_add(1, std::memory_order_relaxed);
     if (shard >= job_shards_) {
@@ -62,7 +62,7 @@ void ThreadPool::DrainShards() {
       const uint64_t shard_begin = job_begin_ + shard * job_grain_;
       const uint64_t shard_end = std::min(shard_begin + job_grain_, job_end_);
       try {
-        (*job_fn_)(shard, shard_begin, shard_end);
+        (*job_fn_)(lane, shard, shard_begin, shard_end);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex_);
         if (!first_error_) {
@@ -78,7 +78,7 @@ void ThreadPool::DrainShards() {
   }
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(int lane) {
   uint64_t seen_generation = 0;
   for (;;) {
     {
@@ -93,7 +93,7 @@ void ThreadPool::WorkerLoop() {
       // any worker is inside DrainShards.
       ++active_drainers_;
     }
-    DrainShards();
+    DrainShards(lane);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --active_drainers_;
@@ -104,6 +104,13 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(uint64_t begin, uint64_t end, uint64_t grain,
                              const ShardFn& fn) {
+  const LaneShardFn lane_fn = [&fn](int /*lane*/, uint64_t shard, uint64_t shard_begin,
+                                    uint64_t shard_end) { fn(shard, shard_begin, shard_end); };
+  ParallelStream(begin, end, grain, lane_fn);
+}
+
+void ThreadPool::ParallelStream(uint64_t begin, uint64_t end, uint64_t grain,
+                                const LaneShardFn& fn) {
   const uint64_t g = grain == 0 ? 1 : grain;
   const uint64_t shards = ShardCountFor(begin, end, g);
   if (shards == 0) {
@@ -113,7 +120,7 @@ void ThreadPool::ParallelFor(uint64_t begin, uint64_t end, uint64_t grain,
     // Serial lane: same shard layout, same call order, no workers involved.
     for (uint64_t shard = 0; shard < shards; ++shard) {
       const uint64_t shard_begin = begin + shard * g;
-      fn(shard, shard_begin, std::min(shard_begin + g, end));
+      fn(0, shard, shard_begin, std::min(shard_begin + g, end));
     }
     return;
   }
@@ -133,7 +140,7 @@ void ThreadPool::ParallelFor(uint64_t begin, uint64_t end, uint64_t grain,
   }
   wake_.notify_all();
 
-  DrainShards();
+  DrainShards(0);
 
   std::unique_lock<std::mutex> lock(mutex_);
   done_.wait(lock, [&] {

@@ -38,6 +38,13 @@ int ResolveThreadCount(int requested);
 class ThreadPool {
  public:
   using ShardFn = std::function<void(uint64_t shard, uint64_t begin, uint64_t end)>;
+  // ShardFn plus the execution lane running the shard: lane 0 is the calling thread and
+  // lanes 1..thread_count-1 are the workers. Which lane runs which shard is schedule
+  // dependent, so lane may only index scratch storage (per-lane buffers), never influence
+  // output values -- determinism still comes from the fixed shard layout and per-shard
+  // RNG forks (docs/parallelism.md, docs/streaming.md).
+  using LaneShardFn =
+      std::function<void(int lane, uint64_t shard, uint64_t begin, uint64_t end)>;
 
   // A pool of `thread_count` execution lanes (resolved via ResolveThreadCount). The calling
   // thread participates in every ParallelFor, so N lanes spawn N-1 workers and a pool of
@@ -58,6 +65,12 @@ class ThreadPool {
   // The first exception thrown by fn is rethrown here after the remaining shards are
   // drained (skipped). fn must not call back into the same pool.
   void ParallelFor(uint64_t begin, uint64_t end, uint64_t grain, const ShardFn& fn);
+
+  // ParallelFor variant that also hands fn the lane index, so streaming drivers can reuse
+  // one heavyweight scratch buffer per lane across all the shards that lane happens to
+  // claim (O(lanes * shard) memory instead of O(shards)). Same shard layout, same blocking
+  // and exception semantics as ParallelFor.
+  void ParallelStream(uint64_t begin, uint64_t end, uint64_t grain, const LaneShardFn& fn);
 
   // ParallelFor with one result slot per shard, returned in shard order. Result must be
   // default-constructible; fn(shard, begin, end) -> Result.
@@ -84,8 +97,8 @@ class ThreadPool {
   }
 
  private:
-  void WorkerLoop();
-  void DrainShards();
+  void WorkerLoop(int lane);
+  void DrainShards(int lane);
 
   int thread_count_;
   std::vector<std::thread> workers_;
@@ -102,7 +115,7 @@ class ThreadPool {
   uint64_t generation_ = 0;
   int active_drainers_ = 0;
 
-  const ShardFn* job_fn_ = nullptr;
+  const LaneShardFn* job_fn_ = nullptr;
   uint64_t job_begin_ = 0;
   uint64_t job_end_ = 0;
   uint64_t job_grain_ = 1;

@@ -66,4 +66,54 @@ LifecycleReport RunLifecycle(Farron& farron, FaultyMachine& machine, const TestS
   return report;
 }
 
+void WearoutExposureObserver::BeginStream(const PopulationConfig& /*population*/,
+                                          const ScreeningConfig& /*screening*/,
+                                          uint64_t shard_count) {
+  partials_.assign(shard_count, {});
+  exposures_.clear();
+}
+
+void WearoutExposureObserver::ObserveShard(const FleetShard& shard,
+                                           const ScreeningStats& shard_stats) {
+  std::vector<WearoutExposure>& partial = partials_[shard.shard];
+  for (const ProcessorOutcome& outcome : shard_stats.detections) {
+    if (outcome.stage != TestStage::kRegular) {
+      continue;
+    }
+    // Last-in-storage-order active onset, exactly as the materialized cadence derivation
+    // walks DefectsOf(serial) -- equivalence is bitwise, so the tie-break must match.
+    double onset = 0.0;
+    for (const Defect& defect : shard.DefectsOf(outcome.serial)) {
+      if (defect.onset_months > 0.0 && defect.onset_months <= outcome.month) {
+        onset = defect.onset_months;
+      }
+    }
+    partial.push_back({outcome.serial, onset, outcome.month});
+  }
+}
+
+void WearoutExposureObserver::EndStream() {
+  size_t total = 0;
+  for (const std::vector<WearoutExposure>& partial : partials_) {
+    total += partial.size();
+  }
+  exposures_.reserve(total);
+  for (const std::vector<WearoutExposure>& partial : partials_) {
+    exposures_.insert(exposures_.end(), partial.begin(), partial.end());
+  }
+  partials_.clear();
+  partials_.shrink_to_fit();
+}
+
+double WearoutExposureObserver::MeanExposureMonths() const {
+  if (exposures_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const WearoutExposure& exposure : exposures_) {
+    sum += exposure.exposure_months();
+  }
+  return sum / static_cast<double>(exposures_.size());
+}
+
 }  // namespace sdc

@@ -13,6 +13,8 @@
 
 #include "src/farron/farron.h"
 #include "src/farron/protection.h"
+#include "src/fleet/pipeline.h"
+#include "src/fleet/stream.h"
 
 namespace sdc {
 
@@ -56,6 +58,43 @@ struct LifecycleReport {
 // so onset-gated defects activate mid-life.
 LifecycleReport RunLifecycle(Farron& farron, FaultyMachine& machine, const TestSuite& suite,
                              const LifecycleConfig& config);
+
+// ---------------------------------------------------------------------------------------
+// Fleet-scan consumer for the cadence study (bench/cadence_tradeoff): for every
+// regular-round detection, the exposure window between the wear-out onset that armed the
+// defect and the month the round caught it.
+
+struct WearoutExposure {
+  uint64_t serial = 0;
+  // Onset month of the defect that armed the part: the last defect in storage order with
+  // 0 < onset_months <= detection_month; 0 when the part failed from manufacturing
+  // defects alone (exposed since deployment).
+  double onset_months = 0.0;
+  double detection_month = 0.0;
+
+  double exposure_months() const { return detection_month - onset_months; }
+};
+
+// Streaming derivation of the exposure windows. The materialized cadence study random-
+// accesses fleet.DefectsOf(serial) after Run; a streamed fleet has no such access once a
+// shard is gone, so this observer derives the same records shard by shard while the
+// defect spans are alive. Per-shard lists are concatenated in shard order, so exposures()
+// equals the materialized serial-order derivation exactly (tests/stream_test.cc).
+class WearoutExposureObserver : public ShardOutcomeObserver {
+ public:
+  void BeginStream(const PopulationConfig& population, const ScreeningConfig& screening,
+                   uint64_t shard_count) override;
+  void ObserveShard(const FleetShard& shard, const ScreeningStats& shard_stats) override;
+  void EndStream() override;
+
+  // One record per regular-round detection, ascending by serial; valid after EndStream.
+  const std::vector<WearoutExposure>& exposures() const { return exposures_; }
+  double MeanExposureMonths() const;
+
+ private:
+  std::vector<std::vector<WearoutExposure>> partials_;
+  std::vector<WearoutExposure> exposures_;
+};
 
 }  // namespace sdc
 

@@ -52,6 +52,27 @@ CapacityReport SimulateCapacityRetention(const FleetPopulation& fleet,
 // no core list affects every core).
 int DefectiveCoreCount(const FleetProcessorView& processor);
 
+// Streaming counterpart of SimulateCapacityRetention: attach to a StreamingScreen and the
+// capacity replay fuses into the generate+screen pass, consuming each shard's detections
+// while the defect spans are alive. Every quantity is an integer counter accumulated per
+// shard and merged in shard order, so TakeReport() equals the materialized report exactly
+// at any thread count (tests/stream_test.cc).
+class CapacityAccumulator : public ShardOutcomeObserver {
+ public:
+  void BeginStream(const PopulationConfig& population, const ScreeningConfig& screening,
+                   uint64_t shard_count) override;
+  void ObserveShard(const FleetShard& shard, const ScreeningStats& shard_stats) override;
+  void EndStream() override;
+
+  // The merged report; valid once after EndStream.
+  CapacityReport TakeReport() { return std::move(report_); }
+
+ private:
+  ScreeningConfig config_;
+  std::vector<CapacityReport> partials_;
+  CapacityReport report_;
+};
+
 }  // namespace sdc
 
 #endif  // SDC_SRC_FLEET_CAPACITY_H_

@@ -133,9 +133,10 @@ int ScreeningPipeline::MatchingTestcases(const Defect& defect) const {
 
 namespace {
 
-// Fixed shard width for screening; like generation, shard s draws from Rng::Fork(s) so the
-// stats are a pure function of (fleet, config.seed) at any thread count.
-constexpr uint64_t kScreeningGrain = 4096;
+// The streaming mode relies on stream shards tiling exactly into screening shards; see
+// the kScreeningShardGrain comment in pipeline.h.
+static_assert(kFleetShardGrain % kScreeningShardGrain == 0,
+              "stream shards must tile exactly into screening shards");
 
 // Shared by the public ExpectedErrors and the memo builder so both evaluate the exact
 // same floating-point expression: byte-identical stats between the memoized and the
@@ -191,6 +192,72 @@ double ScreeningPipeline::ExpectedErrors(const Defect& defect, const StageParams
   return ExpectedErrorsWithMatching(defect, stage, pcores, MatchingTestcases(defect));
 }
 
+std::span<const Defect> ScreeningShardView::DefectsOf(uint64_t serial) const {
+  const auto it =
+      std::lower_bound(faulty_serials.begin(), faulty_serials.end(), serial);
+  if (it == faulty_serials.end() || *it != serial) {
+    return {};
+  }
+  return FaultyDefects(static_cast<size_t>(it - faulty_serials.begin()));
+}
+
+FleetProcessorView ScreeningShardView::processor(uint64_t serial) const {
+  const uint8_t flags = flag_bytes[serial - column_base];
+  return {serial, arch_index(serial), (flags & FleetPopulation::kFaultyFlag) != 0,
+          (flags & FleetPopulation::kDetectableFlag) != 0, DefectsOf(serial)};
+}
+
+void ScreeningPipeline::ScreenShardRange(const ScreeningShardView& view,
+                                         const ScreeningConfig& config,
+                                         const std::array<ProcessorSpec, kArchCount>& arch_specs,
+                                         Rng& rng, ScreeningStats& stats) const {
+  if (config.use_reference_model) {
+    for (uint64_t serial = view.begin; serial < view.end; ++serial) {
+      ScreenProcessorReference(view.processor(serial), config, rng, stats);
+    }
+    return;
+  }
+  // Clean-processor fast path: the shard's tested counters come from a sequential scan of
+  // the packed arch bytes; the detection model only ever runs for the (rare) faulty
+  // parts, located via the sorted faulty-serial index.
+  stats.tested += view.end - view.begin;
+  const std::span<const uint8_t> arch_bytes = view.arch_bytes;
+  const uint64_t base = view.column_base;
+  // Four interleaved sub-histograms keep the counter increments out of each other's
+  // store-to-load dependency chains (~4x over the naive scan here).
+  uint64_t hist[4][kArchCount] = {};
+  uint64_t serial = view.begin;
+  for (; serial + 4 <= view.end; serial += 4) {
+    ++hist[0][arch_bytes[serial - base]];
+    ++hist[1][arch_bytes[serial + 1 - base]];
+    ++hist[2][arch_bytes[serial + 2 - base]];
+    ++hist[3][arch_bytes[serial + 3 - base]];
+  }
+  for (; serial < view.end; ++serial) {
+    ++hist[0][arch_bytes[serial - base]];
+  }
+  for (int arch = 0; arch < kArchCount; ++arch) {
+    stats.tested_by_arch[static_cast<size_t>(arch)] +=
+        hist[0][arch] + hist[1][arch] + hist[2][arch] + hist[3][arch];
+  }
+  const auto first = std::lower_bound(view.faulty_serials.begin(),
+                                      view.faulty_serials.end(), view.begin);
+  const auto last = std::lower_bound(first, view.faulty_serials.end(), view.end);
+  stats.detections.reserve(stats.detections.size() + static_cast<size_t>(last - first));
+  for (auto it = first; it != last; ++it) {
+    ++stats.faulty;
+    const uint64_t faulty_serial = *it;
+    if (!view.toolchain_detectable(faulty_serial)) {
+      continue;  // escapes every stage (Section 2.3's false negatives)
+    }
+    const int arch_index = view.arch_index(faulty_serial);
+    const size_t ordinal = static_cast<size_t>(it - view.faulty_serials.begin());
+    ScreenFaultyProcessor(faulty_serial, arch_index, view.FaultyDefects(ordinal), config,
+                          arch_specs[static_cast<size_t>(arch_index)].physical_cores, rng,
+                          stats);
+  }
+}
+
 ScreeningStats ScreeningPipeline::Run(const FleetPopulation& fleet,
                                       const ScreeningConfig& config) const {
   const Rng base(config.seed);
@@ -203,8 +270,15 @@ ScreeningStats ScreeningPipeline::Run(const FleetPopulation& fleet,
   for (int arch = 0; arch < kArchCount; ++arch) {
     arch_specs[static_cast<size_t>(arch)] = MakeArchSpec(arch);
   }
-  const std::vector<uint8_t>& arch_bytes = fleet.arch_bytes();
-  const std::vector<uint64_t>& faulty_serials = fleet.faulty_serials();
+
+  // One view shape covers the whole materialized fleet; shards slice [begin, end).
+  ScreeningShardView fleet_view;
+  fleet_view.column_base = 0;
+  fleet_view.arch_bytes = fleet.arch_bytes();
+  fleet_view.flag_bytes = fleet.flag_bytes();
+  fleet_view.faulty_serials = fleet.faulty_serials();
+  fleet_view.faulty_ranges = fleet.faulty_ranges();
+  fleet_view.defects = fleet.defect_arena();
 
   // Stats plus the shard's metric delta travel together through the ordered reduce, so
   // the registry sees exactly one delta per shard, applied in shard order.
@@ -213,58 +287,17 @@ ScreeningStats ScreeningPipeline::Run(const FleetPopulation& fleet,
     MetricsDelta delta;
   };
   ShardResult total = pool.ParallelReduce<ShardResult>(
-      0, fleet.size(), kScreeningGrain, ShardResult{},
+      0, fleet.size(), kScreeningShardGrain, ShardResult{},
       [&](uint64_t shard, uint64_t begin, uint64_t end) {
         const auto shard_start = std::chrono::steady_clock::now();
         ShardResult result;
-        ScreeningStats& stats = result.stats;
+        ScreeningShardView view = fleet_view;
+        view.begin = begin;
+        view.end = end;
         Rng rng = base.Fork(shard);
-        if (config.use_reference_model) {
-          for (uint64_t serial = begin; serial < end; ++serial) {
-            ScreenProcessorReference(fleet.processor(serial), config, rng, stats);
-          }
-        } else {
-          // Clean-processor fast path: the shard's tested counters come from a sequential
-          // scan of the packed arch bytes; the detection model only ever runs for the
-          // (rare) faulty parts, located via the fleet's sorted faulty-serial index.
-          stats.tested = end - begin;
-          // Four interleaved sub-histograms keep the counter increments out of each
-          // other's store-to-load dependency chains (~4x over the naive scan here).
-          uint64_t hist[4][kArchCount] = {};
-          uint64_t serial = begin;
-          for (; serial + 4 <= end; serial += 4) {
-            ++hist[0][arch_bytes[serial]];
-            ++hist[1][arch_bytes[serial + 1]];
-            ++hist[2][arch_bytes[serial + 2]];
-            ++hist[3][arch_bytes[serial + 3]];
-          }
-          for (; serial < end; ++serial) {
-            ++hist[0][arch_bytes[serial]];
-          }
-          for (int arch = 0; arch < kArchCount; ++arch) {
-            stats.tested_by_arch[static_cast<size_t>(arch)] =
-                hist[0][arch] + hist[1][arch] + hist[2][arch] + hist[3][arch];
-          }
-          const auto first = std::lower_bound(faulty_serials.begin(),
-                                              faulty_serials.end(), begin);
-          const auto last = std::lower_bound(first, faulty_serials.end(), end);
-          stats.detections.reserve(static_cast<size_t>(last - first));
-          for (auto it = first; it != last; ++it) {
-            ++stats.faulty;
-            const uint64_t serial = *it;
-            if (!fleet.toolchain_detectable(serial)) {
-              continue;  // escapes every stage (Section 2.3's false negatives)
-            }
-            const int arch_index = arch_bytes[serial];
-            const size_t ordinal =
-                static_cast<size_t>(it - faulty_serials.begin());
-            ScreenFaultyProcessor(
-                serial, arch_index, fleet.FaultyDefects(ordinal), config,
-                arch_specs[static_cast<size_t>(arch_index)].physical_cores, rng, stats);
-          }
-        }
+        ScreenShardRange(view, config, arch_specs, rng, result.stats);
         if (config.metrics != nullptr) {
-          result.delta = DeltaFromShardStats(stats);
+          result.delta = DeltaFromShardStats(result.stats);
           const std::chrono::duration<double> elapsed =
               std::chrono::steady_clock::now() - shard_start;
           config.metrics->RecordTimerSeconds("screening.shard.wall", elapsed.count());
@@ -436,6 +469,89 @@ void ScreeningPipeline::ScreenProcessorReference(const FleetProcessorView& proce
     ++stats.detected_by_arch[processor.arch_index];
     stats.detections.push_back({processor.serial, processor.arch_index, true,
                                 detected_stage, detected_month});
+  }
+}
+
+ShardOutcomeObserver::~ShardOutcomeObserver() = default;
+
+void ShardOutcomeObserver::BeginStream(const PopulationConfig& /*population*/,
+                                       const ScreeningConfig& /*screening*/,
+                                       uint64_t /*shard_count*/) {}
+
+void ShardOutcomeObserver::EndStream() {}
+
+StreamingScreen::StreamingScreen(const ScreeningPipeline* pipeline,
+                                 const ScreeningConfig& config)
+    : pipeline_(pipeline), config_(config), base_(config.seed) {
+  for (int arch = 0; arch < kArchCount; ++arch) {
+    arch_specs_[static_cast<size_t>(arch)] = MakeArchSpec(arch);
+  }
+}
+
+void StreamingScreen::AddObserver(ShardOutcomeObserver* observer) {
+  observers_.push_back(observer);
+}
+
+void StreamingScreen::BeginStream(const PopulationConfig& config, uint64_t shard_count) {
+  shard_stats_.assign(shard_count, ScreeningStats{});
+  shard_deltas_.assign(config_.metrics != nullptr ? shard_count : 0, MetricsDelta{});
+  stats_ = ScreeningStats{};
+  for (ShardOutcomeObserver* observer : observers_) {
+    observer->BeginStream(config, config_, shard_count);
+  }
+}
+
+void StreamingScreen::ConsumeShard(const FleetShard& shard) {
+  const auto shard_start = std::chrono::steady_clock::now();
+  ScreeningStats& stats = shard_stats_[shard.shard];
+
+  ScreeningShardView view;
+  view.column_base = shard.begin;
+  view.arch_bytes = shard.arch_bytes;
+  view.flag_bytes = shard.flag_bytes;
+  view.faulty_serials = shard.faulty_serials;
+  view.faulty_ranges = shard.faulty_ranges;
+  view.defects = shard.defects;
+
+  // Stream shards start at multiples of kFleetShardGrain, so b / kScreeningShardGrain is
+  // the *global* screening shard index: the embedded sub-shards use exactly the RNG
+  // streams the materialized Run would fork for the same serials.
+  for (uint64_t b = shard.begin; b < shard.end; b += kScreeningShardGrain) {
+    const uint64_t screening_shard = b / kScreeningShardGrain;
+    view.begin = b;
+    view.end = std::min(b + kScreeningShardGrain, shard.end);
+    Rng rng = base_.Fork(screening_shard);
+    pipeline_->ScreenShardRange(view, config_, arch_specs_, rng, stats);
+  }
+
+  if (config_.metrics != nullptr) {
+    shard_deltas_[shard.shard] = DeltaFromShardStats(stats);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - shard_start;
+    config_.metrics->RecordTimerSeconds("screening.shard.wall", elapsed.count());
+  }
+  for (ShardOutcomeObserver* observer : observers_) {
+    observer->ObserveShard(shard, stats);
+  }
+}
+
+void StreamingScreen::EndStream() {
+  MetricsDelta total_delta;
+  for (size_t shard = 0; shard < shard_stats_.size(); ++shard) {
+    stats_.MergeFrom(std::move(shard_stats_[shard]));
+    if (config_.metrics != nullptr) {
+      total_delta.MergeFrom(shard_deltas_[shard]);
+    }
+  }
+  if (config_.metrics != nullptr) {
+    config_.metrics->MergeDelta(total_delta);
+  }
+  shard_stats_.clear();
+  shard_stats_.shrink_to_fit();
+  shard_deltas_.clear();
+  shard_deltas_.shrink_to_fit();
+  for (ShardOutcomeObserver* observer : observers_) {
+    observer->EndStream();
   }
 }
 

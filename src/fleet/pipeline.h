@@ -34,11 +34,18 @@
 
 #include "src/common/rng.h"
 #include "src/fleet/population.h"
+#include "src/fleet/stream.h"
+#include "src/telemetry/metrics.h"
 #include "src/toolchain/registry.h"
 
 namespace sdc {
 
-class MetricsRegistry;
+// Fixed shard width for screening. Like the generation grain, part of the determinism
+// format: screening shard s draws from Rng::Fork(s). kFleetShardGrain is an exact
+// multiple, and stream shards start at multiples of it, so the screening shards embedded
+// in a stream shard coincide exactly with the materialized path's global shard layout --
+// the reason streaming screening is byte-identical by construction (docs/streaming.md).
+inline constexpr uint64_t kScreeningShardGrain = 4096;
 
 enum class TestStage {
   kFactory = 0,
@@ -119,6 +126,34 @@ struct ScreeningStats {
   void MergeFrom(ScreeningStats&& other);
 };
 
+// Column-backed view of one screening shard [begin, end). The spans either cover the
+// whole materialized fleet (column_base = 0) or one stream shard's scratch buffer
+// (column_base = the stream shard's begin); faulty_serials always holds global serials,
+// and faulty_ranges offsets address `defects`. This is the one shard shape the screening
+// kernel runs on, which is how the materialized and streaming modes share every
+// instruction of the hot loop.
+struct ScreeningShardView {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  uint64_t column_base = 0;  // serial that arch_bytes[0] / flag_bytes[0] describe
+  std::span<const uint8_t> arch_bytes;
+  std::span<const uint8_t> flag_bytes;
+  std::span<const uint64_t> faulty_serials;
+  std::span<const DefectRange> faulty_ranges;
+  std::span<const Defect> defects;
+
+  int arch_index(uint64_t serial) const { return arch_bytes[serial - column_base]; }
+  bool toolchain_detectable(uint64_t serial) const {
+    return (flag_bytes[serial - column_base] & FleetPopulation::kDetectableFlag) != 0;
+  }
+  std::span<const Defect> FaultyDefects(size_t ordinal) const {
+    const DefectRange& range = faulty_ranges[ordinal];
+    return {defects.data() + range.offset, range.count};
+  }
+  std::span<const Defect> DefectsOf(uint64_t serial) const;
+  FleetProcessorView processor(uint64_t serial) const;
+};
+
 class ScreeningPipeline {
  public:
   // `suite` provides testcase metadata for matching-minutes computation; it must outlive
@@ -138,6 +173,17 @@ class ScreeningPipeline {
   int MatchingTestcases(const Defect& defect) const;
 
  private:
+  friend class StreamingScreen;
+
+  // The screening kernel: screens serials [view.begin, view.end) against `rng`,
+  // accumulating into `stats` (counters add, so one stats object may accumulate several
+  // consecutive shards). Runs the memoized clean-part fast path, or the reference model
+  // when config.use_reference_model is set. Both Run and StreamingScreen call exactly
+  // this, one screening shard (kScreeningShardGrain) per forked RNG stream.
+  void ScreenShardRange(const ScreeningShardView& view, const ScreeningConfig& config,
+                        const std::array<ProcessorSpec, kArchCount>& arch_specs, Rng& rng,
+                        ScreeningStats& stats) const;
+
   // Memoized fast path: screens one faulty, toolchain-detectable processor. Evaluates the
   // detection model once per (defect, stage), then replays the probe schedule against the
   // cached survive terms, drawing all randomness from `rng` in the same order as the
@@ -155,6 +201,60 @@ class ScreeningPipeline {
                                 ScreeningStats& stats) const;
 
   const TestSuite* suite_;
+};
+
+// Observer of per-shard screening outcomes during a fused streaming pass. ObserveShard
+// runs while the shard's defect spans are still alive, so downstream aggregations
+// (capacity replay, wear-out exposure, testcase effectiveness over outcomes) can consume
+// detection records together with the defect data that produced them -- the streaming
+// replacement for random-accessing a materialized fleet after Run. Concurrency contract
+// matches ShardConsumer: ObserveShard is called concurrently on distinct shards, so
+// observers keep per-shard partials and fold them in shard order in EndStream.
+class ShardOutcomeObserver {
+ public:
+  virtual ~ShardOutcomeObserver();
+
+  virtual void BeginStream(const PopulationConfig& population,
+                           const ScreeningConfig& screening, uint64_t shard_count);
+  // `shard_stats` holds exactly the shard's outcomes: detections ascending by serial,
+  // all within [shard.begin, shard.end).
+  virtual void ObserveShard(const FleetShard& shard, const ScreeningStats& shard_stats) = 0;
+  virtual void EndStream();
+};
+
+// Fused streaming screener: a ShardConsumer that screens every generated shard in place,
+// so generate -> screen -> aggregate happens in one pass without materializing the fleet.
+// Each stream shard is screened as its embedded kScreeningShardGrain sub-shards with the
+// same globally-indexed Rng::Fork streams the materialized Run uses, and per-shard stats
+// and metric deltas are merged in shard order in EndStream -- TakeStats() is therefore
+// byte-identical to Run() on the materialized fleet at any thread count
+// (tests/stream_test.cc).
+class StreamingScreen : public ShardConsumer {
+ public:
+  // `pipeline` must outlive the stream pass.
+  StreamingScreen(const ScreeningPipeline* pipeline, const ScreeningConfig& config);
+
+  // Registers an outcome observer; call before the pass starts. Observers are invoked in
+  // registration order after each shard is screened.
+  void AddObserver(ShardOutcomeObserver* observer);
+
+  void BeginStream(const PopulationConfig& config, uint64_t shard_count) override;
+  void ConsumeShard(const FleetShard& shard) override;
+  void EndStream() override;
+
+  // Moves out the merged fleet-wide stats; valid once after EndStream.
+  ScreeningStats TakeStats() { return std::move(stats_); }
+
+ private:
+  const ScreeningPipeline* pipeline_;
+  ScreeningConfig config_;
+  Rng base_;
+  std::array<ProcessorSpec, kArchCount> arch_specs_;
+  std::vector<ShardOutcomeObserver*> observers_;
+  // Per-stream-shard partials, merged in shard order by EndStream.
+  std::vector<ScreeningStats> shard_stats_;
+  std::vector<MetricsDelta> shard_deltas_;
+  ScreeningStats stats_;
 };
 
 }  // namespace sdc

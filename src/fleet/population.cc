@@ -1,61 +1,70 @@
 #include "src/fleet/population.h"
 
 #include <algorithm>
-#include <iterator>
-#include <utility>
 
-#include "src/common/parallel.h"
 #include "src/common/rng.h"
+#include "src/fleet/stream.h"
 #include "src/telemetry/metrics.h"
 
 namespace sdc {
-namespace {
 
-// Fixed shard width for generation. Part of the determinism contract: shard s covers
-// serials [s * kGenerateGrain, (s+1) * kGenerateGrain) and draws from Rng::Fork(s), so the
-// fleet is a pure function of (config, seed) regardless of how many workers run the shards.
-constexpr uint64_t kGenerateGrain = 8192;
-
-struct ShardTally {
-  uint64_t faulty = 0;
-  uint64_t defects = 0;
-  uint64_t undetectable = 0;
-  std::array<uint64_t, kArchCount> by_arch{};
-  std::array<uint64_t, kArchCount> defects_by_arch{};
-  // Built once per shard (not per processor) from the tallies above; merged in shard
-  // order, so metric values are thread-count invariant like the fleet itself.
-  MetricsDelta delta;
-};
-
-// One shard's contribution to the sparse faulty index and the defect arena. The byte
-// columns are written in place (shards own disjoint serial ranges); the variable-length
-// pieces are produced shard-locally and stitched together in shard order afterwards.
-struct ShardOutput {
-  ShardTally tally;
-  std::vector<std::pair<uint64_t, uint32_t>> faulty;  // (serial, defect count)
-  std::vector<Defect> arena;                          // defects in serial order
-};
-
-void FillShardDelta(ShardTally& tally, uint64_t processors) {
-  MetricsDelta& delta = tally.delta;
-  delta.Add("fleet.generate.processors", processors);
-  delta.Add("fleet.generate.faulty", tally.faulty);
-  delta.Add("fleet.generate.defects", tally.defects);
-  delta.Add("fleet.generate.undetectable", tally.undetectable);
-  for (int arch = 0; arch < kArchCount; ++arch) {
-    const auto index = static_cast<size_t>(arch);
-    if (tally.by_arch[index] > 0) {
-      delta.Add("fleet.generate.arch." + ArchName(arch) + ".processors",
-                tally.by_arch[index]);
-    }
-    if (tally.defects_by_arch[index] > 0) {
-      delta.Add("fleet.generate.arch." + ArchName(arch) + ".defects",
-                tally.defects_by_arch[index]);
-    }
-  }
+void FleetShardBuffer::Clear() {
+  arch_bytes.clear();
+  flag_bytes.clear();
+  faulty_serials.clear();
+  faulty_ranges.clear();
+  defects.clear();
+  tally = FleetShardTally{};
 }
 
-}  // namespace
+uint64_t FleetShardBuffer::CapacityBytes() const {
+  return arch_bytes.capacity() * sizeof(uint8_t) +
+         flag_bytes.capacity() * sizeof(uint8_t) +
+         faulty_serials.capacity() * sizeof(uint64_t) +
+         faulty_ranges.capacity() * sizeof(DefectRange) +
+         defects.capacity() * sizeof(Defect);
+}
+
+void GenerateFleetShard(const PopulationConfig& config, const Rng& base, uint64_t shard,
+                        uint64_t begin, uint64_t end, FleetShardBuffer& buffer) {
+  buffer.Clear();
+  buffer.arch_bytes.resize(end - begin);
+  buffer.flag_bytes.resize(end - begin);
+  const std::vector<double> shares(config.arch_share.begin(), config.arch_share.end());
+  std::array<int, kArchCount> pcores_by_arch;
+  for (int arch = 0; arch < kArchCount; ++arch) {
+    pcores_by_arch[static_cast<size_t>(arch)] = MakeArchSpec(arch).physical_cores;
+  }
+  FleetShardTally& tally = buffer.tally;
+  Rng rng = base.Fork(shard);
+  for (uint64_t serial = begin; serial < end; ++serial) {
+    const int arch_index = static_cast<int>(rng.NextWeighted(shares));
+    buffer.arch_bytes[serial - begin] = static_cast<uint8_t>(arch_index);
+    const double prevalence = config.detected_rate[arch_index] / config.detectability;
+    uint8_t flags = FleetPopulation::kDetectableFlag;
+    if (rng.NextBernoulli(prevalence)) {
+      std::vector<Defect> defects = GenerateRandomDefects(
+          rng, arch_index, pcores_by_arch[static_cast<size_t>(arch_index)]);
+      const bool detectable = !rng.NextBernoulli(config.undetectable_share);
+      flags = detectable ? (FleetPopulation::kFaultyFlag | FleetPopulation::kDetectableFlag)
+                         : FleetPopulation::kFaultyFlag;
+      ++tally.faulty;
+      tally.defects += defects.size();
+      tally.defects_by_arch[static_cast<size_t>(arch_index)] += defects.size();
+      if (!detectable) {
+        ++tally.undetectable;
+      }
+      buffer.faulty_serials.push_back(serial);
+      buffer.faulty_ranges.push_back(
+          {buffer.defects.size(), static_cast<uint32_t>(defects.size())});
+      buffer.defects.insert(buffer.defects.end(),
+                            std::make_move_iterator(defects.begin()),
+                            std::make_move_iterator(defects.end()));
+    }
+    buffer.flag_bytes[serial - begin] = flags;
+    ++tally.by_arch[static_cast<size_t>(arch_index)];
+  }
+}
 
 std::span<const Defect> FleetPopulation::DefectsOf(uint64_t serial) const {
   const auto it =
@@ -67,86 +76,14 @@ std::span<const Defect> FleetPopulation::DefectsOf(uint64_t serial) const {
 }
 
 FleetPopulation FleetPopulation::Generate(const PopulationConfig& config) {
-  FleetPopulation fleet;
-  fleet.config_ = config;
-  fleet.arch_.resize(config.processor_count);
-  fleet.flags_.resize(config.processor_count);
-  const Rng base(config.seed);
-  const std::vector<double> shares(config.arch_share.begin(), config.arch_share.end());
-  std::array<int, kArchCount> pcores_by_arch;
-  for (int arch = 0; arch < kArchCount; ++arch) {
-    pcores_by_arch[static_cast<size_t>(arch)] = MakeArchSpec(arch).physical_cores;
-  }
-
+  // Materialization is just one consumer of the shard stream: the stream generates each
+  // shard's columns and defect spans, and FleetMaterializer copies them into the fleet's
+  // arrays, stitching the sparse faulty index and the defect arena in shard order.
   MetricsRegistry::ScopedTimer generate_timer(config.metrics, "fleet.generate.wall");
-  ThreadPool pool(config.threads);
-  std::vector<ShardOutput> outputs = pool.ParallelMap<ShardOutput>(
-      0, config.processor_count, kGenerateGrain,
-      [&](uint64_t shard, uint64_t begin, uint64_t end) {
-        ShardOutput output;
-        ShardTally& tally = output.tally;
-        Rng rng = base.Fork(shard);
-        for (uint64_t serial = begin; serial < end; ++serial) {
-          const int arch_index = static_cast<int>(rng.NextWeighted(shares));
-          fleet.arch_[serial] = static_cast<uint8_t>(arch_index);
-          const double prevalence =
-              config.detected_rate[arch_index] / config.detectability;
-          uint8_t flags = kDetectableFlag;
-          if (rng.NextBernoulli(prevalence)) {
-            std::vector<Defect> defects = GenerateRandomDefects(
-                rng, arch_index, pcores_by_arch[static_cast<size_t>(arch_index)]);
-            const bool detectable = !rng.NextBernoulli(config.undetectable_share);
-            flags = detectable ? (kFaultyFlag | kDetectableFlag) : kFaultyFlag;
-            ++tally.faulty;
-            tally.defects += defects.size();
-            tally.defects_by_arch[static_cast<size_t>(arch_index)] += defects.size();
-            if (!detectable) {
-              ++tally.undetectable;
-            }
-            output.faulty.emplace_back(serial, static_cast<uint32_t>(defects.size()));
-            output.arena.insert(output.arena.end(),
-                                std::make_move_iterator(defects.begin()),
-                                std::make_move_iterator(defects.end()));
-          }
-          fleet.flags_[serial] = flags;
-          ++tally.by_arch[static_cast<size_t>(arch_index)];
-        }
-        if (config.metrics != nullptr) {
-          FillShardDelta(tally, end - begin);
-        }
-        return output;
-      });
-
-  // Stitch the shard-local pieces together in shard order: offsets are running sums, so
-  // the arena holds every defect grouped by owning processor in ascending serial order.
-  uint64_t total_faulty = 0;
-  uint64_t total_defects = 0;
-  for (const ShardOutput& output : outputs) {
-    total_faulty += output.faulty.size();
-    total_defects += output.arena.size();
-  }
-  fleet.faulty_serials_.reserve(total_faulty);
-  fleet.faulty_ranges_.reserve(total_faulty);
-  fleet.defect_arena_.reserve(total_defects);
-  for (ShardOutput& output : outputs) {
-    uint64_t offset = fleet.defect_arena_.size();
-    for (const auto& [serial, defect_count] : output.faulty) {
-      fleet.faulty_serials_.push_back(serial);
-      fleet.faulty_ranges_.push_back({offset, defect_count});
-      offset += defect_count;
-    }
-    fleet.defect_arena_.insert(fleet.defect_arena_.end(),
-                               std::make_move_iterator(output.arena.begin()),
-                               std::make_move_iterator(output.arena.end()));
-    const ShardTally& tally = output.tally;
-    for (int arch = 0; arch < kArchCount; ++arch) {
-      fleet.counts_by_arch_[static_cast<size_t>(arch)] +=
-          tally.by_arch[static_cast<size_t>(arch)];
-    }
-    if (config.metrics != nullptr) {
-      config.metrics->MergeDelta(tally.delta);
-    }
-  }
+  FleetPopulation fleet;
+  FleetShardStream stream(config);
+  FleetMaterializer materializer(&fleet);
+  stream.Drive({&materializer});
   return fleet;
 }
 

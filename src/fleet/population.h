@@ -26,6 +26,14 @@
 namespace sdc {
 
 class MetricsRegistry;
+class Rng;
+
+// Fixed shard width of fleet generation and of the streaming pipeline built on top of it
+// (FleetShardStream, src/fleet/stream.h): shard s covers serials
+// [s * kFleetShardGrain, (s+1) * kFleetShardGrain) and draws every random value from
+// Rng::Fork(s). Part of the determinism format (docs/parallelism.md) -- changing it
+// re-partitions the RNG streams and is a behavior change.
+inline constexpr uint64_t kFleetShardGrain = 8192;
 
 // Slice of the defect arena owned by one faulty processor.
 struct DefectRange {
@@ -70,6 +78,47 @@ struct PopulationConfig {
   MetricsRegistry* metrics = nullptr;
 };
 
+// Per-shard generation tallies. Cheap integer counters that shard consumers and the
+// materialized fleet both fold in shard order, keeping every derived count thread-count
+// invariant.
+struct FleetShardTally {
+  uint64_t faulty = 0;
+  uint64_t defects = 0;
+  uint64_t undetectable = 0;
+  std::array<uint64_t, kArchCount> by_arch{};
+  std::array<uint64_t, kArchCount> defects_by_arch{};
+};
+
+// Reusable shard-local storage filled by GenerateFleetShard. Streaming drivers keep one
+// buffer per worker lane and refill it for every shard that lane claims, so a whole
+// generate->screen->aggregate pass peaks at O(lanes * shard) bytes regardless of fleet
+// size (docs/streaming.md).
+struct FleetShardBuffer {
+  // Packed per-processor columns, indexed by serial - shard_begin.
+  std::vector<uint8_t> arch_bytes;
+  std::vector<uint8_t> flag_bytes;
+  // Sparse faulty index for the shard: global serials (ascending) and arena slices whose
+  // offsets point into `defects` below (shard-local, starting at 0).
+  std::vector<uint64_t> faulty_serials;
+  std::vector<DefectRange> faulty_ranges;
+  std::vector<Defect> defects;
+  FleetShardTally tally;
+
+  // Empties the containers without releasing capacity (the point of lane reuse).
+  void Clear();
+  // Bytes of owned container capacity (Defect payloads counted at sizeof(Defect)) -- the
+  // quantity the streaming smoke test budgets against the shard budget.
+  uint64_t CapacityBytes() const;
+};
+
+// Generates serials [begin, end) of the fleet described by `config` into `buffer`
+// (cleared first), drawing every random value from base.Fork(shard) where `base` is
+// Rng(config.seed). This is the single generation kernel: FleetPopulation::Generate and
+// FleetShardStream both call it, so the materialized and streaming fleets are identical
+// bytes by construction. `begin` must equal shard * kFleetShardGrain.
+void GenerateFleetShard(const PopulationConfig& config, const Rng& base, uint64_t shard,
+                        uint64_t begin, uint64_t end, FleetShardBuffer& buffer);
+
 class FleetPopulation {
  public:
   // Flag bits of flag_bytes() entries.
@@ -98,6 +147,10 @@ class FleetPopulation {
   // instead of testing every processor's flag byte.
   const std::vector<uint64_t>& faulty_serials() const { return faulty_serials_; }
 
+  // Arena slice per faulty part, parallel to faulty_serials(). Exposed so column-view
+  // consumers (ScreeningShardView) can address the arena without per-part calls.
+  const std::vector<DefectRange>& faulty_ranges() const { return faulty_ranges_; }
+
   // Defects of the faulty part at `ordinal` within faulty_serials().
   std::span<const Defect> FaultyDefects(size_t ordinal) const {
     const DefectRange& range = faulty_ranges_[ordinal];
@@ -123,6 +176,11 @@ class FleetPopulation {
   }
 
  private:
+  // Rebuilds this fleet from a FleetShardStream pass (src/fleet/stream.h); Generate is
+  // implemented as exactly that consumer, which is what keeps the materialized and
+  // streaming modes byte-identical by construction.
+  friend class FleetMaterializer;
+
   PopulationConfig config_;
   // Structure-of-arrays processor columns, indexed by serial.
   std::vector<uint8_t> arch_;

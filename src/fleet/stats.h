@@ -5,10 +5,12 @@
 #define SDC_SRC_FLEET_STATS_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/fleet/pipeline.h"
 #include "src/fleet/population.h"
+#include "src/fleet/stream.h"
 
 namespace sdc {
 
@@ -26,6 +28,32 @@ struct TestcaseEffectiveness {
 TestcaseEffectiveness ComputeTestcaseEffectiveness(const TestSuite& suite,
                                                    const FleetPopulation& fleet,
                                                    const StageParams& stage);
+
+// Streaming counterpart of ComputeTestcaseEffectiveness: a ShardConsumer that inspects
+// each shard's defect spans while they are alive and records, per shard, which testcases
+// detect something. "Effective" is an existential property (any part, any defect), so
+// OR-folding the per-shard bitmasks in shard order yields exactly the materialized result
+// -- effective_ids in suite order included (tests/stream_test.cc).
+class EffectivenessAccumulator : public ShardConsumer {
+ public:
+  // `suite` must outlive the stream pass.
+  EffectivenessAccumulator(const TestSuite* suite, const StageParams& stage);
+
+  void BeginStream(const PopulationConfig& config, uint64_t shard_count) override;
+  void ConsumeShard(const FleetShard& shard) override;
+  void EndStream() override;
+
+  // The merged result; valid once after EndStream.
+  TestcaseEffectiveness TakeResult() { return std::move(result_); }
+
+ private:
+  const TestSuite* suite_;
+  StageParams stage_;
+  // One bitmask (byte per testcase) per shard; empty for shards without detectable
+  // faulty parts.
+  std::vector<std::vector<uint8_t>> shard_effective_;
+  TestcaseEffectiveness result_;
+};
 
 }  // namespace sdc
 

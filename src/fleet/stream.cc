@@ -1,0 +1,177 @@
+#include "src/fleet/stream.h"
+
+#include <algorithm>
+#include <cstring>
+#include <iterator>
+#include <utility>
+
+#include "src/common/parallel.h"
+#include "src/common/rng.h"
+#include "src/telemetry/metrics.h"
+
+namespace sdc {
+namespace {
+
+// Same "fleet.generate.*" keys and values the materialized path has always recorded --
+// built once per shard from the integer tallies, merged in shard order by Drive.
+MetricsDelta DeltaFromTally(const FleetShardTally& tally, uint64_t processors) {
+  MetricsDelta delta;
+  delta.Add("fleet.generate.processors", processors);
+  delta.Add("fleet.generate.faulty", tally.faulty);
+  delta.Add("fleet.generate.defects", tally.defects);
+  delta.Add("fleet.generate.undetectable", tally.undetectable);
+  for (int arch = 0; arch < kArchCount; ++arch) {
+    const auto index = static_cast<size_t>(arch);
+    if (tally.by_arch[index] > 0) {
+      delta.Add("fleet.generate.arch." + ArchName(arch) + ".processors",
+                tally.by_arch[index]);
+    }
+    if (tally.defects_by_arch[index] > 0) {
+      delta.Add("fleet.generate.arch." + ArchName(arch) + ".defects",
+                tally.defects_by_arch[index]);
+    }
+  }
+  return delta;
+}
+
+}  // namespace
+
+std::span<const Defect> FleetShard::DefectsOf(uint64_t serial) const {
+  const auto it =
+      std::lower_bound(faulty_serials.begin(), faulty_serials.end(), serial);
+  if (it == faulty_serials.end() || *it != serial) {
+    return {};
+  }
+  return FaultyDefects(static_cast<size_t>(it - faulty_serials.begin()));
+}
+
+ShardConsumer::~ShardConsumer() = default;
+
+void ShardConsumer::BeginStream(const PopulationConfig& /*config*/,
+                                uint64_t /*shard_count*/) {}
+
+void ShardConsumer::EndStream() {}
+
+uint64_t FleetShardStream::shard_count() const {
+  return ThreadPool::ShardCountFor(0, config_.processor_count, kFleetShardGrain);
+}
+
+StreamReport FleetShardStream::Drive(std::span<ShardConsumer* const> consumers) const {
+  MetricsRegistry::ScopedTimer drive_timer(config_.metrics, "fleet.stream.wall");
+  const uint64_t shards = shard_count();
+  ThreadPool pool(config_.threads);
+
+  StreamReport report;
+  report.shards = shards;
+  report.lanes = pool.thread_count();
+
+  for (ShardConsumer* consumer : consumers) {
+    consumer->BeginStream(config_, shards);
+  }
+
+  const Rng base(config_.seed);
+  struct LaneState {
+    FleetShardBuffer buffer;
+    uint64_t peak_bytes = 0;
+  };
+  std::vector<LaneState> lanes(static_cast<size_t>(pool.thread_count()));
+  std::vector<MetricsDelta> deltas(config_.metrics != nullptr ? shards : 0);
+
+  pool.ParallelStream(
+      0, config_.processor_count, kFleetShardGrain,
+      [&](int lane, uint64_t shard, uint64_t begin, uint64_t end) {
+        LaneState& state = lanes[static_cast<size_t>(lane)];
+        GenerateFleetShard(config_, base, shard, begin, end, state.buffer);
+
+        FleetShard view;
+        view.shard = shard;
+        view.begin = begin;
+        view.end = end;
+        view.tally = &state.buffer.tally;
+        view.arch_bytes = state.buffer.arch_bytes;
+        view.flag_bytes = state.buffer.flag_bytes;
+        view.faulty_serials = state.buffer.faulty_serials;
+        view.faulty_ranges = state.buffer.faulty_ranges;
+        view.defects = state.buffer.defects;
+        for (ShardConsumer* consumer : consumers) {
+          consumer->ConsumeShard(view);
+        }
+        if (config_.metrics != nullptr) {
+          deltas[shard] = DeltaFromTally(state.buffer.tally, end - begin);
+        }
+        state.peak_bytes = std::max(state.peak_bytes, state.buffer.CapacityBytes());
+      });
+
+  for (const LaneState& state : lanes) {
+    report.peak_scratch_bytes += state.peak_bytes;
+  }
+  if (config_.metrics != nullptr) {
+    for (const MetricsDelta& delta : deltas) {
+      config_.metrics->MergeDelta(delta);
+    }
+  }
+  for (ShardConsumer* consumer : consumers) {
+    consumer->EndStream();
+  }
+  return report;
+}
+
+StreamReport FleetShardStream::Drive(std::initializer_list<ShardConsumer*> consumers) const {
+  return Drive(std::span<ShardConsumer* const>(consumers.begin(), consumers.size()));
+}
+
+void FleetMaterializer::BeginStream(const PopulationConfig& config, uint64_t shard_count) {
+  fleet_->config_ = config;
+  fleet_->arch_.resize(config.processor_count);
+  fleet_->flags_.resize(config.processor_count);
+  pieces_.assign(shard_count, ShardPiece{});
+}
+
+void FleetMaterializer::ConsumeShard(const FleetShard& shard) {
+  // Columns go straight into place -- shards own disjoint serial ranges -- while the
+  // variable-length faulty pieces are copied aside for the ordered stitch in EndStream.
+  if (shard.size() > 0) {
+    std::memcpy(fleet_->arch_.data() + shard.begin, shard.arch_bytes.data(),
+                shard.size() * sizeof(uint8_t));
+    std::memcpy(fleet_->flags_.data() + shard.begin, shard.flag_bytes.data(),
+                shard.size() * sizeof(uint8_t));
+  }
+  ShardPiece& piece = pieces_[shard.shard];
+  piece.faulty_serials.assign(shard.faulty_serials.begin(), shard.faulty_serials.end());
+  piece.faulty_ranges.assign(shard.faulty_ranges.begin(), shard.faulty_ranges.end());
+  piece.defects.assign(shard.defects.begin(), shard.defects.end());
+  piece.by_arch = shard.tally->by_arch;
+}
+
+void FleetMaterializer::EndStream() {
+  uint64_t total_faulty = 0;
+  uint64_t total_defects = 0;
+  for (const ShardPiece& piece : pieces_) {
+    total_faulty += piece.faulty_serials.size();
+    total_defects += piece.defects.size();
+  }
+  fleet_->faulty_serials_.reserve(total_faulty);
+  fleet_->faulty_ranges_.reserve(total_faulty);
+  fleet_->defect_arena_.reserve(total_defects);
+  // Shard-local arena offsets are running sums starting at 0, so rebasing by the arena
+  // size at the shard's turn keeps every range pointing at its own defects.
+  for (ShardPiece& piece : pieces_) {
+    const uint64_t base_offset = fleet_->defect_arena_.size();
+    for (size_t i = 0; i < piece.faulty_serials.size(); ++i) {
+      fleet_->faulty_serials_.push_back(piece.faulty_serials[i]);
+      fleet_->faulty_ranges_.push_back(
+          {base_offset + piece.faulty_ranges[i].offset, piece.faulty_ranges[i].count});
+    }
+    fleet_->defect_arena_.insert(fleet_->defect_arena_.end(),
+                                 std::make_move_iterator(piece.defects.begin()),
+                                 std::make_move_iterator(piece.defects.end()));
+    for (int arch = 0; arch < kArchCount; ++arch) {
+      fleet_->counts_by_arch_[static_cast<size_t>(arch)] +=
+          piece.by_arch[static_cast<size_t>(arch)];
+    }
+  }
+  pieces_.clear();
+  pieces_.shrink_to_fit();
+}
+
+}  // namespace sdc

@@ -35,9 +35,15 @@ std::string JsonWriter::Escape(std::string_view text) {
         out += "\\t";
         break;
       default:
+        // Only control characters need \u-escaping; everything >= 0x20 -- including
+        // bytes >= 0x80, i.e. multi-byte UTF-8 sequences -- passes through verbatim.
+        // The loop variable and the cast below must both stay unsigned: formatting a
+        // sign-extended char with %04x would turn 0xe2 into "ffffffe2"-style garbage on
+        // signed-char platforms (tests/report_test.cc pins the UTF-8 round-trip).
         if (c < 0x20) {
           char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
           out += buffer;
         } else {
           out += static_cast<char>(c);

@@ -85,6 +85,25 @@ TEST(JsonWriterTest, EscapesControlAndQuote) {
   EXPECT_EQ(JsonWriter::Escape(std::string_view("\x01", 1)), "\\u0001");
 }
 
+TEST(JsonWriterTest, PassesUtf8ThroughUnescaped) {
+  // Multi-byte UTF-8 must survive byte-for-byte: every byte of these sequences is
+  // >= 0x80, which a signed-char escape path would sign-extend into "\uffffffxx"-style
+  // garbage instead of leaving alone.
+  const std::string utf8 = "temp 温度 \xC3\xA9\xE2\x82\xAC";  // CJK, e-acute, euro sign
+  EXPECT_EQ(JsonWriter::Escape(utf8), utf8);
+  // A 4-byte sequence (U+1F600) round-trips too.
+  const std::string emoji = "\xF0\x9F\x98\x80";
+  EXPECT_EQ(JsonWriter::Escape(emoji), emoji);
+}
+
+TEST(JsonWriterTest, EscapesControlBytesAmongUtf8) {
+  // Control bytes below 0x20 escape as exactly four lowercase hex digits; DEL (0x7f) and
+  // high bytes are not control characters in JSON and pass through.
+  EXPECT_EQ(JsonWriter::Escape(std::string_view("\x1f\x7f\x80", 3)), "\\u001f\x7f\x80");
+  const std::string mixed = std::string("a\x01") + "\xE2\x82\xAC" + "\x02z";
+  EXPECT_EQ(JsonWriter::Escape(mixed), "a\\u0001" "\xE2\x82\xAC" "\\u0002" "z");
+}
+
 TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
   std::ostringstream out;
   JsonWriter json(out, false);

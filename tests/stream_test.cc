@@ -1,0 +1,312 @@
+// Equivalence suite for the streaming shard pipeline (docs/streaming.md): a fused
+// generate->screen->aggregate pass over FleetShardStream must be byte-identical -- every
+// counter, every detection in order, detection months compared bitwise, metrics snapshot
+// included -- to generating a materialized FleetPopulation and running the same
+// aggregations over it, at several thread counts. Also pins the memory contract: peak
+// streaming scratch is O(lanes * shard), not O(fleet).
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/farron/longitudinal.h"
+#include "src/fleet/capacity.h"
+#include "src/fleet/pipeline.h"
+#include "src/fleet/population.h"
+#include "src/fleet/stats.h"
+#include "src/fleet/stream.h"
+#include "src/report/exporters.h"
+#include "src/telemetry/metrics.h"
+
+namespace sdc {
+namespace {
+
+constexpr uint64_t kFleetSize = 200000;
+constexpr uint64_t kFleetSeed = 20260805;
+
+// Everything both modes can produce from one generate+screen pass.
+struct PassResults {
+  ScreeningStats stats;
+  CapacityReport capacity;
+  TestcaseEffectiveness effectiveness;
+  std::vector<WearoutExposure> exposures;
+  StreamReport report;  // streaming mode only
+};
+
+class StreamEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { suite_ = new TestSuite(TestSuite::BuildFull()); }
+  static void TearDownTestSuite() {
+    delete suite_;
+    suite_ = nullptr;
+  }
+
+  static PopulationConfig MakePopulationConfig(uint64_t processors, int threads,
+                                               MetricsRegistry* metrics) {
+    PopulationConfig config;
+    config.processor_count = processors;
+    config.seed = kFleetSeed;
+    config.threads = threads;
+    config.metrics = metrics;
+    return config;
+  }
+
+  static ScreeningConfig MakeScreeningConfig(int threads, MetricsRegistry* metrics,
+                                             bool use_reference) {
+    ScreeningConfig config;
+    config.threads = threads;
+    config.metrics = metrics;
+    config.use_reference_model = use_reference;
+    return config;
+  }
+
+  // The materialized baseline: build the fleet, then run each aggregation against it.
+  static PassResults RunMaterialized(uint64_t processors, int threads,
+                                     MetricsRegistry* metrics = nullptr,
+                                     bool use_reference = false) {
+    const PopulationConfig population = MakePopulationConfig(processors, threads, metrics);
+    const FleetPopulation fleet = FleetPopulation::Generate(population);
+    ScreeningPipeline pipeline(suite_);
+    const ScreeningConfig screening = MakeScreeningConfig(threads, metrics, use_reference);
+    PassResults results;
+    results.stats = pipeline.Run(fleet, screening);
+    results.capacity = SimulateCapacityRetention(fleet, results.stats, screening);
+    results.effectiveness = ComputeTestcaseEffectiveness(
+        *suite_, fleet, screening.stages[static_cast<size_t>(TestStage::kRegular)]);
+    // The cadence study's exposure derivation (bench/cadence_tradeoff.cc), via the
+    // fleet's random-access DefectsOf.
+    for (const ProcessorOutcome& outcome : results.stats.detections) {
+      if (outcome.stage != TestStage::kRegular) {
+        continue;
+      }
+      double onset = 0.0;
+      for (const Defect& defect : fleet.DefectsOf(outcome.serial)) {
+        if (defect.onset_months > 0.0 && defect.onset_months <= outcome.month) {
+          onset = defect.onset_months;
+        }
+      }
+      results.exposures.push_back({outcome.serial, onset, outcome.month});
+    }
+    return results;
+  }
+
+  // The fused pass: all four aggregations ride one FleetShardStream drive.
+  static PassResults RunStreaming(uint64_t processors, int threads,
+                                  MetricsRegistry* metrics = nullptr,
+                                  bool use_reference = false) {
+    const PopulationConfig population = MakePopulationConfig(processors, threads, metrics);
+    ScreeningPipeline pipeline(suite_);
+    const ScreeningConfig screening = MakeScreeningConfig(threads, metrics, use_reference);
+    FleetShardStream stream(population);
+    StreamingScreen screen(&pipeline, screening);
+    CapacityAccumulator capacity;
+    WearoutExposureObserver exposure;
+    screen.AddObserver(&capacity);
+    screen.AddObserver(&exposure);
+    EffectivenessAccumulator effectiveness(
+        suite_, screening.stages[static_cast<size_t>(TestStage::kRegular)]);
+    PassResults results;
+    results.report = stream.Drive({&screen, &effectiveness});
+    results.stats = screen.TakeStats();
+    results.capacity = capacity.TakeReport();
+    results.effectiveness = effectiveness.TakeResult();
+    results.exposures = exposure.exposures();
+    return results;
+  }
+
+  static void ExpectIdenticalStats(const ScreeningStats& streaming,
+                                   const ScreeningStats& materialized) {
+    EXPECT_EQ(streaming.tested, materialized.tested);
+    EXPECT_EQ(streaming.faulty, materialized.faulty);
+    EXPECT_EQ(streaming.detected_by_stage, materialized.detected_by_stage);
+    EXPECT_EQ(streaming.tested_by_arch, materialized.tested_by_arch);
+    EXPECT_EQ(streaming.detected_by_arch, materialized.detected_by_arch);
+    ASSERT_EQ(streaming.detections.size(), materialized.detections.size());
+    for (size_t i = 0; i < streaming.detections.size(); ++i) {
+      const ProcessorOutcome& s = streaming.detections[i];
+      const ProcessorOutcome& m = materialized.detections[i];
+      EXPECT_EQ(s.serial, m.serial) << "detection " << i;
+      EXPECT_EQ(s.arch_index, m.arch_index) << "detection " << i;
+      EXPECT_EQ(s.detected, m.detected) << "detection " << i;
+      EXPECT_EQ(s.stage, m.stage) << "detection " << i;
+      // Bitwise, not EXPECT_DOUBLE_EQ: the streaming path must reproduce the
+      // materialized floating-point rounding exactly, not merely approximately.
+      EXPECT_EQ(std::memcmp(&s.month, &m.month, sizeof(double)), 0)
+          << "detection " << i << " month " << s.month << " vs " << m.month;
+    }
+  }
+
+  static void ExpectIdenticalCapacity(const CapacityReport& streaming,
+                                      const CapacityReport& materialized) {
+    EXPECT_EQ(streaming.fleet_cores, materialized.fleet_cores);
+    EXPECT_EQ(streaming.production_detections, materialized.production_detections);
+    EXPECT_EQ(streaming.baseline_cores_lost, materialized.baseline_cores_lost);
+    EXPECT_EQ(streaming.fine_grained_cores_lost, materialized.fine_grained_cores_lost);
+    EXPECT_EQ(streaming.parts_deprecated_fine, materialized.parts_deprecated_fine);
+    ASSERT_EQ(streaming.timeline.size(), materialized.timeline.size());
+    for (size_t i = 0; i < streaming.timeline.size(); ++i) {
+      EXPECT_EQ(std::memcmp(&streaming.timeline[i].month, &materialized.timeline[i].month,
+                            sizeof(double)),
+                0)
+          << "timeline point " << i;
+      EXPECT_EQ(streaming.timeline[i].baseline_cores_lost,
+                materialized.timeline[i].baseline_cores_lost)
+          << "timeline point " << i;
+      EXPECT_EQ(streaming.timeline[i].fine_grained_cores_lost,
+                materialized.timeline[i].fine_grained_cores_lost)
+          << "timeline point " << i;
+    }
+  }
+
+  static void ExpectIdenticalResults(const PassResults& streaming,
+                                     const PassResults& materialized) {
+    ExpectIdenticalStats(streaming.stats, materialized.stats);
+    ExpectIdenticalCapacity(streaming.capacity, materialized.capacity);
+    EXPECT_EQ(streaming.effectiveness.total_testcases,
+              materialized.effectiveness.total_testcases);
+    EXPECT_EQ(streaming.effectiveness.effective_testcases,
+              materialized.effectiveness.effective_testcases);
+    EXPECT_EQ(streaming.effectiveness.effective_ids,
+              materialized.effectiveness.effective_ids);
+    ASSERT_EQ(streaming.exposures.size(), materialized.exposures.size());
+    for (size_t i = 0; i < streaming.exposures.size(); ++i) {
+      EXPECT_EQ(streaming.exposures[i].serial, materialized.exposures[i].serial);
+      EXPECT_EQ(std::memcmp(&streaming.exposures[i].onset_months,
+                            &materialized.exposures[i].onset_months, sizeof(double)),
+                0)
+          << "exposure " << i;
+      EXPECT_EQ(std::memcmp(&streaming.exposures[i].detection_month,
+                            &materialized.exposures[i].detection_month, sizeof(double)),
+                0)
+          << "exposure " << i;
+    }
+  }
+
+  static TestSuite* suite_;
+};
+
+TestSuite* StreamEquivalenceTest::suite_ = nullptr;
+
+TEST_F(StreamEquivalenceTest, MatchesMaterializedAtOneThread) {
+  ExpectIdenticalResults(RunStreaming(kFleetSize, 1), RunMaterialized(kFleetSize, 1));
+}
+
+TEST_F(StreamEquivalenceTest, MatchesMaterializedAtTwoThreads) {
+  ExpectIdenticalResults(RunStreaming(kFleetSize, 2), RunMaterialized(kFleetSize, 2));
+}
+
+TEST_F(StreamEquivalenceTest, MatchesMaterializedAtEightThreads) {
+  ExpectIdenticalResults(RunStreaming(kFleetSize, 8), RunMaterialized(kFleetSize, 8));
+}
+
+TEST_F(StreamEquivalenceTest, StreamingIsThreadCountInvariant) {
+  const PassResults one = RunStreaming(kFleetSize, 1);
+  ExpectIdenticalResults(RunStreaming(kFleetSize, 2), one);
+  ExpectIdenticalResults(RunStreaming(kFleetSize, 8), one);
+  // Cross-mode, cross-thread-count: streaming at 8 equals materialized at 1.
+  ExpectIdenticalResults(one, RunMaterialized(kFleetSize, 8));
+}
+
+TEST_F(StreamEquivalenceTest, NotVacuouslyEqual) {
+  // Guard against the equivalence holding because nothing happened at all.
+  const PassResults streaming = RunStreaming(kFleetSize, 2);
+  EXPECT_EQ(streaming.stats.tested, kFleetSize);
+  EXPECT_GT(streaming.stats.faulty, 0u);
+  EXPECT_GT(streaming.stats.total_detected(), 0u);
+  EXPECT_GT(streaming.capacity.production_detections, 0u);
+  EXPECT_GT(streaming.capacity.fleet_cores, 0u);
+  EXPECT_GT(streaming.effectiveness.effective_testcases, 0u);
+  EXPECT_FALSE(streaming.exposures.empty());
+}
+
+TEST_F(StreamEquivalenceTest, MetricsSnapshotsIdenticalAcrossModes) {
+  // The observable metric stream (sans wall-clock timers) is part of the contract:
+  // streaming merges the same per-shard deltas in the same shard order.
+  const auto snapshot_json = [](bool streaming, int threads) {
+    MetricsRegistry registry;
+    if (streaming) {
+      (void)RunStreaming(kFleetSize, threads, &registry);
+    } else {
+      (void)RunMaterialized(kFleetSize, threads, &registry);
+    }
+    std::ostringstream out;
+    WriteMetricsJson(out, registry.Snapshot(), /*include_timers=*/false);
+    return out.str();
+  };
+  const std::string materialized = snapshot_json(false, 1);
+  EXPECT_EQ(materialized, snapshot_json(true, 1));
+  EXPECT_EQ(materialized, snapshot_json(true, 2));
+  EXPECT_EQ(materialized, snapshot_json(true, 8));
+  EXPECT_NE(materialized.find("fleet.generate.processors"), std::string::npos);
+  EXPECT_NE(materialized.find("screening.tested"), std::string::npos);
+}
+
+TEST_F(StreamEquivalenceTest, ReferenceModelStreamsIdenticallyToo) {
+  // The retained pre-memoization oracle must stream through the same shard views without
+  // perturbing a single draw. Smaller fleet: the reference model is deliberately slow.
+  constexpr uint64_t kSmall = 50000;
+  ExpectIdenticalResults(RunStreaming(kSmall, 2, nullptr, /*use_reference=*/true),
+                         RunMaterialized(kSmall, 2, nullptr, /*use_reference=*/true));
+}
+
+TEST_F(StreamEquivalenceTest, MaterializerReproducesGenerate) {
+  // A FleetMaterializer riding the same drive as other consumers rebuilds exactly the
+  // fleet Generate produces (Generate itself is this consumer; this pins the multi-
+  // consumer path).
+  PopulationConfig config = MakePopulationConfig(kFleetSize, 4, nullptr);
+  const FleetPopulation expected = FleetPopulation::Generate(config);
+  FleetPopulation rebuilt;
+  FleetMaterializer materializer(&rebuilt);
+  ScreeningPipeline pipeline(suite_);
+  StreamingScreen screen(&pipeline, MakeScreeningConfig(4, nullptr, false));
+  FleetShardStream stream(config);
+  stream.Drive({&screen, &materializer});
+  EXPECT_EQ(rebuilt.arch_bytes(), expected.arch_bytes());
+  EXPECT_EQ(rebuilt.flag_bytes(), expected.flag_bytes());
+  EXPECT_EQ(rebuilt.faulty_serials(), expected.faulty_serials());
+  ASSERT_EQ(rebuilt.faulty_count(), expected.faulty_count());
+  for (size_t ordinal = 0; ordinal < rebuilt.faulty_count(); ++ordinal) {
+    ASSERT_EQ(rebuilt.FaultyDefects(ordinal).size(), expected.FaultyDefects(ordinal).size());
+    for (size_t d = 0; d < rebuilt.FaultyDefects(ordinal).size(); ++d) {
+      EXPECT_EQ(rebuilt.FaultyDefects(ordinal)[d].id, expected.FaultyDefects(ordinal)[d].id);
+    }
+  }
+  for (int arch = 0; arch < kArchCount; ++arch) {
+    EXPECT_EQ(rebuilt.CountByArch(arch), expected.CountByArch(arch));
+  }
+}
+
+TEST(StreamMemoryTest, TenMillionProcessorsStayWithinShardBudget) {
+  // The point of the tentpole: a 10M-processor generate+screen pass must peak at
+  // O(lanes * shard) scratch, orders of magnitude below the ~20 MB of fleet columns a
+  // materialized run would hold (let alone its defect arena).
+  constexpr uint64_t kBigFleet = 10'000'000;
+  TestSuite suite = TestSuite::BuildFull();
+  PopulationConfig population;
+  population.processor_count = kBigFleet;
+  population.threads = 2;
+  ScreeningPipeline pipeline(&suite);
+  ScreeningConfig screening;
+  screening.threads = 2;
+  FleetShardStream stream(population);
+  StreamingScreen screen(&pipeline, screening);
+  const StreamReport report = stream.Drive({&screen});
+  const ScreeningStats stats = screen.TakeStats();
+  EXPECT_EQ(stats.tested, kBigFleet);
+  EXPECT_GT(stats.faulty, 0u);
+  EXPECT_GT(stats.total_detected(), 0u);
+  EXPECT_EQ(report.shards, (kBigFleet + kFleetShardGrain - 1) / kFleetShardGrain);
+  // Budget: half a MiB of scratch per lane comfortably covers the two 8 KiB byte columns
+  // plus the shard's handful of faulty parts and their defects -- and is ~40x below what
+  // materializing this fleet's columns alone would take.
+  const uint64_t budget = static_cast<uint64_t>(report.lanes) * 512 * 1024;
+  EXPECT_GT(report.peak_scratch_bytes, 0u);
+  EXPECT_LT(report.peak_scratch_bytes, budget)
+      << "streaming scratch grew beyond the per-lane shard budget";
+}
+
+}  // namespace
+}  // namespace sdc

@@ -19,6 +19,13 @@
 //                      snapshot JSON (docs/observability.md) to FILE after the command
 //                      finishes. FILE may be `-` for stdout; the command's human-readable
 //                      output then moves to stderr so stdout is exactly the JSON document.
+//   --stream           run the fleet commands (screen, metrics, export screening) as a
+//                      fused generate->screen shard pass (docs/streaming.md): peak memory
+//                      is O(threads x shard) instead of O(fleet), and every emitted
+//                      number is byte-identical to the materialized path.
+//   --processors N     fleet-size override for the fleet commands; wins over positional
+//                      counts and defaults, so 10^8-processor streaming runs are a flag.
+//   --seed S           fleet generation seed override for the same commands.
 //
 // Numeric operands are parsed strictly (src/common/parse.h): empty input, trailing
 // garbage, overflow, and negative values where an unsigned count is expected are usage
@@ -40,6 +47,7 @@
 #include "src/farron/protection.h"
 #include "src/fleet/pipeline.h"
 #include "src/fleet/population.h"
+#include "src/fleet/stream.h"
 #include "src/report/exporters.h"
 #include "src/telemetry/event_log.h"
 #include "src/telemetry/metrics.h"
@@ -52,7 +60,42 @@ struct GlobalOptions {
   bool threads_set = false;  // --threads given: sweeps opt into parallel plan entries
   std::string metrics_out;   // --metrics-out target; empty = no metrics export
   MetricsRegistry* metrics = nullptr;  // non-null when a snapshot will be written
+  bool stream = false;       // --stream: fused streaming pipeline for the fleet commands
+  uint64_t processors = 0;   // --processors override for the fleet commands
+  bool processors_set = false;
+  uint64_t seed = 0;         // --seed override for fleet generation
+  bool seed_set = false;
 };
+
+// Applies the global fleet overrides to a population config. The --processors / --seed
+// flags win over positional operands and built-in defaults, so large streaming runs never
+// require recompiling config structs.
+void ApplyFleetOverrides(PopulationConfig& config, const GlobalOptions& options) {
+  if (options.processors_set) {
+    config.processor_count = options.processors;
+  }
+  if (options.seed_set) {
+    config.seed = options.seed;
+  }
+  config.threads = options.threads;
+  config.metrics = options.metrics;
+}
+
+// Generate+screen through either path. Streaming fuses generation and screening into one
+// shard pass with O(threads * shard) peak memory; the stats are byte-identical to the
+// materialized path (docs/streaming.md), so every table below is mode-independent.
+ScreeningStats GenerateAndScreen(const PopulationConfig& population_config,
+                                 const ScreeningPipeline& pipeline,
+                                 const ScreeningConfig& screening_config, bool stream) {
+  if (stream) {
+    FleetShardStream shard_stream(population_config);
+    StreamingScreen screen(&pipeline, screening_config);
+    shard_stream.Drive({&screen});
+    return screen.TakeStats();
+  }
+  const FleetPopulation fleet = FleetPopulation::Generate(population_config);
+  return pipeline.Run(fleet, screening_config);
+}
 
 // Usage error helper: strict-parsing failures report what was wrong and exit 2, the same
 // status Usage() returns, so scripts can distinguish bad invocations from run failures.
@@ -132,15 +175,14 @@ int CmdSweep(const std::string& cpu_id, double seconds_per_case,
 int CmdScreen(uint64_t processor_count, const GlobalOptions& options) {
   PopulationConfig population_config;
   population_config.processor_count = processor_count;
-  population_config.threads = options.threads;
-  population_config.metrics = options.metrics;
-  const FleetPopulation fleet = FleetPopulation::Generate(population_config);
+  ApplyFleetOverrides(population_config, options);
   const TestSuite suite = TestSuite::BuildFull();
   ScreeningPipeline pipeline(&suite);
   ScreeningConfig screening_config;
   screening_config.threads = options.threads;
   screening_config.metrics = options.metrics;
-  const ScreeningStats stats = pipeline.Run(fleet, screening_config);
+  const ScreeningStats stats =
+      GenerateAndScreen(population_config, pipeline, screening_config, options.stream);
   TextTable table({"stage", "detections", "rate"});
   for (int stage = 0; stage < kStageCount; ++stage) {
     table.AddRow({StageName(static_cast<TestStage>(stage)),
@@ -159,15 +201,13 @@ int CmdScreen(uint64_t processor_count, const GlobalOptions& options) {
 int CmdMetrics(uint64_t processor_count, const GlobalOptions& options) {
   PopulationConfig population_config;
   population_config.processor_count = processor_count;
-  population_config.threads = options.threads;
-  population_config.metrics = options.metrics;
-  const FleetPopulation fleet = FleetPopulation::Generate(population_config);
+  ApplyFleetOverrides(population_config, options);
   const TestSuite suite = TestSuite::BuildFull();
   ScreeningPipeline pipeline(&suite);
   ScreeningConfig screening_config;
   screening_config.threads = options.threads;
   screening_config.metrics = options.metrics;
-  (void)pipeline.Run(fleet, screening_config);
+  (void)GenerateAndScreen(population_config, pipeline, screening_config, options.stream);
   return 0;
 }
 
@@ -245,15 +285,15 @@ int CmdExport(const std::string& what, const GlobalOptions& options) {
   if (what == "screening") {
     PopulationConfig population_config;
     population_config.processor_count = 250000;
-    population_config.threads = options.threads;
-    population_config.metrics = options.metrics;
-    const FleetPopulation fleet = FleetPopulation::Generate(population_config);
+    ApplyFleetOverrides(population_config, options);
     const TestSuite suite = TestSuite::BuildFull();
     ScreeningPipeline pipeline(&suite);
     ScreeningConfig screening_config;
     screening_config.threads = options.threads;
     screening_config.metrics = options.metrics;
-    WriteScreeningStatsJson(std::cout, pipeline.Run(fleet, screening_config));
+    WriteScreeningStatsJson(
+        std::cout,
+        GenerateAndScreen(population_config, pipeline, screening_config, options.stream));
     return 0;
   }
   if (what.rfind("sweep:", 0) == 0) {
@@ -282,8 +322,10 @@ int CmdExport(const std::string& what, const GlobalOptions& options) {
 }
 
 int Usage() {
-  std::cerr << "usage: sdcctl [--threads N] [--metrics-out FILE] "
-               "<catalog|suite|sweep|screen|frequency|protect|export|metrics> [args]\n"
+  std::cerr << "usage: sdcctl [--threads N] [--metrics-out FILE] [--stream] "
+               "[--processors N] [--seed S]\n"
+               "              <catalog|suite|sweep|screen|frequency|protect|export|metrics> "
+               "[args]\n"
                "  catalog\n"
                "  suite [substring]\n"
                "  sweep <cpu_id> [seconds_per_case=30]\n"
@@ -295,7 +337,14 @@ int Usage() {
                "  --threads N        workers for generation/screening/sweeps; 0 = hardware\n"
                "                     concurrency; results are identical at any thread count\n"
                "  --metrics-out FILE write the run's metrics snapshot JSON to FILE\n"
-               "                     (`-` = stdout; tables then move to stderr)\n";
+               "                     (`-` = stdout; tables then move to stderr)\n"
+               "  --stream           run the fleet commands (screen, metrics, export\n"
+               "                     screening) as one fused generate->screen pass with\n"
+               "                     O(threads x shard) peak memory instead of\n"
+               "                     materializing the fleet; output is byte-identical\n"
+               "  --processors N     fleet-size override for the fleet commands (wins over\n"
+               "                     positional counts and built-in defaults)\n"
+               "  --seed S           fleet generation seed override for the same commands\n";
   return 2;
 }
 
@@ -398,6 +447,36 @@ int Main(int argc, char** argv) {
         return 2;
       }
       options.metrics_out = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--stream") == 0) {
+      options.stream = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--processors") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "sdcctl: --processors requires an operand\n";
+        return 2;
+      }
+      const auto processors = ParseUint64(argv[++i]);
+      if (!processors.has_value()) {
+        return InvalidOperand("--processors operand", argv[i]);
+      }
+      options.processors = *processors;
+      options.processors_set = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--seed") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "sdcctl: --seed requires an operand\n";
+        return 2;
+      }
+      const auto seed = ParseUint64(argv[++i]);
+      if (!seed.has_value()) {
+        return InvalidOperand("--seed operand", argv[i]);
+      }
+      options.seed = *seed;
+      options.seed_set = true;
       continue;
     }
     args.push_back(argv[i]);

@@ -23,6 +23,7 @@ TestRunConfig Farron::MakeRunConfig() const {
   run_config.seed = config_.seed;
   run_config.pcores_under_test = pool_.UsableCores();
   run_config.metrics = config_.metrics;
+  run_config.trace = config_.trace;
   return run_config;
 }
 

@@ -57,6 +57,11 @@ struct FarronConfig {
   // attach the same registry to the EventLog (EventLog::AttachMetrics). Null disables
   // instrumentation. Must outlive the Farron instance.
   MetricsRegistry* metrics = nullptr;
+  // Optional trace sink: forwarded to every test round's TestRunConfig (toolchain spans)
+  // and used by SimulateProtectedWorkload for the "protection.run" sim span plus backoff
+  // engage/release instants on the simulated clock. Null disables recording. Must outlive
+  // the Farron instance (docs/observability.md).
+  TraceRecorder* trace = nullptr;
 };
 
 // Per-round summary used by the evaluation harnesses.

@@ -5,6 +5,7 @@
 
 #include "src/common/rng.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 #include "src/toolchain/testcase.h"
 
 namespace sdc {
@@ -62,6 +63,14 @@ ProtectionReport SimulateProtectedWorkload(Farron& farron, FaultyMachine& machin
   cpu.thermal().SettleToSteadyState(
       std::vector<double>(static_cast<size_t>(cpu.spec().physical_cores), 0.0));
 
+  // Sim-domain trace of the serial control loop, accumulated locally and merged once at
+  // the end: one span for the whole run on the simulated clock (microseconds), plus one
+  // instant per backoff transition. The loop is serial, so the delta is trivially in
+  // order; the simulated clock makes it deterministic.
+  TraceRecorder* trace = farron.config().trace;
+  TraceDelta trace_delta;
+  const double run_start_seconds = cpu.now_seconds();
+
   const double end_seconds = cpu.now_seconds() + hours * 3600.0;
   double burst_until = -1.0;
   bool throttled = false;
@@ -112,6 +121,13 @@ ProtectionReport SimulateProtectedWorkload(Farron& farron, FaultyMachine& machin
             should_throttle ? EventKind::kBackoffEngaged : EventKind::kBackoffReleased,
             cpu.now_seconds(), machine.info().cpu_id, -1, hottest);
       }
+      if (should_throttle != throttled && trace != nullptr) {
+        TraceEvent instant = MakeTraceInstant(
+            should_throttle ? "backoff.engaged" : "backoff.released", "protection",
+            kTraceTrackProtection, cpu.now_seconds() * 1e6);
+        instant.num_args.emplace_back("temperature_celsius", hottest);
+        trace_delta.Add(std::move(instant));
+      }
       if (should_throttle && !throttled) {
         ++report.backoff_engagements;
       }
@@ -136,6 +152,19 @@ ProtectionReport SimulateProtectedWorkload(Farron& farron, FaultyMachine& machin
     delta.Set("protection.backoff_seconds_per_hour",
               hours > 0.0 ? report.backoff_seconds / hours : 0.0);
     metrics->MergeDelta(delta);
+  }
+  if (trace != nullptr) {
+    TraceEvent span = MakeTraceSpan("protection.run", "protection",
+                                    kTraceTrackProtection, run_start_seconds * 1e6,
+                                    (cpu.now_seconds() - run_start_seconds) * 1e6);
+    span.num_args.emplace_back("sdc_events", static_cast<double>(report.sdc_events));
+    span.num_args.emplace_back("backoff_engagements",
+                               static_cast<double>(report.backoff_engagements));
+    span.num_args.emplace_back("final_boundary_celsius", report.final_boundary);
+    TraceDelta run_delta;
+    run_delta.Add(std::move(span));
+    run_delta.MergeFrom(std::move(trace_delta));  // span first, then the transitions
+    trace->MergeDelta(std::move(run_delta));
   }
   return report;
 }

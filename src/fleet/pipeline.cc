@@ -83,6 +83,14 @@ void ScreeningStats::MergeFrom(ScreeningStats&& other) {
     detections.insert(detections.end(), std::make_move_iterator(other.detections.begin()),
                       std::make_move_iterator(other.detections.end()));
   }
+  if (provenance.empty()) {
+    provenance = std::move(other.provenance);
+  } else {
+    provenance.reserve(provenance.size() + other.provenance.size());
+    provenance.insert(provenance.end(),
+                      std::make_move_iterator(other.provenance.begin()),
+                      std::make_move_iterator(other.provenance.end()));
+  }
 }
 
 int RegularGroupOf(uint64_t serial, const ScreeningConfig& config) {
@@ -167,6 +175,9 @@ MetricsDelta DeltaFromShardStats(const ScreeningStats& stats) {
   delta.Add("screening.faulty", stats.faulty);
   delta.Add("screening.detected", stats.total_detected());
   delta.Add("screening.escaped", stats.faulty - stats.total_detected());
+  // Mirror of the provenance invariant: this counter must equal screening.detected
+  // (tools/check_trace_json.py cross-checks it against the trace).
+  delta.Add("screening.provenance.records", stats.provenance.size());
   for (int stage = 0; stage < kStageCount; ++stage) {
     delta.Add("screening.stage." + StageName(static_cast<TestStage>(stage)) + ".detected",
               stats.detected_by_stage[static_cast<size_t>(stage)]);
@@ -183,6 +194,77 @@ MetricsDelta DeltaFromShardStats(const ScreeningStats& stats) {
     }
   }
   return delta;
+}
+
+// Provenance shared by the memoized and reference models: the defect context is reduced
+// the same way in both (first id, min onset, min trigger), so the two models emit
+// byte-identical records. sub_shard / rng_stream are stamped later by ScreenShardRange,
+// the one frame that knows the shard index.
+DetectionProvenance ProvenanceOf(uint64_t serial, int arch_index,
+                                 std::span<const Defect> defects,
+                                 const ScreeningConfig& config, TestStage stage,
+                                 double month) {
+  DetectionProvenance record;
+  record.serial = serial;
+  record.arch_index = arch_index;
+  record.stage = stage;
+  record.month = month;
+  record.stage_temperature_celsius =
+      config.stages[static_cast<size_t>(stage)].temperature_celsius;
+  record.defect_count = static_cast<uint32_t>(defects.size());
+  if (!defects.empty()) {
+    record.defect_id = defects.front().id;
+    record.onset_months = defects.front().onset_months;
+    record.min_trigger_celsius = defects.front().min_trigger_celsius;
+    for (const Defect& defect : defects.subspan(1)) {
+      record.onset_months = std::min(record.onset_months, defect.onset_months);
+      record.min_trigger_celsius =
+          std::min(record.min_trigger_celsius, defect.min_trigger_celsius);
+    }
+  }
+  return record;
+}
+
+// Shared epilogue of the screening kernel's two model paths: stamps the shard identity
+// onto the provenance records appended during the call and, when tracing, emits the
+// shard's "screen.subshard" span plus one "detection" instant per new detection. The
+// screening shard index and its RNG stream coincide by construction (Rng::Fork(sub_shard)).
+void FinishShardRange(const ScreeningShardView& view, uint64_t sub_shard,
+                      size_t first_detection, uint64_t faulty_before,
+                      ScreeningStats& stats, TraceDelta* trace) {
+  for (size_t i = first_detection; i < stats.provenance.size(); ++i) {
+    stats.provenance[i].sub_shard = sub_shard;
+    stats.provenance[i].rng_stream = sub_shard;
+  }
+  if (trace == nullptr) {
+    return;
+  }
+  TraceEvent span = MakeTraceSpan("screen.subshard", "screen", kTraceTrackScreen,
+                                  static_cast<double>(view.begin),
+                                  static_cast<double>(view.end - view.begin));
+  span.num_args.reserve(3);
+  span.num_args.emplace_back("sub_shard", static_cast<double>(sub_shard));
+  span.num_args.emplace_back("faulty",
+                             static_cast<double>(stats.faulty - faulty_before));
+  span.num_args.emplace_back(
+      "detections", static_cast<double>(stats.detections.size() - first_detection));
+  trace->Add(std::move(span));
+  for (size_t i = first_detection; i < stats.detections.size(); ++i) {
+    const DetectionProvenance& record = stats.provenance[i];
+    TraceEvent instant = MakeTraceInstant("detection", "screen", kTraceTrackDetection,
+                                          static_cast<double>(record.serial));
+    instant.str_args.reserve(2);
+    instant.num_args.reserve(4);
+    instant.str_args.emplace_back("stage", StageName(record.stage));
+    instant.str_args.emplace_back("defect", record.defect_id);
+    instant.num_args.emplace_back("sub_shard", static_cast<double>(record.sub_shard));
+    instant.num_args.emplace_back("rng_stream",
+                                  static_cast<double>(record.rng_stream));
+    instant.num_args.emplace_back("defect_count",
+                                  static_cast<double>(record.defect_count));
+    instant.num_args.emplace_back("month", record.month);
+    trace->Add(std::move(instant));
+  }
 }
 
 }  // namespace
@@ -210,11 +292,15 @@ FleetProcessorView ScreeningShardView::processor(uint64_t serial) const {
 void ScreeningPipeline::ScreenShardRange(const ScreeningShardView& view,
                                          const ScreeningConfig& config,
                                          const std::array<ProcessorSpec, kArchCount>& arch_specs,
-                                         Rng& rng, ScreeningStats& stats) const {
+                                         uint64_t sub_shard, Rng& rng,
+                                         ScreeningStats& stats, TraceDelta* trace) const {
+  const size_t first_detection = stats.detections.size();
+  const uint64_t faulty_before = stats.faulty;
   if (config.use_reference_model) {
     for (uint64_t serial = view.begin; serial < view.end; ++serial) {
       ScreenProcessorReference(view.processor(serial), config, rng, stats);
     }
+    FinishShardRange(view, sub_shard, first_detection, faulty_before, stats, trace);
     return;
   }
   // Clean-processor fast path: the shard's tested counters come from a sequential scan of
@@ -256,12 +342,15 @@ void ScreeningPipeline::ScreenShardRange(const ScreeningShardView& view,
                           arch_specs[static_cast<size_t>(arch_index)].physical_cores, rng,
                           stats);
   }
+  FinishShardRange(view, sub_shard, first_detection, faulty_before, stats, trace);
 }
 
 ScreeningStats ScreeningPipeline::Run(const FleetPopulation& fleet,
                                       const ScreeningConfig& config) const {
   const Rng base(config.seed);
   MetricsRegistry::ScopedTimer run_timer(config.metrics, "screening.run.wall");
+  TraceRecorder::ScopedHostSpan run_span(config.trace, "screening.run", "screen",
+                                         kTraceTrackScreen);
   ThreadPool pool(config.threads);
 
   // Satellite of the memoization work: the per-arch hardware model is invariant across the
@@ -285,6 +374,7 @@ ScreeningStats ScreeningPipeline::Run(const FleetPopulation& fleet,
   struct ShardResult {
     ScreeningStats stats;
     MetricsDelta delta;
+    TraceDelta trace;
   };
   ShardResult total = pool.ParallelReduce<ShardResult>(
       0, fleet.size(), kScreeningShardGrain, ShardResult{},
@@ -295,7 +385,8 @@ ScreeningStats ScreeningPipeline::Run(const FleetPopulation& fleet,
         view.begin = begin;
         view.end = end;
         Rng rng = base.Fork(shard);
-        ScreenShardRange(view, config, arch_specs, rng, result.stats);
+        ScreenShardRange(view, config, arch_specs, shard, rng, result.stats,
+                         config.trace != nullptr ? &result.trace : nullptr);
         if (config.metrics != nullptr) {
           result.delta = DeltaFromShardStats(result.stats);
           const std::chrono::duration<double> elapsed =
@@ -307,9 +398,13 @@ ScreeningStats ScreeningPipeline::Run(const FleetPopulation& fleet,
       [](ShardResult& accumulator, ShardResult& shard_result) {
         accumulator.stats.MergeFrom(std::move(shard_result.stats));
         accumulator.delta.MergeFrom(shard_result.delta);
+        accumulator.trace.MergeFrom(std::move(shard_result.trace));
       });
   if (config.metrics != nullptr) {
     config.metrics->MergeDelta(total.delta);
+  }
+  if (config.trace != nullptr) {
+    config.trace->MergeDelta(std::move(total.trace));
   }
   return std::move(total.stats);
 }
@@ -405,6 +500,8 @@ void ScreeningPipeline::ScreenFaultyProcessor(uint64_t serial, int arch_index,
     ++stats.detected_by_stage[static_cast<int>(detected_stage)];
     ++stats.detected_by_arch[arch_index];
     stats.detections.push_back({serial, arch_index, true, detected_stage, detected_month});
+    stats.provenance.push_back(ProvenanceOf(serial, arch_index, defects, config,
+                                            detected_stage, detected_month));
   }
 }
 
@@ -469,6 +566,9 @@ void ScreeningPipeline::ScreenProcessorReference(const FleetProcessorView& proce
     ++stats.detected_by_arch[processor.arch_index];
     stats.detections.push_back({processor.serial, processor.arch_index, true,
                                 detected_stage, detected_month});
+    stats.provenance.push_back(ProvenanceOf(processor.serial, processor.arch_index,
+                                            processor.defects, config, detected_stage,
+                                            detected_month));
   }
 }
 
@@ -495,6 +595,7 @@ void StreamingScreen::AddObserver(ShardOutcomeObserver* observer) {
 void StreamingScreen::BeginStream(const PopulationConfig& config, uint64_t shard_count) {
   shard_stats_.assign(shard_count, ScreeningStats{});
   shard_deltas_.assign(config_.metrics != nullptr ? shard_count : 0, MetricsDelta{});
+  shard_traces_.assign(config_.trace != nullptr ? shard_count : 0, TraceDelta{});
   stats_ = ScreeningStats{};
   for (ShardOutcomeObserver* observer : observers_) {
     observer->BeginStream(config, config_, shard_count);
@@ -516,12 +617,15 @@ void StreamingScreen::ConsumeShard(const FleetShard& shard) {
   // Stream shards start at multiples of kFleetShardGrain, so b / kScreeningShardGrain is
   // the *global* screening shard index: the embedded sub-shards use exactly the RNG
   // streams the materialized Run would fork for the same serials.
+  TraceDelta* trace =
+      config_.trace != nullptr ? &shard_traces_[shard.shard] : nullptr;
   for (uint64_t b = shard.begin; b < shard.end; b += kScreeningShardGrain) {
     const uint64_t screening_shard = b / kScreeningShardGrain;
     view.begin = b;
     view.end = std::min(b + kScreeningShardGrain, shard.end);
     Rng rng = base_.Fork(screening_shard);
-    pipeline_->ScreenShardRange(view, config_, arch_specs_, rng, stats);
+    pipeline_->ScreenShardRange(view, config_, arch_specs_, screening_shard, rng, stats,
+                                trace);
   }
 
   if (config_.metrics != nullptr) {
@@ -536,6 +640,10 @@ void StreamingScreen::ConsumeShard(const FleetShard& shard) {
 }
 
 void StreamingScreen::EndStream() {
+  // The ordered fold is wall-clock work without a deterministic timeline, so its span
+  // lives in the host domain -- same reasoning as FleetMaterializer::EndStream.
+  TraceRecorder::ScopedHostSpan merge_span(config_.trace, "screening.aggregate",
+                                           "aggregate", kTraceTrackAggregate);
   MetricsDelta total_delta;
   for (size_t shard = 0; shard < shard_stats_.size(); ++shard) {
     stats_.MergeFrom(std::move(shard_stats_[shard]));
@@ -546,10 +654,17 @@ void StreamingScreen::EndStream() {
   if (config_.metrics != nullptr) {
     config_.metrics->MergeDelta(total_delta);
   }
+  if (config_.trace != nullptr) {
+    for (TraceDelta& delta : shard_traces_) {
+      config_.trace->MergeDelta(std::move(delta));
+    }
+  }
   shard_stats_.clear();
   shard_stats_.shrink_to_fit();
   shard_deltas_.clear();
   shard_deltas_.shrink_to_fit();
+  shard_traces_.clear();
+  shard_traces_.shrink_to_fit();
   for (ShardOutcomeObserver* observer : observers_) {
     observer->EndStream();
   }

@@ -36,6 +36,7 @@
 #include "src/fleet/population.h"
 #include "src/fleet/stream.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 #include "src/toolchain/registry.h"
 
 namespace sdc {
@@ -91,6 +92,12 @@ struct ScreeningConfig {
   // order, thread-count invariant except the wall-clock shard timers
   // (docs/observability.md). Null disables instrumentation.
   MetricsRegistry* metrics = nullptr;
+  // Optional trace sink: one "screen.subshard" sim span per screening shard (serial-space
+  // clock) plus one "detection" instant per detected processor, accumulated per shard and
+  // merged in shard order -- byte-identical at any thread count and across the
+  // materialized/streaming modes. Null disables recording at the cost of one pointer test
+  // per shard (docs/observability.md).
+  TraceRecorder* trace = nullptr;
 };
 
 // Group a processor's regular tests belong to, and the absolute month of its round in a
@@ -106,6 +113,25 @@ struct ProcessorOutcome {
   double month = 0.0;  // detection time (0 for pre-production stages)
 };
 
+// Compact provenance record attached to every screening detection: enough context to
+// answer "which defect, drawn from which RNG stream, was caught where and why" without
+// re-running the fleet (docs/observability.md). Built inside the screening kernel, so it
+// exists for both the memoized and reference models and for both execution modes;
+// ScreeningStats keeps it parallel to `detections` (same length, same order).
+struct DetectionProvenance {
+  uint64_t serial = 0;
+  std::string defect_id;       // id of the processor's first defect
+  uint32_t defect_count = 0;   // how many defects the processor carried
+  int arch_index = 0;
+  TestStage stage = TestStage::kFactory;
+  uint64_t sub_shard = 0;      // global screening shard: serial / kScreeningShardGrain
+  uint64_t rng_stream = 0;     // Rng::Fork index the detection randomness came from
+  double onset_months = 0.0;   // earliest defect onset (0 = from manufacturing)
+  double min_trigger_celsius = 0.0;        // lowest trigger temperature across defects
+  double stage_temperature_celsius = 0.0;  // test temperature of the detecting stage
+  double month = 0.0;          // detection month (0 for pre-production stages)
+};
+
 struct ScreeningStats {
   uint64_t tested = 0;
   uint64_t faulty = 0;
@@ -113,6 +139,10 @@ struct ScreeningStats {
   std::array<uint64_t, kArchCount> tested_by_arch{};
   std::array<uint64_t, kArchCount> detected_by_arch{};
   std::vector<ProcessorOutcome> detections;  // one entry per detected faulty part
+  // Parallel to `detections`: provenance[i] describes detections[i]. The invariant
+  // provenance.size() == detections.size() is pinned by tests/trace_test.cc and surfaced
+  // as the "screening.provenance.records" counter.
+  std::vector<DetectionProvenance> provenance;
 
   uint64_t total_detected() const;
   double StageRate(TestStage stage) const;   // detections at stage / tested
@@ -179,10 +209,14 @@ class ScreeningPipeline {
   // accumulating into `stats` (counters add, so one stats object may accumulate several
   // consecutive shards). Runs the memoized clean-part fast path, or the reference model
   // when config.use_reference_model is set. Both Run and StreamingScreen call exactly
-  // this, one screening shard (kScreeningShardGrain) per forked RNG stream.
+  // this, one screening shard (kScreeningShardGrain) per forked RNG stream; `sub_shard`
+  // is that global shard index -- stamped into every new provenance record and, when
+  // `trace` is non-null, emitted as the shard's "screen.subshard" span plus one
+  // "detection" instant per new detection.
   void ScreenShardRange(const ScreeningShardView& view, const ScreeningConfig& config,
-                        const std::array<ProcessorSpec, kArchCount>& arch_specs, Rng& rng,
-                        ScreeningStats& stats) const;
+                        const std::array<ProcessorSpec, kArchCount>& arch_specs,
+                        uint64_t sub_shard, Rng& rng, ScreeningStats& stats,
+                        TraceDelta* trace) const;
 
   // Memoized fast path: screens one faulty, toolchain-detectable processor. Evaluates the
   // detection model once per (defect, stage), then replays the probe schedule against the
@@ -254,6 +288,7 @@ class StreamingScreen : public ShardConsumer {
   // Per-stream-shard partials, merged in shard order by EndStream.
   std::vector<ScreeningStats> shard_stats_;
   std::vector<MetricsDelta> shard_deltas_;
+  std::vector<TraceDelta> shard_traces_;
   ScreeningStats stats_;
 };
 

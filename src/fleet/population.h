@@ -27,6 +27,7 @@ namespace sdc {
 
 class MetricsRegistry;
 class Rng;
+class TraceRecorder;
 
 // Fixed shard width of fleet generation and of the streaming pipeline built on top of it
 // (FleetShardStream, src/fleet/stream.h): shard s covers serials
@@ -76,6 +77,11 @@ struct PopulationConfig {
   // recorded values obey the same thread-count invariance as the fleet itself
   // (docs/observability.md). Null disables instrumentation.
   MetricsRegistry* metrics = nullptr;
+  // Optional trace sink: one "generate.shard" sim span per generation shard (serial-space
+  // clock, merged in shard order -- byte-identical at any thread count) plus host spans
+  // for the drive and materialize stages. Null disables recording at the cost of one
+  // pointer test per shard (docs/observability.md).
+  TraceRecorder* trace = nullptr;
 };
 
 // Per-shard generation tallies. Cheap integer counters that shard consumers and the

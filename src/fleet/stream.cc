@@ -8,6 +8,7 @@
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace sdc {
 namespace {
@@ -58,6 +59,8 @@ uint64_t FleetShardStream::shard_count() const {
 
 StreamReport FleetShardStream::Drive(std::span<ShardConsumer* const> consumers) const {
   MetricsRegistry::ScopedTimer drive_timer(config_.metrics, "fleet.stream.wall");
+  TraceRecorder::ScopedHostSpan drive_span(config_.trace, "fleet.stream.drive",
+                                           "generate", kTraceTrackGenerate);
   const uint64_t shards = shard_count();
   ThreadPool pool(config_.threads);
 
@@ -76,6 +79,7 @@ StreamReport FleetShardStream::Drive(std::span<ShardConsumer* const> consumers) 
   };
   std::vector<LaneState> lanes(static_cast<size_t>(pool.thread_count()));
   std::vector<MetricsDelta> deltas(config_.metrics != nullptr ? shards : 0);
+  std::vector<TraceDelta> traces(config_.trace != nullptr ? shards : 0);
 
   pool.ParallelStream(
       0, config_.processor_count, kFleetShardGrain,
@@ -99,6 +103,21 @@ StreamReport FleetShardStream::Drive(std::span<ShardConsumer* const> consumers) 
         if (config_.metrics != nullptr) {
           deltas[shard] = DeltaFromTally(state.buffer.tally, end - begin);
         }
+        if (config_.trace != nullptr) {
+          // Sim clock: processor serial space. ts = first serial, dur = shard width, so
+          // the generation timeline reads as coverage of the fleet's serial axis.
+          TraceEvent span = MakeTraceSpan("generate.shard", "generate",
+                                          kTraceTrackGenerate,
+                                          static_cast<double>(begin),
+                                          static_cast<double>(end - begin));
+          span.num_args.reserve(3);
+          span.num_args.emplace_back("shard", static_cast<double>(shard));
+          span.num_args.emplace_back("faulty",
+                                     static_cast<double>(state.buffer.tally.faulty));
+          span.num_args.emplace_back("defects",
+                                     static_cast<double>(state.buffer.tally.defects));
+          traces[shard].Add(std::move(span));
+        }
         state.peak_bytes = std::max(state.peak_bytes, state.buffer.CapacityBytes());
       });
 
@@ -108,6 +127,11 @@ StreamReport FleetShardStream::Drive(std::span<ShardConsumer* const> consumers) 
   if (config_.metrics != nullptr) {
     for (const MetricsDelta& delta : deltas) {
       config_.metrics->MergeDelta(delta);
+    }
+  }
+  if (config_.trace != nullptr) {
+    for (TraceDelta& delta : traces) {
+      config_.trace->MergeDelta(std::move(delta));
     }
   }
   for (ShardConsumer* consumer : consumers) {
@@ -125,6 +149,7 @@ void FleetMaterializer::BeginStream(const PopulationConfig& config, uint64_t sha
   fleet_->arch_.resize(config.processor_count);
   fleet_->flags_.resize(config.processor_count);
   pieces_.assign(shard_count, ShardPiece{});
+  trace_ = config.trace;
 }
 
 void FleetMaterializer::ConsumeShard(const FleetShard& shard) {
@@ -144,6 +169,11 @@ void FleetMaterializer::ConsumeShard(const FleetShard& shard) {
 }
 
 void FleetMaterializer::EndStream() {
+  // Host domain only: the stitch is wall-clock work with no deterministic timeline of its
+  // own, and keeping it out of the sim track is what lets streaming and materialized runs
+  // produce identical sim traces.
+  TraceRecorder::ScopedHostSpan stitch_span(trace_, "fleet.materialize", "aggregate",
+                                            kTraceTrackAggregate);
   uint64_t total_faulty = 0;
   uint64_t total_defects = 0;
   for (const ShardPiece& piece : pieces_) {

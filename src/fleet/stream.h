@@ -138,6 +138,7 @@ class FleetMaterializer : public ShardConsumer {
 
   FleetPopulation* fleet_;
   std::vector<ShardPiece> pieces_;
+  TraceRecorder* trace_ = nullptr;  // from the stream's PopulationConfig
 };
 
 }  // namespace sdc

@@ -14,6 +14,47 @@ void WriteWord128(JsonWriter& json, const Word128& word) {
   json.EndObject();
 }
 
+// Chrome trace-event metadata record naming a process or thread (track).
+void WriteTraceMetadata(JsonWriter& json, const char* what, int pid, int tid,
+                        const char* name) {
+  json.BeginObject();
+  json.KeyValue("ph", "M");
+  json.KeyValue("name", what);
+  json.KeyValue("pid", pid);
+  json.KeyValue("tid", tid);
+  json.Key("args").BeginObject();
+  json.KeyValue("name", name);
+  json.EndObject();
+  json.EndObject();
+}
+
+void WriteTraceEvent(JsonWriter& json, const TraceEvent& event, int pid) {
+  json.BeginObject();
+  json.KeyValue("ph", std::string_view(&event.phase, 1));
+  json.KeyValue("name", event.name);
+  json.KeyValue("cat", event.category);
+  json.KeyValue("pid", pid);
+  json.KeyValue("tid", event.track);
+  json.KeyValue("ts", event.timestamp);
+  if (event.phase == 'X') {
+    json.KeyValue("dur", event.duration);
+  }
+  if (event.phase == 'i') {
+    json.KeyValue("s", "t");  // instant scope: thread
+  }
+  if (!event.str_args.empty() || !event.num_args.empty()) {
+    json.Key("args").BeginObject();
+    for (const auto& [key, value] : event.str_args) {
+      json.KeyValue(key, value);
+    }
+    for (const auto& [key, value] : event.num_args) {
+      json.KeyValue(key, value);
+    }
+    json.EndObject();
+  }
+  json.EndObject();
+}
+
 }  // namespace
 
 void WriteRunReportJson(std::ostream& out, const RunReport& report, size_t max_records) {
@@ -174,6 +215,49 @@ void WriteMetricsJson(std::ostream& out, const MetricsSnapshot& snapshot,
     }
     json.EndObject();
   }
+  json.EndObject();
+}
+
+void WriteTraceJson(std::ostream& out, const TraceSnapshot& snapshot, bool include_host) {
+  JsonWriter json(out, /*pretty=*/false);
+  json.BeginObject();
+  json.KeyValue("displayTimeUnit", "ms");
+  json.Key("traceEvents").BeginArray();
+  // A fixed metadata preamble names both clock-domain processes and every known track,
+  // whether or not the run populated them -- keeping the preamble invariant is part of
+  // what makes traces of equal workloads byte-comparable.
+  WriteTraceMetadata(json, "process_name", kTracePidSim, 0,
+                     "sim (deterministic workload clock)");
+  if (include_host) {
+    WriteTraceMetadata(json, "process_name", kTracePidHost, 0, "host (wall clock)");
+  }
+  struct TrackName {
+    int track;
+    const char* name;
+  };
+  static constexpr TrackName kTracks[] = {
+      {kTraceTrackGenerate, "generate"},   {kTraceTrackScreen, "screen"},
+      {kTraceTrackDetection, "detection"}, {kTraceTrackAggregate, "aggregate"},
+      {kTraceTrackToolchain, "toolchain"}, {kTraceTrackProtection, "protection"},
+  };
+  for (const TrackName& track : kTracks) {
+    WriteTraceMetadata(json, "thread_name", kTracePidSim, track.track, track.name);
+  }
+  if (include_host) {
+    for (const TrackName& track : kTracks) {
+      WriteTraceMetadata(json, "thread_name", kTracePidHost, track.track, track.name);
+    }
+  }
+  for (const TraceEvent& event : snapshot.sim) {
+    WriteTraceEvent(json, event, kTracePidSim);
+  }
+  if (include_host) {
+    for (const TraceEvent& event : snapshot.host) {
+      WriteTraceEvent(json, event, kTracePidHost);
+    }
+  }
+  json.EndArray();
+  json.KeyValue("hostEventsIncluded", include_host);
   json.EndObject();
 }
 

@@ -12,6 +12,7 @@
 #include "src/fault/catalog.h"
 #include "src/fleet/pipeline.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 #include "src/toolchain/framework.h"
 
 namespace sdc {
@@ -33,6 +34,16 @@ void WriteCatalogJson(std::ostream& out,
 // determinism contract covers (byte-identical at any thread count).
 void WriteMetricsJson(std::ostream& out, const MetricsSnapshot& snapshot,
                       bool include_timers = true);
+
+// A trace snapshot as Chrome/Perfetto trace-event JSON ({"traceEvents": [...]}), loadable
+// in ui.perfetto.dev or chrome://tracing. Sim events (pid 1) carry deterministic workload
+// clocks -- processor serials for fleet passes, simulated microseconds for the toolchain
+// and protection loops -- and are emitted in merge order, so the document is byte-identical
+// at any thread count. Host spans (pid 2) measure wall clock and are nondeterministic by
+// contract; pass include_host = false to emit only the deterministic timeline (the form
+// the determinism tests compare).
+void WriteTraceJson(std::ostream& out, const TraceSnapshot& snapshot,
+                    bool include_host = true);
 
 }  // namespace sdc
 

@@ -41,6 +41,10 @@ void EventLog::Record(Event event) {
   events_.push_back(std::move(event));
   if (events_.size() > capacity_) {
     events_.pop_front();
+    ++dropped_events_;
+    if (metrics_ != nullptr) {
+      metrics_->Add("events.dropped");
+    }
   }
 }
 
@@ -68,6 +72,11 @@ std::vector<Event> EventLog::RetainedEvents() const {
 uint64_t EventLog::total_recorded() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return total_recorded_;
+}
+
+uint64_t EventLog::dropped_events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_events_;
 }
 
 uint64_t EventLog::CountOf(EventKind kind) const {
@@ -107,6 +116,7 @@ void EventLog::Clear() {
   events_.clear();
   counts_.clear();
   total_recorded_ = 0;
+  dropped_events_ = 0;
 }
 
 }  // namespace sdc

@@ -41,7 +41,10 @@ struct Event {
 };
 
 // Bounded in-memory event log with per-kind counters. Oldest events are dropped once the
-// capacity is reached (the counters keep the full totals).
+// capacity is reached (the counters keep the full totals), and every eviction is counted
+// in dropped_events() -- so a consumer of RetainedEvents() can always tell a complete
+// window from a truncated one -- and bridged as "events.dropped" when a registry is
+// attached.
 //
 // Thread safety: all members serialize on an internal mutex, so emitters running under
 // parallel_plan_entries may Record concurrently. When a MetricsRegistry is attached, each
@@ -62,9 +65,12 @@ class EventLog {
   // is: merge order only matters for gauges, and the bridge emits none.
   void AttachMetrics(MetricsRegistry* metrics);
 
-  // Snapshot of the retained window, oldest first.
+  // Snapshot of the retained window, oldest first. total_recorded() ==
+  // RetainedEvents().size() + dropped_events() at all times.
   std::vector<Event> RetainedEvents() const;
   uint64_t total_recorded() const;
+  // Events evicted from the bounded window so far (never silently discarded).
+  uint64_t dropped_events() const;
   uint64_t CountOf(EventKind kind) const;
 
   // Events of one kind, oldest first (within the retained window).
@@ -81,6 +87,7 @@ class EventLog {
   std::deque<Event> events_;
   std::map<EventKind, uint64_t> counts_;
   uint64_t total_recorded_ = 0;
+  uint64_t dropped_events_ = 0;
   MetricsRegistry* metrics_ = nullptr;
 };
 

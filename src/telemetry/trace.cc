@@ -1,0 +1,143 @@
+#include "src/telemetry/trace.h"
+
+#include <algorithm>
+#include <iterator>
+#include <map>
+
+namespace sdc {
+
+TraceEvent MakeTraceSpan(std::string name, std::string category, int track,
+                         double timestamp, double duration) {
+  TraceEvent event;
+  event.phase = 'X';
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.track = track;
+  event.timestamp = timestamp;
+  event.duration = duration;
+  return event;
+}
+
+TraceEvent MakeTraceInstant(std::string name, std::string category, int track,
+                            double timestamp) {
+  TraceEvent event;
+  event.phase = 'i';
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.track = track;
+  event.timestamp = timestamp;
+  return event;
+}
+
+void TraceDelta::MergeFrom(TraceDelta&& other) {
+  if (events_.empty()) {
+    events_ = std::move(other.events_);
+    return;
+  }
+  // No exact-size reserve here: repeated merges must keep vector growth geometric, or a
+  // chain of N single-event merges degrades to O(N^2) element moves.
+  events_.insert(events_.end(), std::make_move_iterator(other.events_.begin()),
+                 std::make_move_iterator(other.events_.end()));
+  other.events_.clear();
+}
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+void TraceRecorder::MergeDelta(TraceDelta&& delta) {
+  if (delta.empty()) {
+    return;
+  }
+  // Move the buffer out before taking the lock, and append without an exact-size
+  // reserve: per-shard merges arrive one at a time, so geometric growth is what keeps
+  // the recorder O(total events) instead of O(events^2).
+  std::vector<TraceEvent> events = std::move(delta).TakeEvents();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sim_events_.insert(sim_events_.end(), std::make_move_iterator(events.begin()),
+                     std::make_move_iterator(events.end()));
+}
+
+double TraceRecorder::HostNowSeconds() const {
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - epoch_;
+  return elapsed.count();
+}
+
+void TraceRecorder::RecordHostSpan(std::string name, std::string category, int track,
+                                   double start_seconds, double duration_seconds) {
+  TraceEvent event = MakeTraceSpan(std::move(name), std::move(category), track,
+                                   start_seconds * 1e6, duration_seconds * 1e6);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  host_events_.push_back(std::move(event));
+}
+
+TraceRecorder::ScopedHostSpan::~ScopedHostSpan() {
+  if (recorder_ == nullptr) {
+    return;
+  }
+  const double now = recorder_->HostNowSeconds();
+  recorder_->RecordHostSpan(std::move(name_), std::move(category_), track_,
+                            start_seconds_, now - start_seconds_);
+}
+
+TraceSnapshot TraceRecorder::Snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TraceSnapshot snapshot;
+  snapshot.sim = sim_events_;
+  snapshot.host = host_events_;
+  return snapshot;
+}
+
+void TraceRecorder::Clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sim_events_.clear();
+  host_events_.clear();
+}
+
+TraceSummary SummarizeTrace(const TraceSnapshot& snapshot, size_t top_n) {
+  TraceSummary summary;
+  summary.sim_events = snapshot.sim.size();
+  std::map<std::string, TraceCategorySummary> by_category;
+  for (const TraceEvent& event : snapshot.sim) {
+    TraceCategorySummary& entry = by_category[event.category];
+    entry.category = event.category;
+    if (event.phase == 'X') {
+      ++entry.spans;
+      entry.sim_duration_total += event.duration;
+    } else {
+      ++entry.instants;
+    }
+  }
+  summary.categories.reserve(by_category.size());
+  for (auto& [name, entry] : by_category) {
+    summary.categories.push_back(std::move(entry));
+  }
+  for (const TraceEvent& event : snapshot.host) {
+    if (event.phase == 'X') {
+      ++summary.host_spans;
+    }
+  }
+  std::vector<TraceEvent> host = snapshot.host;
+  std::stable_sort(host.begin(), host.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return a.duration > b.duration;
+  });
+  if (host.size() > top_n) {
+    host.resize(top_n);
+  }
+  summary.slowest_host = std::move(host);
+  return summary;
+}
+
+void TraceSummary::DumpText(std::ostream& out) const {
+  out << "trace: " << sim_events << " sim events, " << host_spans << " host spans\n";
+  for (const TraceCategorySummary& entry : categories) {
+    out << "  category " << entry.category << ": " << entry.spans << " spans, "
+        << entry.instants << " instants, sim total " << entry.sim_duration_total << "\n";
+  }
+  if (!slowest_host.empty()) {
+    out << "  slowest host spans:\n";
+    for (const TraceEvent& event : slowest_host) {
+      out << "    " << event.name << " " << event.duration / 1e6 << " s\n";
+    }
+  }
+}
+
+}  // namespace sdc

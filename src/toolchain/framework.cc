@@ -7,6 +7,7 @@
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace sdc {
 namespace {
@@ -54,6 +55,27 @@ void AccumulatePlanMetrics(const RunReport& report, MetricsRegistry* metrics) {
   metrics->MergeDelta(delta);
 }
 
+// Plan-level sim trace from the merged report, walked in plan order: one span per entry
+// on the simulated-microseconds clock, back to back from time 0 -- the same
+// report-derived walk as the metrics above, so the toolchain timeline is thread-count
+// invariant by the same argument.
+void AccumulatePlanTrace(const RunReport& report, TraceRecorder* trace) {
+  if (trace == nullptr) {
+    return;
+  }
+  TraceDelta delta;
+  double cursor_us = 0.0;
+  for (const TestcaseResult& result : report.results) {
+    TraceEvent span = MakeTraceSpan("toolchain.entry", "toolchain", kTraceTrackToolchain,
+                                    cursor_us, result.duration_seconds * 1e6);
+    span.str_args.emplace_back("testcase", result.testcase_id);
+    span.num_args.emplace_back("errors", static_cast<double>(result.errors));
+    delta.Add(std::move(span));
+    cursor_us += result.duration_seconds * 1e6;
+  }
+  trace->MergeDelta(std::move(delta));
+}
+
 }  // namespace
 
 bool RunReport::any_error() const {
@@ -95,6 +117,8 @@ std::vector<TestPlanEntry> TestFramework::EqualPlan(double per_case_seconds) con
 RunReport TestFramework::RunPlan(FaultyMachine& machine,
                                  const std::vector<TestPlanEntry>& plan,
                                  const TestRunConfig& config) const {
+  TraceRecorder::ScopedHostSpan plan_span(config.trace, "toolchain.plan", "toolchain",
+                                          kTraceTrackToolchain);
   if (config.parallel_plan_entries && plan.size() > 1) {
     return RunPlanParallel(machine, plan, config);
   }
@@ -109,6 +133,7 @@ RunReport TestFramework::RunPlan(FaultyMachine& machine,
   machine.SetAllCoreUtilization(config.background_utilization);
   report.total_wall_seconds = cpu.now_seconds() - start_seconds;
   AccumulatePlanMetrics(report, config.metrics);
+  AccumulatePlanTrace(report, config.trace);
   return report;
 }
 
@@ -123,8 +148,15 @@ RunReport TestFramework::RunPlanParallel(const FaultyMachine& machine,
   std::vector<RunReport> entry_reports = pool.ParallelMap<RunReport>(
       0, plan.size(), 1, [&](uint64_t entry_index, uint64_t, uint64_t) {
         const auto clone_start = std::chrono::steady_clock::now();
+        const double clone_span_start =
+            config.trace != nullptr ? config.trace->HostNowSeconds() : 0.0;
         FaultyMachine clone = machine.CloneFresh();
         PrepareMachine(clone, config);
+        if (config.trace != nullptr) {
+          config.trace->RecordHostSpan("toolchain.clone", "toolchain",
+                                       kTraceTrackToolchain, clone_span_start,
+                                       config.trace->HostNowSeconds() - clone_span_start);
+        }
         if (config.metrics != nullptr) {
           // Clone + settle/burn-in cost of entry isolation: host wall clock, recorded from
           // worker threads, outside the deterministic sections by contract.
@@ -155,6 +187,7 @@ RunReport TestFramework::RunPlanParallel(const FaultyMachine& machine,
     }
   }
   AccumulatePlanMetrics(report, config.metrics);
+  AccumulatePlanTrace(report, config.trace);
   return report;
 }
 

@@ -25,6 +25,7 @@
 namespace sdc {
 
 class MetricsRegistry;
+class TraceRecorder;
 
 struct TestPlanEntry {
   size_t testcase_index = 0;
@@ -66,6 +67,11 @@ struct TestRunConfig {
   // costs are wall-clock timers and excluded from that contract (docs/observability.md).
   // Null disables instrumentation.
   MetricsRegistry* metrics = nullptr;
+  // Optional trace sink: one "toolchain.entry" sim span per plan entry on the simulated-
+  // microseconds clock, derived from the merged report in plan order (thread-count
+  // invariant), plus host spans for the whole plan and for per-entry machine clones.
+  // Null disables recording (docs/observability.md).
+  TraceRecorder* trace = nullptr;
 };
 
 struct TestcaseResult {

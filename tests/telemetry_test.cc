@@ -196,6 +196,25 @@ TEST(EventLogTest, BoundedRetentionKeepsTotals) {
   EXPECT_EQ(log.total_recorded(), 10u);
   EXPECT_EQ(log.CountOf(EventKind::kBackoffEngaged), 10u);
   EXPECT_DOUBLE_EQ(log.RetainedEvents().front().time_seconds, 6.0);  // oldest retained
+  // Evictions are counted, not silent: retained + dropped always accounts for every
+  // record, and the counter is visible through the metrics bridge below.
+  EXPECT_EQ(log.dropped_events(), 6u);
+  EXPECT_EQ(log.total_recorded(), log.RetainedEvents().size() + log.dropped_events());
+}
+
+TEST(EventLogTest, DroppedEventsBridgeIntoMetricsAndReset) {
+  MetricsRegistry registry;
+  EventLog log(2);
+  log.AttachMetrics(&registry);
+  for (int i = 0; i < 5; ++i) {
+    log.Record(EventKind::kSdcDetected, i, "case");
+  }
+  EXPECT_EQ(log.dropped_events(), 3u);
+  EXPECT_EQ(registry.Snapshot().CounterOr("events.dropped"), 3u);
+  EXPECT_EQ(registry.Snapshot().CounterOr("events.recorded"), 5u);
+  log.Clear();
+  EXPECT_EQ(log.dropped_events(), 0u);
+  EXPECT_EQ(log.total_recorded(), 0u);
 }
 
 TEST(EventLogTest, DumpRendersEveryRetainedEvent) {

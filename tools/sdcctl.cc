@@ -8,6 +8,9 @@
 //                                                     occurrence frequency of one setting
 //   sdcctl protect <cpu_id> [hours]                   Farron lifecycle on one part
 //   sdcctl metrics [processor_count]                  generate+screen, metrics JSON only
+//   sdcctl trace [processor_count]                    generate+screen, trace summary
+//                                                     (per-stage span counts, sim-time
+//                                                     attribution, slowest host spans)
 //
 // Global flags (accepted anywhere on the command line):
 //   --threads N        worker count for the parallel hot paths: fleet generation and
@@ -19,6 +22,10 @@
 //                      snapshot JSON (docs/observability.md) to FILE after the command
 //                      finishes. FILE may be `-` for stdout; the command's human-readable
 //                      output then moves to stderr so stdout is exactly the JSON document.
+//   --trace-out FILE   attach a TraceRecorder to the command's hot paths and write the
+//                      Chrome/Perfetto trace-event JSON (docs/observability.md) to FILE
+//                      after the command finishes. FILE may be `-` for stdout, with the
+//                      same stdout/stderr discipline as --metrics-out.
 //   --stream           run the fleet commands (screen, metrics, export screening) as a
 //                      fused generate->screen shard pass (docs/streaming.md): peak memory
 //                      is O(threads x shard) instead of O(fleet), and every emitted
@@ -51,6 +58,7 @@
 #include "src/report/exporters.h"
 #include "src/telemetry/event_log.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace sdc {
 namespace {
@@ -60,6 +68,8 @@ struct GlobalOptions {
   bool threads_set = false;  // --threads given: sweeps opt into parallel plan entries
   std::string metrics_out;   // --metrics-out target; empty = no metrics export
   MetricsRegistry* metrics = nullptr;  // non-null when a snapshot will be written
+  std::string trace_out;     // --trace-out target; empty = no trace export
+  TraceRecorder* trace = nullptr;  // non-null when a trace will be written or summarized
   bool stream = false;       // --stream: fused streaming pipeline for the fleet commands
   uint64_t processors = 0;   // --processors override for the fleet commands
   bool processors_set = false;
@@ -79,6 +89,7 @@ void ApplyFleetOverrides(PopulationConfig& config, const GlobalOptions& options)
   }
   config.threads = options.threads;
   config.metrics = options.metrics;
+  config.trace = options.trace;
 }
 
 // Generate+screen through either path. Streaming fuses generation and screening into one
@@ -155,6 +166,7 @@ int CmdSweep(const std::string& cpu_id, double seconds_per_case,
   config.parallel_plan_entries = options.threads_set;
   config.threads = options.threads;
   config.metrics = options.metrics;
+  config.trace = options.trace;
   std::cout << "sweeping " << cpu_id << " with " << suite.size() << " testcases at "
             << seconds_per_case << " s/case (hot environment)...\n";
   const RunReport report =
@@ -181,6 +193,7 @@ int CmdScreen(uint64_t processor_count, const GlobalOptions& options) {
   ScreeningConfig screening_config;
   screening_config.threads = options.threads;
   screening_config.metrics = options.metrics;
+  screening_config.trace = options.trace;
   const ScreeningStats stats =
       GenerateAndScreen(population_config, pipeline, screening_config, options.stream);
   TextTable table({"stage", "detections", "rate"});
@@ -207,7 +220,28 @@ int CmdMetrics(uint64_t processor_count, const GlobalOptions& options) {
   ScreeningConfig screening_config;
   screening_config.threads = options.threads;
   screening_config.metrics = options.metrics;
+  screening_config.trace = options.trace;
   (void)GenerateAndScreen(population_config, pipeline, screening_config, options.stream);
+  return 0;
+}
+
+// Generate+screen whose human-readable product is the trace summary: per-category span
+// counts, sim-time attribution, and the slowest host spans. Combine with --trace-out to
+// also export the full Perfetto JSON.
+int CmdTrace(uint64_t processor_count, const GlobalOptions& options) {
+  PopulationConfig population_config;
+  population_config.processor_count = processor_count;
+  ApplyFleetOverrides(population_config, options);
+  const TestSuite suite = TestSuite::BuildFull();
+  ScreeningPipeline pipeline(&suite);
+  ScreeningConfig screening_config;
+  screening_config.threads = options.threads;
+  screening_config.metrics = options.metrics;
+  screening_config.trace = options.trace;
+  const ScreeningStats stats =
+      GenerateAndScreen(population_config, pipeline, screening_config, options.stream);
+  SummarizeTrace(options.trace->Snapshot()).DumpText(std::cout);
+  std::cout << stats.provenance.size() << " detections, each with a provenance record\n";
   return 0;
 }
 
@@ -244,6 +278,7 @@ int CmdProtect(const std::string& cpu_id, double hours, const GlobalOptions& opt
   FaultyMachine machine(info, 7);
   FarronConfig farron_config;
   farron_config.metrics = options.metrics;
+  farron_config.trace = options.trace;
   Farron farron(&suite, &machine, farron_config);
   // Farron's lifecycle events land in the log; with a registry attached the log bridges
   // each kind into an "events.*" counter alongside the protection loop's own metrics.
@@ -291,6 +326,7 @@ int CmdExport(const std::string& what, const GlobalOptions& options) {
     ScreeningConfig screening_config;
     screening_config.threads = options.threads;
     screening_config.metrics = options.metrics;
+    screening_config.trace = options.trace;
     WriteScreeningStatsJson(
         std::cout,
         GenerateAndScreen(population_config, pipeline, screening_config, options.stream));
@@ -313,6 +349,7 @@ int CmdExport(const std::string& what, const GlobalOptions& options) {
     config.parallel_plan_entries = options.threads_set;
     config.threads = options.threads;
     config.metrics = options.metrics;
+    config.trace = options.trace;
     WriteRunReportJson(std::cout,
                        framework.RunPlan(machine, framework.EqualPlan(30.0), config));
     return 0;
@@ -322,10 +359,10 @@ int CmdExport(const std::string& what, const GlobalOptions& options) {
 }
 
 int Usage() {
-  std::cerr << "usage: sdcctl [--threads N] [--metrics-out FILE] [--stream] "
-               "[--processors N] [--seed S]\n"
-               "              <catalog|suite|sweep|screen|frequency|protect|export|metrics> "
-               "[args]\n"
+  std::cerr << "usage: sdcctl [--threads N] [--metrics-out FILE] [--trace-out FILE] "
+               "[--stream] [--processors N] [--seed S]\n"
+               "              <catalog|suite|sweep|screen|frequency|protect|export|metrics"
+               "|trace> [args]\n"
                "  catalog\n"
                "  suite [substring]\n"
                "  sweep <cpu_id> [seconds_per_case=30]\n"
@@ -334,10 +371,14 @@ int Usage() {
                "  protect <cpu_id> [hours=4]\n"
                "  export <catalog|screening|sweep:CPU>   (JSON to stdout)\n"
                "  metrics [processor_count=100000]       (metrics JSON to stdout)\n"
+               "  trace [processor_count=100000]         (trace summary to stdout)\n"
                "  --threads N        workers for generation/screening/sweeps; 0 = hardware\n"
                "                     concurrency; results are identical at any thread count\n"
                "  --metrics-out FILE write the run's metrics snapshot JSON to FILE\n"
                "                     (`-` = stdout; tables then move to stderr)\n"
+               "  --trace-out FILE   write the run's Chrome/Perfetto trace-event JSON to\n"
+               "                     FILE (`-` = stdout, same discipline); load it in\n"
+               "                     ui.perfetto.dev or chrome://tracing\n"
                "  --stream           run the fleet commands (screen, metrics, export\n"
                "                     screening) as one fused generate->screen pass with\n"
                "                     O(threads x shard) peak memory instead of\n"
@@ -384,6 +425,17 @@ int Dispatch(int argc, char** argv, const GlobalOptions& options) {
       count = *parsed;
     }
     return CmdMetrics(count, options);
+  }
+  if (command == "trace") {
+    uint64_t count = 100000;
+    if (argc > 2) {
+      const auto parsed = ParseUint64(argv[2]);
+      if (!parsed.has_value()) {
+        return InvalidOperand("processor_count", argv[2]);
+      }
+      count = *parsed;
+    }
+    return CmdTrace(count, options);
   }
   if (command == "frequency" && argc >= 6) {
     const auto pcore = ParseInt(argv[4]);
@@ -449,6 +501,14 @@ int Main(int argc, char** argv) {
       options.metrics_out = argv[++i];
       continue;
     }
+    if (std::strcmp(argv[i], "--trace-out") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "sdcctl: --trace-out requires an operand\n";
+        return 2;
+      }
+      options.trace_out = argv[++i];
+      continue;
+    }
     if (std::strcmp(argv[i], "--stream") == 0) {
       options.stream = true;
       continue;
@@ -495,10 +555,15 @@ int Main(int argc, char** argv) {
   if (!options.metrics_out.empty()) {
     options.metrics = &registry;
   }
-  // With the snapshot bound for stdout, human-readable output moves to stderr so stdout
-  // carries exactly one JSON document.
+  // The `trace` summary command needs a recorder even without an export target.
+  TraceRecorder trace_recorder;
+  if (!options.trace_out.empty() || std::strcmp(argv[1], "trace") == 0) {
+    options.trace = &trace_recorder;
+  }
+  // With a snapshot bound for stdout, human-readable output moves to stderr so stdout
+  // carries exactly the JSON document(s).
   std::streambuf* saved_cout = nullptr;
-  if (options.metrics_out == "-") {
+  if (options.metrics_out == "-" || options.trace_out == "-") {
     saved_cout = std::cout.rdbuf(std::cerr.rdbuf());
   }
   const int status = Dispatch(argc, argv, options);
@@ -517,6 +582,21 @@ int Main(int argc, char** argv) {
         return 1;
       }
       WriteMetricsJson(out, registry.Snapshot());
+      out << "\n";
+    }
+  }
+  if (!options.trace_out.empty() && status == 0) {
+    if (options.trace_out == "-") {
+      WriteTraceJson(std::cout, trace_recorder.Snapshot());
+      std::cout << "\n";
+    } else {
+      std::ofstream out(options.trace_out);
+      if (!out) {
+        std::cerr << "sdcctl: cannot open trace output file: " << options.trace_out
+                  << "\n";
+        return 1;
+      }
+      WriteTraceJson(out, trace_recorder.Snapshot());
       out << "\n";
     }
   }

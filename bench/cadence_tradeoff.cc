@@ -4,11 +4,12 @@
 // sits undetected in production and (b) the testing overhead that cadence costs under the
 // baseline's 10.55 h rounds and under Farron's prioritized ~1 h rounds.
 //
-// Runs on the streaming shard pipeline (docs/streaming.md): each period's sweep is one
-// fused generate->screen pass with a WearoutExposureObserver deriving the exposure
-// windows shard by shard, so the 400k-processor fleet is never materialized. The records
-// are identical to the old materialized fleet.DefectsOf scan (tests/stream_test.cc pins
-// that equivalence bitwise).
+// Runs as ONE batched fused generate->screen pass (docs/performance.md): the four
+// cadences form a ScenarioBatch, so the 400k-processor fleet is generated and scanned
+// once instead of once per period, with a per-scenario WearoutExposureObserver deriving
+// each cadence's exposure windows shard by shard -- the fleet is never materialized. The
+// records are identical to four independent passes (tests/stream_test.cc pins the
+// batched/independent equivalence bitwise).
 
 #include <iostream>
 #include <vector>
@@ -31,18 +32,27 @@ int main() {
   const TestSuite suite = TestSuite::BuildFull();
   ScreeningPipeline pipeline(&suite);
 
-  TextTable table({"period (months)", "regular detections", "mean exposure (months)",
-                   "baseline test overhead", "Farron test overhead"});
-  for (double period : {1.0, 2.0, 3.0, 6.0}) {
+  const std::vector<double> periods = {1.0, 2.0, 3.0, 6.0};
+  ScenarioBatch batch;
+  for (double period : periods) {
     ScreeningConfig config;
     config.regular_period_months = period;
-    StreamingScreen screen(&pipeline, config);
-    WearoutExposureObserver exposure;
-    screen.AddObserver(&exposure);
-    stream.Drive({&screen});
+    batch.scenarios.push_back(config);
+  }
+  StreamingScreen screen(&pipeline, batch);
+  std::vector<WearoutExposureObserver> exposure(periods.size());
+  for (size_t k = 0; k < periods.size(); ++k) {
+    screen.AddObserver(&exposure[k], k);
+  }
+  stream.Drive({&screen});
+
+  TextTable table({"period (months)", "regular detections", "mean exposure (months)",
+                   "baseline test overhead", "Farron test overhead"});
+  for (size_t k = 0; k < periods.size(); ++k) {
+    const double period = periods[k];
     std::vector<double> exposures;
-    exposures.reserve(exposure.exposures().size());
-    for (const WearoutExposure& record : exposure.exposures()) {
+    exposures.reserve(exposure[k].exposures().size());
+    for (const WearoutExposure& record : exposure[k].exposures()) {
       exposures.push_back(record.exposure_months());
     }
     const double period_seconds = period * 30.44 * 24.0 * 3600.0;

@@ -15,6 +15,19 @@
 // exits non-zero on any divergence; the closing "summary" line reports the
 // cached-vs-reference screening speedup at one thread.
 //
+// Two more row families cover the batched engine and the SIMD clean path
+// (docs/performance.md):
+//   "screen_scalar" -- the cached model with ScreeningConfig::simd pinned to the scalar
+//                      fallback, so the vector kernel's contribution is measurable.
+//   "screen_batch"  -- ScreeningPipeline::RunBatch over K in {1,2,4,8} scenarios
+//                      (seeds 77+k, periods cycling {3,1,2,6} months) at 1/2/8 threads;
+//                      the figure of merit is ns_per_processor_scenario =
+//                      wall * 1e9 / (processors * K). The binary asserts every batched
+//                      slot is bitwise identical to that scenario's independent run.
+// The leading "env" line records the resolved SIMD level, whether the build compiled the
+// vector kernels out (-DSDC_FORCE_SCALAR), and the host's hardware thread count, so
+// checked-in results are interpretable.
+//
 // Usage: micro_screening [processor_count] [repeats]
 // Defaults: 1,000,000 processors, best-of-5. CI smoke runs use a small count.
 
@@ -24,7 +37,10 @@
 #include <cstdio>
 #include <cstring>
 #include <functional>
+#include <thread>
+#include <vector>
 
+#include "src/common/simd.h"
 #include "src/fleet/pipeline.h"
 #include "src/fleet/population.h"
 #include "src/toolchain/registry.h"
@@ -55,6 +71,28 @@ void EmitJson(const char* phase, const char* model, int threads, double wall_sec
   std::fflush(stdout);
 }
 
+void EmitBatchJson(int threads, int k_count, double wall_seconds, uint64_t processors) {
+  const double ns_per_processor_scenario =
+      wall_seconds * 1e9 /
+      (static_cast<double>(processors) * static_cast<double>(k_count));
+  std::printf("{\"bench\": \"screen_batch\", \"model\": \"cached\", \"threads\": %d, "
+              "\"k\": %d, \"processors\": %llu, \"wall_seconds\": %.6f, "
+              "\"ns_per_processor_scenario\": %.2f}\n",
+              threads, k_count, static_cast<unsigned long long>(processors), wall_seconds,
+              ns_per_processor_scenario);
+  std::fflush(stdout);
+}
+
+// Scenario k of the bench batch: distinct seed and cadence so the batched pass cannot
+// cheat by sharing per-scenario state (the same spread the equivalence tests use).
+ScreeningConfig BatchScenario(int k) {
+  static constexpr double kPeriods[] = {3.0, 1.0, 2.0, 6.0};
+  ScreeningConfig config;
+  config.seed = 77 + static_cast<uint64_t>(k);
+  config.regular_period_months = kPeriods[k % 4];
+  return config;
+}
+
 // Bitwise equality of two screening results: every counter and every detection,
 // including the exact bit pattern of the detection-month doubles.
 bool IdenticalStats(const ScreeningStats& a, const ScreeningStats& b) {
@@ -83,11 +121,25 @@ int Main(int argc, char** argv) {
   std::printf("# micro_screening: %llu processors, best of %d\n",
               static_cast<unsigned long long>(processors), repeats);
 
+  std::printf("{\"bench\": \"env\", \"simd\": \"%s\", \"forced_scalar\": %s, "
+              "\"hardware_threads\": %u}\n",
+              SimdLevelName(ResolveSimdLevel(SimdLevel::kAuto)).c_str(),
+#if defined(SDC_FORCE_SCALAR)
+              "true",
+#else
+              "false",
+#endif
+              std::thread::hardware_concurrency());
+  std::fflush(stdout);
+
   const TestSuite suite = TestSuite::BuildFull();
   ScreeningPipeline pipeline(&suite);
   bool deterministic = true;
   double cached_screen_t1 = 0.0;
   double reference_screen_t1 = 0.0;
+  double scalar_screen_t1 = 0.0;
+  double batch_k1_t1 = 0.0;
+  double batch_k8_t1 = 0.0;
 
   // Ground truth for the determinism assertion: the cached model at one thread.
   ScreeningStats golden;
@@ -132,16 +184,67 @@ int Main(int argc, char** argv) {
       });
       EmitJson("generate_screen", model, threads, both_wall, processors);
     }
+
+    // The same cached screen with the vector kernel pinned off: the delta against the
+    // "screen" row above is the SIMD clean-path contribution. Output must not move a bit.
+    ScreeningConfig scalar_config;
+    scalar_config.threads = threads;
+    scalar_config.simd = SimdLevel::kScalar;
+    deterministic &= IdenticalStats(golden, pipeline.Run(fleet, scalar_config));
+    const double scalar_wall = BestWallSeconds(repeats, [&] {
+      (void)pipeline.Run(fleet, scalar_config);
+    });
+    EmitJson("screen_scalar", "cached", threads, scalar_wall, processors);
+    if (threads == 1) {
+      scalar_screen_t1 = scalar_wall;
+    }
+
+    // Batched engine: one pass over the fleet for K scenarios. Every slot must be
+    // bitwise identical to that scenario's independent run before timing means anything.
+    for (const int k_count : {1, 2, 4, 8}) {
+      ScenarioBatch batch;
+      batch.threads = threads;
+      for (int k = 0; k < k_count; ++k) {
+        batch.scenarios.push_back(BatchScenario(k));
+      }
+      const std::vector<ScreeningStats> batched = pipeline.RunBatch(fleet, batch);
+      for (int k = 0; k < k_count; ++k) {
+        ScreeningConfig independent = batch.scenarios[static_cast<size_t>(k)];
+        independent.threads = threads;
+        deterministic &=
+            IdenticalStats(batched[static_cast<size_t>(k)], pipeline.Run(fleet, independent));
+      }
+      const double batch_wall = BestWallSeconds(repeats, [&] {
+        (void)pipeline.RunBatch(fleet, batch);
+      });
+      EmitBatchJson(threads, k_count, batch_wall, processors);
+      if (threads == 1 && k_count == 1) {
+        batch_k1_t1 = batch_wall;
+      }
+      if (threads == 1 && k_count == 8) {
+        batch_k8_t1 = batch_wall;
+      }
+    }
   }
 
   const double speedup =
       cached_screen_t1 > 0.0 ? reference_screen_t1 / cached_screen_t1 : 0.0;
+  // How much one batched pass beats K independent passes: K * wall(K=1) / wall(K=8),
+  // both at one thread. The SIMD speedup compares the auto-dispatched clean path to the
+  // scalar fallback (~1.0 by construction in -DSDC_FORCE_SCALAR builds).
+  const double batch_amortization =
+      batch_k8_t1 > 0.0 ? 8.0 * batch_k1_t1 / batch_k8_t1 : 0.0;
+  const double simd_speedup =
+      cached_screen_t1 > 0.0 ? scalar_screen_t1 / cached_screen_t1 : 0.0;
   std::printf("{\"bench\": \"summary\", \"screen_speedup_cached_vs_reference\": %.2f, "
+              "\"batch_amortization_k8\": %.2f, \"screen_simd_speedup\": %.2f, "
               "\"deterministic\": %s}\n",
-              speedup, deterministic ? "true" : "false");
+              speedup, batch_amortization, simd_speedup,
+              deterministic ? "true" : "false");
   if (!deterministic) {
     std::fprintf(stderr,
-                 "FAIL: cached and reference models diverged (see docs/performance.md)\n");
+                 "FAIL: model/scalar/batch paths diverged from the golden run "
+                 "(see docs/performance.md)\n");
     return 1;
   }
   return 0;

@@ -1,0 +1,60 @@
+// Portable SIMD kernels for the packed-byte-column hot paths (docs/performance.md).
+//
+// The screening clean-path scan reduces to one primitive: count, for every value v below
+// a small bound, how many bytes of a column equal v. CountBytesByValue implements that
+// primitive with vector compare + accumulate (SSE2/AVX2 on x86-64, NEON on aarch64) and a
+// scalar fallback; all implementations produce the same exact integer counts, so picking
+// a level is purely a speed decision and never a behavior change -- the determinism
+// contract of docs/parallelism.md is untouched by dispatch.
+//
+// Dispatch layers, strongest wins:
+//   1. -DSDC_FORCE_SCALAR (CMake option SDC_FORCE_SCALAR) pins every call to the scalar
+//      path at compile time -- the CI matrix leg that proves the fallback end-to-end.
+//   2. The SDC_SIMD environment variable ("scalar", "sse2", "avx2", "neon", "auto")
+//      overrides whatever the caller requested, clamped to what the host supports.
+//   3. The caller's requested level (e.g. ScreeningConfig::simd), kAuto meaning "best
+//      supported". Requests above the host's capability clamp down, never fault.
+
+#ifndef SDC_SRC_COMMON_SIMD_H_
+#define SDC_SRC_COMMON_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace sdc {
+
+enum class SimdLevel {
+  kAuto = 0,  // resolve to the best supported level
+  kScalar,
+  kSSE2,
+  kAVX2,
+  kNEON,
+};
+
+// Display name ("auto", "scalar", "sse2", "avx2", "neon").
+std::string SimdLevelName(SimdLevel level);
+
+// Parses a SimdLevel name; returns kAuto for unrecognized text.
+SimdLevel ParseSimdLevel(const std::string& name);
+
+// Best level this binary can execute on this host (CPUID-checked on x86-64, detected
+// once). kScalar when built with SDC_FORCE_SCALAR.
+SimdLevel BestSupportedSimdLevel();
+
+// Resolves a requested level against the environment and the host: SDC_SIMD (when set to
+// a recognized name) replaces `requested`; kAuto then maps to BestSupportedSimdLevel()
+// and anything the host cannot execute clamps down to the best supported level.
+SimdLevel ResolveSimdLevel(SimdLevel requested);
+
+// counts[v] += number of bytes in [data, data + size) equal to v, for v in
+// [0, bucket_count). Every byte must be < bucket_count (the screening columns guarantee
+// arch bytes < kArchCount); bucket_count must be in [1, 256]. `level` kAuto resolves via
+// ResolveSimdLevel; any level yields bit-identical counts. Alignment-agnostic: unaligned
+// begins and tails shorter than the vector width take the scalar epilogue.
+void CountBytesByValue(const uint8_t* data, size_t size, int bucket_count,
+                       uint64_t* counts, SimdLevel level = SimdLevel::kAuto);
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_COMMON_SIMD_H_

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <iterator>
 #include <numeric>
 #include <utility>
 
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
+#include "src/common/simd.h"
 #include "src/telemetry/metrics.h"
 
 namespace sdc {
@@ -167,6 +169,26 @@ double ExpectedErrorsWithMatching(const Defect& defect, const StageParams& stage
   return expected;
 }
 
+// The per-(defect, stage) survive factors 1 - catch_factor * (1 - exp(-E)). They are a
+// function of the defect, the stage parameters, and the core count only -- never of the
+// scenario's seed, cadence, horizon, or grouping -- so the batched kernel computes one
+// table per group of scenarios with bit-identical stage parameters. The expressions
+// mirror ScreenProcessorReference exactly (same helper, same term shape), which keeps
+// the cached doubles bitwise equal to what the reference computes.
+void ComputeSurviveTerms(std::span<const Defect> defects, std::span<const int> matching,
+                         const std::array<StageParams, kStageCount>& stages, int pcores,
+                         std::span<std::array<double, kStageCount>> terms) {
+  for (size_t d = 0; d < defects.size(); ++d) {
+    for (int stage = 0; stage < kStageCount; ++stage) {
+      const StageParams& params = stages[static_cast<size_t>(stage)];
+      const double expected =
+          ExpectedErrorsWithMatching(defects[d], params, pcores, matching[d]);
+      terms[d][static_cast<size_t>(stage)] =
+          1.0 - params.catch_factor * (1.0 - std::exp(-expected));
+    }
+  }
+}
+
 // Per-stage pass/fail/SDC counters for one shard, derived from the shard's private stats
 // so the hot per-processor loop never touches a metric map.
 MetricsDelta DeltaFromShardStats(const ScreeningStats& stats) {
@@ -223,6 +245,81 @@ DetectionProvenance ProvenanceOf(uint64_t serial, int arch_index,
     }
   }
   return record;
+}
+
+// The scenario-dependent half of the memoized faulty-part model: the probe schedule and
+// its RNG draws. survive_terms / sorted_onsets are precomputed by the caller, so the
+// batched kernel pays for them once per scenario *group* (ComputeSurviveTerms) and once
+// per part (the onsets), not once per scenario.
+void ReplayFaultyProbes(uint64_t serial, int arch_index, std::span<const Defect> defects,
+                        std::span<const std::array<double, kStageCount>> survive_terms,
+                        std::span<const double> sorted_onsets,
+                        const ScreeningConfig& config, Rng& rng, ScreeningStats& stats) {
+  const size_t defect_count = defects.size();
+  // Survive product over the defects active at the probe age, folded in storage order
+  // (the same order the reference multiplies in, so the product rounds identically).
+  auto probability_at = [&](int stage, double age_months) {
+    double survive = 1.0;
+    for (size_t d = 0; d < defect_count; ++d) {
+      if (defects[d].onset_months > age_months) {
+        continue;  // not yet developed
+      }
+      survive *= survive_terms[d][static_cast<size_t>(stage)];
+    }
+    return 1.0 - survive;
+  };
+
+  bool detected = false;
+  TestStage detected_stage = TestStage::kFactory;
+  double detected_month = 0.0;
+  const TestStage pre_production[] = {TestStage::kFactory, TestStage::kDatacenter,
+                                      TestStage::kReinstall};
+  for (TestStage stage : pre_production) {
+    if (rng.NextBernoulli(probability_at(static_cast<int>(stage), 0.0))) {
+      detected = true;
+      detected_stage = stage;
+      break;
+    }
+  }
+  if (!detected) {
+    // Onset-gated regular rounds: defect onsets sorted ascending gate when the cached
+    // probability must be re-derived; cycles between onset crossings reuse it untouched.
+    const int groups = config.regular_groups < 1 ? 1 : config.regular_groups;
+    const double offset = config.regular_period_months *
+                          static_cast<double>(RegularGroupOf(serial, config)) /
+                          static_cast<double>(groups);
+    size_t active = 0;
+    double probability = 0.0;
+    bool stale = true;
+    for (int cycle = 1;; ++cycle) {
+      const double month =
+          static_cast<double>(cycle) * config.regular_period_months + offset;
+      if (month > config.horizon_months) {
+        break;
+      }
+      while (active < defect_count && sorted_onsets[active] <= month) {
+        ++active;
+        stale = true;
+      }
+      if (stale) {
+        probability = probability_at(static_cast<int>(TestStage::kRegular), month);
+        stale = false;
+      }
+      if (rng.NextBernoulli(probability)) {
+        detected = true;
+        detected_stage = TestStage::kRegular;
+        detected_month = month;
+        break;
+      }
+    }
+  }
+  if (detected) {
+    ++stats.detected_by_stage[static_cast<int>(detected_stage)];
+    ++stats.detected_by_arch[arch_index];
+    stats.detections.push_back({serial, arch_index, true, detected_stage, detected_month});
+    stats.provenance.push_back(ProvenanceOf(serial, arch_index, defects, config,
+                                            detected_stage, detected_month));
+  }
 }
 
 // Shared epilogue of the screening kernel's two model paths: stamps the shard identity
@@ -292,7 +389,7 @@ FleetProcessorView ScreeningShardView::processor(uint64_t serial) const {
 void ScreeningPipeline::ScreenShardRange(const ScreeningShardView& view,
                                          const ScreeningConfig& config,
                                          const std::array<ProcessorSpec, kArchCount>& arch_specs,
-                                         uint64_t sub_shard, Rng& rng,
+                                         uint64_t sub_shard, SimdLevel simd, Rng& rng,
                                          ScreeningStats& stats, TraceDelta* trace) const {
   const size_t first_detection = stats.detections.size();
   const uint64_t faulty_before = stats.faulty;
@@ -303,28 +400,16 @@ void ScreeningPipeline::ScreenShardRange(const ScreeningShardView& view,
     FinishShardRange(view, sub_shard, first_detection, faulty_before, stats, trace);
     return;
   }
-  // Clean-processor fast path: the shard's tested counters come from a sequential scan of
-  // the packed arch bytes; the detection model only ever runs for the (rare) faulty
-  // parts, located via the sorted faulty-serial index.
+  // Clean-processor fast path: the shard's tested counters come from a vectorized scan of
+  // the packed arch bytes (src/common/simd.h -- any level yields the same exact counts);
+  // the detection model only ever runs for the (rare) faulty parts, located via the
+  // sorted faulty-serial index.
   stats.tested += view.end - view.begin;
-  const std::span<const uint8_t> arch_bytes = view.arch_bytes;
-  const uint64_t base = view.column_base;
-  // Four interleaved sub-histograms keep the counter increments out of each other's
-  // store-to-load dependency chains (~4x over the naive scan here).
-  uint64_t hist[4][kArchCount] = {};
-  uint64_t serial = view.begin;
-  for (; serial + 4 <= view.end; serial += 4) {
-    ++hist[0][arch_bytes[serial - base]];
-    ++hist[1][arch_bytes[serial + 1 - base]];
-    ++hist[2][arch_bytes[serial + 2 - base]];
-    ++hist[3][arch_bytes[serial + 3 - base]];
-  }
-  for (; serial < view.end; ++serial) {
-    ++hist[0][arch_bytes[serial - base]];
-  }
+  uint64_t hist[kArchCount] = {};
+  CountBytesByValue(view.arch_bytes.data() + (view.begin - view.column_base),
+                    view.end - view.begin, kArchCount, hist, simd);
   for (int arch = 0; arch < kArchCount; ++arch) {
-    stats.tested_by_arch[static_cast<size_t>(arch)] +=
-        hist[0][arch] + hist[1][arch] + hist[2][arch] + hist[3][arch];
+    stats.tested_by_arch[static_cast<size_t>(arch)] += hist[arch];
   }
   const auto first = std::lower_bound(view.faulty_serials.begin(),
                                       view.faulty_serials.end(), view.begin);
@@ -345,6 +430,128 @@ void ScreeningPipeline::ScreenShardRange(const ScreeningShardView& view,
   FinishShardRange(view, sub_shard, first_detection, faulty_before, stats, trace);
 }
 
+void ScreeningPipeline::ScreenShardRangeBatch(
+    const ScreeningShardView& view, std::span<const ScreeningConfig> scenarios,
+    const std::array<ProcessorSpec, kArchCount>& arch_specs, uint64_t sub_shard,
+    SimdLevel simd, std::span<Rng> rngs, std::span<ScreeningStats> stats,
+    std::span<TraceDelta* const> traces) const {
+  const size_t k_count = scenarios.size();
+  // Reference-model scenarios replay the per-processor oracle on their own; in streaming
+  // mode they still ride the shared generation pass. Cached scenarios share the work
+  // below.
+  bool any_cached = false;
+  for (size_t k = 0; k < k_count; ++k) {
+    if (scenarios[k].use_reference_model) {
+      ScreenShardRange(view, scenarios[k], arch_specs, sub_shard, simd, rngs[k], stats[k],
+                       traces[k]);
+    } else {
+      any_cached = true;
+    }
+  }
+  if (!any_cached) {
+    return;
+  }
+
+  // Scenario-invariant work, paid once for the whole batch: the clean-path arch
+  // histogram and the faulty-range lookup.
+  uint64_t hist[kArchCount] = {};
+  CountBytesByValue(view.arch_bytes.data() + (view.begin - view.column_base),
+                    view.end - view.begin, kArchCount, hist, simd);
+  const auto first = std::lower_bound(view.faulty_serials.begin(),
+                                      view.faulty_serials.end(), view.begin);
+  const auto last = std::lower_bound(first, view.faulty_serials.end(), view.end);
+  const size_t shard_faulty = static_cast<size_t>(last - first);
+
+  std::vector<size_t> first_detection(k_count);
+  std::vector<uint64_t> faulty_before(k_count);
+  for (size_t k = 0; k < k_count; ++k) {
+    if (scenarios[k].use_reference_model) {
+      continue;
+    }
+    first_detection[k] = stats[k].detections.size();
+    faulty_before[k] = stats[k].faulty;
+    stats[k].tested += view.end - view.begin;
+    for (int arch = 0; arch < kArchCount; ++arch) {
+      stats[k].tested_by_arch[static_cast<size_t>(arch)] += hist[arch];
+    }
+    stats[k].detections.reserve(stats[k].detections.size() + shard_faulty);
+  }
+
+  // Scenarios whose stage parameters are bit-identical share one survive-term table per
+  // faulty part (the terms are a function of defect/stages/cores only -- see
+  // ComputeSurviveTerms). Compared bitwise, not with ==: only bit-identical parameters
+  // guarantee bit-identical terms, and byte-identity with the independent runs is the
+  // contract. Seed/cadence/horizon sweeps all land in one group.
+  std::vector<size_t> group_of(k_count, 0);
+  std::vector<size_t> group_rep;
+  for (size_t k = 0; k < k_count; ++k) {
+    if (scenarios[k].use_reference_model) {
+      continue;
+    }
+    size_t g = 0;
+    while (g < group_rep.size() &&
+           std::memcmp(&scenarios[group_rep[g]].stages, &scenarios[k].stages,
+                       sizeof(scenarios[k].stages)) != 0) {
+      ++g;
+    }
+    if (g == group_rep.size()) {
+      group_rep.push_back(k);
+    }
+    group_of[k] = g;
+  }
+
+  // Faulty-major loop: the suite-matching memo, the sorted onsets, and each group's
+  // survive-term table are computed once per part and replayed under every cached
+  // scenario -- only the probe schedule itself is per-scenario work. Scenario k consumes
+  // only rngs[k], in ascending serial order -- exactly the draw sequence its independent
+  // run makes, which is what keeps every batched slot byte-identical.
+  std::vector<int> matching;
+  std::vector<double> sorted_onsets;
+  std::vector<std::vector<std::array<double, kStageCount>>> group_terms(group_rep.size());
+  for (auto it = first; it != last; ++it) {
+    const uint64_t faulty_serial = *it;
+    const bool detectable = view.toolchain_detectable(faulty_serial);
+    const int arch_index = view.arch_index(faulty_serial);
+    const size_t ordinal = static_cast<size_t>(it - view.faulty_serials.begin());
+    const std::span<const Defect> defects = view.FaultyDefects(ordinal);
+    if (detectable) {
+      matching.resize(defects.size());
+      for (size_t d = 0; d < defects.size(); ++d) {
+        matching[d] = MatchingTestcases(defects[d]);
+      }
+      sorted_onsets.resize(defects.size());
+      for (size_t d = 0; d < defects.size(); ++d) {
+        sorted_onsets[d] = defects[d].onset_months;
+      }
+      std::sort(sorted_onsets.begin(), sorted_onsets.end());
+      const int pcores = arch_specs[static_cast<size_t>(arch_index)].physical_cores;
+      for (size_t g = 0; g < group_rep.size(); ++g) {
+        group_terms[g].resize(defects.size());
+        ComputeSurviveTerms(defects, matching, scenarios[group_rep[g]].stages, pcores,
+                            group_terms[g]);
+      }
+    }
+    for (size_t k = 0; k < k_count; ++k) {
+      if (scenarios[k].use_reference_model) {
+        continue;
+      }
+      ++stats[k].faulty;
+      if (!detectable) {
+        continue;  // escapes every stage (Section 2.3's false negatives)
+      }
+      ReplayFaultyProbes(faulty_serial, arch_index, defects, group_terms[group_of[k]],
+                         sorted_onsets, scenarios[k], rngs[k], stats[k]);
+    }
+  }
+  for (size_t k = 0; k < k_count; ++k) {
+    if (scenarios[k].use_reference_model) {
+      continue;
+    }
+    FinishShardRange(view, sub_shard, first_detection[k], faulty_before[k], stats[k],
+                     traces[k]);
+  }
+}
+
 ScreeningStats ScreeningPipeline::Run(const FleetPopulation& fleet,
                                       const ScreeningConfig& config) const {
   const Rng base(config.seed);
@@ -352,6 +559,7 @@ ScreeningStats ScreeningPipeline::Run(const FleetPopulation& fleet,
   TraceRecorder::ScopedHostSpan run_span(config.trace, "screening.run", "screen",
                                          kTraceTrackScreen);
   ThreadPool pool(config.threads);
+  const SimdLevel simd = ResolveSimdLevel(config.simd);
 
   // Satellite of the memoization work: the per-arch hardware model is invariant across the
   // fleet, so it is materialized once per Run instead of once per faulty processor.
@@ -385,7 +593,7 @@ ScreeningStats ScreeningPipeline::Run(const FleetPopulation& fleet,
         view.begin = begin;
         view.end = end;
         Rng rng = base.Fork(shard);
-        ScreenShardRange(view, config, arch_specs, shard, rng, result.stats,
+        ScreenShardRange(view, config, arch_specs, shard, simd, rng, result.stats,
                          config.trace != nullptr ? &result.trace : nullptr);
         if (config.metrics != nullptr) {
           result.delta = DeltaFromShardStats(result.stats);
@@ -409,100 +617,167 @@ ScreeningStats ScreeningPipeline::Run(const FleetPopulation& fleet,
   return std::move(total.stats);
 }
 
+std::vector<ScreeningStats> ScreeningPipeline::RunBatch(const FleetPopulation& fleet,
+                                                        const ScenarioBatch& batch) const {
+  const size_t k_count = batch.scenarios.size();
+  if (k_count == 0) {
+    return {};
+  }
+  const auto run_start = std::chrono::steady_clock::now();
+  ThreadPool pool(batch.threads);
+  // The shared clean-path scan uses the first cached scenario's resolved level; every
+  // level produces the same exact counts (src/common/simd.h), so this choice is
+  // observable only in wall-clock time.
+  SimdLevel simd = SimdLevel::kAuto;
+  for (const ScreeningConfig& scenario : batch.scenarios) {
+    if (!scenario.use_reference_model) {
+      simd = scenario.simd;
+      break;
+    }
+  }
+  simd = ResolveSimdLevel(simd);
+
+  std::array<ProcessorSpec, kArchCount> arch_specs;
+  for (int arch = 0; arch < kArchCount; ++arch) {
+    arch_specs[static_cast<size_t>(arch)] = MakeArchSpec(arch);
+  }
+
+  ScreeningShardView fleet_view;
+  fleet_view.column_base = 0;
+  fleet_view.arch_bytes = fleet.arch_bytes();
+  fleet_view.flag_bytes = fleet.flag_bytes();
+  fleet_view.faulty_serials = fleet.faulty_serials();
+  fleet_view.faulty_ranges = fleet.faulty_ranges();
+  fleet_view.defects = fleet.defect_arena();
+
+  // One base RNG per scenario; shard s of scenario k draws from bases[k].Fork(s) -- the
+  // stream an independent Run of scenarios[k] would fork for the same serials.
+  std::vector<Rng> bases;
+  bases.reserve(k_count);
+  for (const ScreeningConfig& scenario : batch.scenarios) {
+    bases.emplace_back(scenario.seed);
+  }
+
+  // One slot per scenario travels through the ordered reduce, so each scenario's metric
+  // sink sees exactly the per-shard deltas its independent run would, in shard order.
+  struct ShardResult {
+    std::vector<ScreeningStats> stats;
+    std::vector<MetricsDelta> deltas;
+    std::vector<TraceDelta> traces;
+  };
+  ShardResult accumulator;
+  accumulator.stats.resize(k_count);
+  accumulator.deltas.resize(k_count);
+  accumulator.traces.resize(k_count);
+  ShardResult total = pool.ParallelReduce<ShardResult>(
+      0, fleet.size(), kScreeningShardGrain, std::move(accumulator),
+      [&](uint64_t shard, uint64_t begin, uint64_t end) {
+        const auto shard_start = std::chrono::steady_clock::now();
+        ShardResult result;
+        result.stats.resize(k_count);
+        result.deltas.resize(k_count);
+        result.traces.resize(k_count);
+        ScreeningShardView view = fleet_view;
+        view.begin = begin;
+        view.end = end;
+        std::vector<Rng> rngs;
+        rngs.reserve(k_count);
+        std::vector<TraceDelta*> traces(k_count, nullptr);
+        for (size_t k = 0; k < k_count; ++k) {
+          rngs.push_back(bases[k].Fork(shard));
+          if (batch.scenarios[k].trace != nullptr) {
+            traces[k] = &result.traces[k];
+          }
+        }
+        ScreenShardRangeBatch(view, batch.scenarios, arch_specs, shard, simd, rngs,
+                              result.stats, traces);
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - shard_start;
+        for (size_t k = 0; k < k_count; ++k) {
+          if (batch.scenarios[k].metrics != nullptr) {
+            result.deltas[k] = DeltaFromShardStats(result.stats[k]);
+            batch.scenarios[k].metrics->RecordTimerSeconds("screening.shard.wall",
+                                                           elapsed.count());
+          }
+        }
+        return result;
+      },
+      [](ShardResult& acc, ShardResult& shard_result) {
+        for (size_t k = 0; k < acc.stats.size(); ++k) {
+          acc.stats[k].MergeFrom(std::move(shard_result.stats[k]));
+          acc.deltas[k].MergeFrom(shard_result.deltas[k]);
+          acc.traces[k].MergeFrom(std::move(shard_result.traces[k]));
+        }
+      });
+  const std::chrono::duration<double> run_elapsed =
+      std::chrono::steady_clock::now() - run_start;
+  for (size_t k = 0; k < k_count; ++k) {
+    if (batch.scenarios[k].metrics != nullptr) {
+      batch.scenarios[k].metrics->MergeDelta(total.deltas[k]);
+      batch.scenarios[k].metrics->RecordTimerSeconds("screening.run.wall",
+                                                     run_elapsed.count());
+    }
+    if (batch.scenarios[k].trace != nullptr) {
+      batch.scenarios[k].trace->MergeDelta(std::move(total.traces[k]));
+    }
+  }
+  return std::move(total.stats);
+}
+
 void ScreeningPipeline::ScreenFaultyProcessor(uint64_t serial, int arch_index,
                                               std::span<const Defect> defects,
                                               const ScreeningConfig& config,
                                               int physical_cores, Rng& rng,
                                               ScreeningStats& stats) const {
-  const size_t defect_count = defects.size();
+  // The suite-matching counts are scenario-invariant; the single-scenario path computes
+  // them inline while the batched kernel hoists them across K scenarios. Same integers
+  // either way.
+  int matching_stack[8];
+  std::vector<int> matching_heap;
+  std::span<int> matching;
+  if (defects.size() <= std::size(matching_stack)) {
+    matching = std::span<int>(matching_stack, defects.size());
+  } else {
+    matching_heap.resize(defects.size());
+    matching = matching_heap;
+  }
+  for (size_t d = 0; d < defects.size(); ++d) {
+    matching[d] = MatchingTestcases(defects[d]);
+  }
+  ScreenFaultyProcessorWithMatching(serial, arch_index, defects, matching, config,
+                                    physical_cores, rng, stats);
+}
+
+void ScreeningPipeline::ScreenFaultyProcessorWithMatching(
+    uint64_t serial, int arch_index, std::span<const Defect> defects,
+    std::span<const int> matching, const ScreeningConfig& config, int physical_cores,
+    Rng& rng, ScreeningStats& stats) const {
   // Memoized detection model: MatchingTestcases is stage-invariant (one suite scan per
-  // defect instead of one per probe) and the per-stage survive factor
-  // 1 - catch_factor * (1 - exp(-E)) is probe-invariant, so every probe below is a table
-  // lookup. The expressions mirror ScreenProcessorReference exactly -- same helper, same
-  // term shape -- so the cached doubles are bitwise equal to what the reference computes.
-  std::vector<std::array<double, kStageCount>> survive_terms(defect_count);
-  for (size_t d = 0; d < defect_count; ++d) {
-    const Defect& defect = defects[d];
-    const int matching = MatchingTestcases(defect);
-    for (int stage = 0; stage < kStageCount; ++stage) {
-      const StageParams& params = config.stages[static_cast<size_t>(stage)];
-      const double expected =
-          ExpectedErrorsWithMatching(defect, params, physical_cores, matching);
-      survive_terms[d][static_cast<size_t>(stage)] =
-          1.0 - params.catch_factor * (1.0 - std::exp(-expected));
-    }
+  // defect instead of one per probe) and the per-stage survive factor is probe-invariant
+  // (ComputeSurviveTerms), so every probe in the replay is a table lookup. Nearly every
+  // faulty part carries a handful of defects, so the tables live on the stack.
+  std::array<double, kStageCount> terms_stack[8];
+  double onsets_stack[8];
+  std::vector<std::array<double, kStageCount>> terms_heap;
+  std::vector<double> onsets_heap;
+  std::span<std::array<double, kStageCount>> survive_terms;
+  std::span<double> sorted_onsets;
+  if (defects.size() <= std::size(terms_stack)) {
+    survive_terms = std::span(terms_stack, defects.size());
+    sorted_onsets = std::span(onsets_stack, defects.size());
+  } else {
+    terms_heap.resize(defects.size());
+    onsets_heap.resize(defects.size());
+    survive_terms = terms_heap;
+    sorted_onsets = onsets_heap;
   }
-
-  // Survive product over the defects active at age 0, folded in storage order (the same
-  // order the reference multiplies in, so the product rounds identically).
-  auto probability_at = [&](int stage, double age_months) {
-    double survive = 1.0;
-    for (size_t d = 0; d < defect_count; ++d) {
-      if (defects[d].onset_months > age_months) {
-        continue;  // not yet developed
-      }
-      survive *= survive_terms[d][static_cast<size_t>(stage)];
-    }
-    return 1.0 - survive;
-  };
-
-  bool detected = false;
-  TestStage detected_stage = TestStage::kFactory;
-  double detected_month = 0.0;
-  const TestStage pre_production[] = {TestStage::kFactory, TestStage::kDatacenter,
-                                      TestStage::kReinstall};
-  for (TestStage stage : pre_production) {
-    if (rng.NextBernoulli(probability_at(static_cast<int>(stage), 0.0))) {
-      detected = true;
-      detected_stage = stage;
-      break;
-    }
+  ComputeSurviveTerms(defects, matching, config.stages, physical_cores, survive_terms);
+  for (size_t d = 0; d < defects.size(); ++d) {
+    sorted_onsets[d] = defects[d].onset_months;
   }
-  if (!detected) {
-    // Onset-gated regular rounds: defect onsets sorted ascending gate when the cached
-    // probability must be re-derived; cycles between onset crossings reuse it untouched.
-    std::vector<double> sorted_onsets(defect_count);
-    for (size_t d = 0; d < defect_count; ++d) {
-      sorted_onsets[d] = defects[d].onset_months;
-    }
-    std::sort(sorted_onsets.begin(), sorted_onsets.end());
-
-    const int groups = config.regular_groups < 1 ? 1 : config.regular_groups;
-    const double offset = config.regular_period_months *
-                          static_cast<double>(RegularGroupOf(serial, config)) /
-                          static_cast<double>(groups);
-    size_t active = 0;
-    double probability = 0.0;
-    bool stale = true;
-    for (int cycle = 1;; ++cycle) {
-      const double month =
-          static_cast<double>(cycle) * config.regular_period_months + offset;
-      if (month > config.horizon_months) {
-        break;
-      }
-      while (active < defect_count && sorted_onsets[active] <= month) {
-        ++active;
-        stale = true;
-      }
-      if (stale) {
-        probability = probability_at(static_cast<int>(TestStage::kRegular), month);
-        stale = false;
-      }
-      if (rng.NextBernoulli(probability)) {
-        detected = true;
-        detected_stage = TestStage::kRegular;
-        detected_month = month;
-        break;
-      }
-    }
-  }
-  if (detected) {
-    ++stats.detected_by_stage[static_cast<int>(detected_stage)];
-    ++stats.detected_by_arch[arch_index];
-    stats.detections.push_back({serial, arch_index, true, detected_stage, detected_month});
-    stats.provenance.push_back(ProvenanceOf(serial, arch_index, defects, config,
-                                            detected_stage, detected_month));
-  }
+  std::sort(sorted_onsets.begin(), sorted_onsets.end());
+  ReplayFaultyProbes(serial, arch_index, defects, survive_terms, sorted_onsets, config,
+                     rng, stats);
 }
 
 void ScreeningPipeline::ScreenProcessorReference(const FleetProcessorView& processor,
@@ -582,29 +857,48 @@ void ShardOutcomeObserver::EndStream() {}
 
 StreamingScreen::StreamingScreen(const ScreeningPipeline* pipeline,
                                  const ScreeningConfig& config)
-    : pipeline_(pipeline), config_(config), base_(config.seed) {
+    : StreamingScreen(pipeline, ScenarioBatch{.scenarios = {config}}) {}
+
+StreamingScreen::StreamingScreen(const ScreeningPipeline* pipeline, ScenarioBatch batch)
+    : pipeline_(pipeline), scenarios_(std::move(batch.scenarios)) {
+  bases_.reserve(scenarios_.size());
+  for (const ScreeningConfig& scenario : scenarios_) {
+    bases_.emplace_back(scenario.seed);
+  }
+  // Shared clean-path level: first cached scenario's request (every level counts
+  // identically, so this only affects wall-clock time).
+  SimdLevel simd = SimdLevel::kAuto;
+  for (const ScreeningConfig& scenario : scenarios_) {
+    if (!scenario.use_reference_model) {
+      simd = scenario.simd;
+      break;
+    }
+  }
+  simd_ = ResolveSimdLevel(simd);
   for (int arch = 0; arch < kArchCount; ++arch) {
     arch_specs_[static_cast<size_t>(arch)] = MakeArchSpec(arch);
   }
 }
 
-void StreamingScreen::AddObserver(ShardOutcomeObserver* observer) {
-  observers_.push_back(observer);
+void StreamingScreen::AddObserver(ShardOutcomeObserver* observer, size_t scenario) {
+  observers_.push_back({observer, scenario});
 }
 
 void StreamingScreen::BeginStream(const PopulationConfig& config, uint64_t shard_count) {
-  shard_stats_.assign(shard_count, ScreeningStats{});
-  shard_deltas_.assign(config_.metrics != nullptr ? shard_count : 0, MetricsDelta{});
-  shard_traces_.assign(config_.trace != nullptr ? shard_count : 0, TraceDelta{});
-  stats_ = ScreeningStats{};
-  for (ShardOutcomeObserver* observer : observers_) {
-    observer->BeginStream(config, config_, shard_count);
+  const size_t k_count = scenarios_.size();
+  shard_stats_.assign(shard_count, std::vector<ScreeningStats>(k_count));
+  shard_deltas_.assign(shard_count, std::vector<MetricsDelta>(k_count));
+  shard_traces_.assign(shard_count, std::vector<TraceDelta>(k_count));
+  stats_.assign(k_count, ScreeningStats{});
+  for (const ObserverEntry& entry : observers_) {
+    entry.observer->BeginStream(config, scenarios_[entry.scenario], shard_count);
   }
 }
 
 void StreamingScreen::ConsumeShard(const FleetShard& shard) {
   const auto shard_start = std::chrono::steady_clock::now();
-  ScreeningStats& stats = shard_stats_[shard.shard];
+  const size_t k_count = scenarios_.size();
+  std::vector<ScreeningStats>& stats = shard_stats_[shard.shard];
 
   ScreeningShardView view;
   view.column_base = shard.begin;
@@ -614,49 +908,66 @@ void StreamingScreen::ConsumeShard(const FleetShard& shard) {
   view.faulty_ranges = shard.faulty_ranges;
   view.defects = shard.defects;
 
+  std::vector<TraceDelta*> traces(k_count, nullptr);
+  for (size_t k = 0; k < k_count; ++k) {
+    if (scenarios_[k].trace != nullptr) {
+      traces[k] = &shard_traces_[shard.shard][k];
+    }
+  }
+
   // Stream shards start at multiples of kFleetShardGrain, so b / kScreeningShardGrain is
   // the *global* screening shard index: the embedded sub-shards use exactly the RNG
   // streams the materialized Run would fork for the same serials.
-  TraceDelta* trace =
-      config_.trace != nullptr ? &shard_traces_[shard.shard] : nullptr;
+  std::vector<Rng> rngs;
+  rngs.reserve(k_count);
   for (uint64_t b = shard.begin; b < shard.end; b += kScreeningShardGrain) {
     const uint64_t screening_shard = b / kScreeningShardGrain;
     view.begin = b;
     view.end = std::min(b + kScreeningShardGrain, shard.end);
-    Rng rng = base_.Fork(screening_shard);
-    pipeline_->ScreenShardRange(view, config_, arch_specs_, screening_shard, rng, stats,
-                                trace);
+    rngs.clear();
+    for (size_t k = 0; k < k_count; ++k) {
+      rngs.push_back(bases_[k].Fork(screening_shard));
+    }
+    pipeline_->ScreenShardRangeBatch(view, scenarios_, arch_specs_, screening_shard,
+                                     simd_, rngs, stats, traces);
   }
 
-  if (config_.metrics != nullptr) {
-    shard_deltas_[shard.shard] = DeltaFromShardStats(stats);
-    const std::chrono::duration<double> elapsed =
-        std::chrono::steady_clock::now() - shard_start;
-    config_.metrics->RecordTimerSeconds("screening.shard.wall", elapsed.count());
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - shard_start;
+  for (size_t k = 0; k < k_count; ++k) {
+    if (scenarios_[k].metrics != nullptr) {
+      shard_deltas_[shard.shard][k] = DeltaFromShardStats(stats[k]);
+      scenarios_[k].metrics->RecordTimerSeconds("screening.shard.wall", elapsed.count());
+    }
   }
-  for (ShardOutcomeObserver* observer : observers_) {
-    observer->ObserveShard(shard, stats);
+  for (const ObserverEntry& entry : observers_) {
+    entry.observer->ObserveShard(shard, stats[entry.scenario]);
   }
 }
 
 void StreamingScreen::EndStream() {
+  const size_t k_count = scenarios_.size();
   // The ordered fold is wall-clock work without a deterministic timeline, so its span
-  // lives in the host domain -- same reasoning as FleetMaterializer::EndStream.
-  TraceRecorder::ScopedHostSpan merge_span(config_.trace, "screening.aggregate",
-                                           "aggregate", kTraceTrackAggregate);
-  MetricsDelta total_delta;
+  // lives in the host domain -- same reasoning as FleetMaterializer::EndStream. Scenario
+  // 0's recorder hosts the span; each scenario's deltas merge into its own sinks.
+  TraceRecorder::ScopedHostSpan merge_span(
+      scenarios_.empty() ? nullptr : scenarios_.front().trace, "screening.aggregate",
+      "aggregate", kTraceTrackAggregate);
+  std::vector<MetricsDelta> total_deltas(k_count);
   for (size_t shard = 0; shard < shard_stats_.size(); ++shard) {
-    stats_.MergeFrom(std::move(shard_stats_[shard]));
-    if (config_.metrics != nullptr) {
-      total_delta.MergeFrom(shard_deltas_[shard]);
+    for (size_t k = 0; k < k_count; ++k) {
+      stats_[k].MergeFrom(std::move(shard_stats_[shard][k]));
+      if (scenarios_[k].metrics != nullptr) {
+        total_deltas[k].MergeFrom(shard_deltas_[shard][k]);
+      }
+      if (scenarios_[k].trace != nullptr) {
+        scenarios_[k].trace->MergeDelta(std::move(shard_traces_[shard][k]));
+      }
     }
   }
-  if (config_.metrics != nullptr) {
-    config_.metrics->MergeDelta(total_delta);
-  }
-  if (config_.trace != nullptr) {
-    for (TraceDelta& delta : shard_traces_) {
-      config_.trace->MergeDelta(std::move(delta));
+  for (size_t k = 0; k < k_count; ++k) {
+    if (scenarios_[k].metrics != nullptr) {
+      scenarios_[k].metrics->MergeDelta(total_deltas[k]);
     }
   }
   shard_stats_.clear();
@@ -665,8 +976,8 @@ void StreamingScreen::EndStream() {
   shard_deltas_.shrink_to_fit();
   shard_traces_.clear();
   shard_traces_.shrink_to_fit();
-  for (ShardOutcomeObserver* observer : observers_) {
-    observer->EndStream();
+  for (const ObserverEntry& entry : observers_) {
+    entry.observer->EndStream();
   }
 }
 

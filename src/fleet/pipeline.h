@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/simd.h"
 #include "src/fleet/population.h"
 #include "src/fleet/stream.h"
 #include "src/telemetry/metrics.h"
@@ -98,6 +99,30 @@ struct ScreeningConfig {
   // materialized/streaming modes. Null disables recording at the cost of one pointer test
   // per shard (docs/observability.md).
   TraceRecorder* trace = nullptr;
+  // Vector level for the clean-path column scan (docs/performance.md). kAuto picks the
+  // best the host supports; the SDC_SIMD environment variable and -DSDC_FORCE_SCALAR
+  // override it (src/common/simd.h). Every level produces bit-identical stats -- this is
+  // a speed knob, never a behavior change.
+  SimdLevel simd = SimdLevel::kAuto;
+};
+
+// K screening scenarios evaluated against ONE fleet in ONE pass (docs/performance.md).
+// The paper-style sweeps (seed, cadence, stage-temperature scans) re-screen the same
+// fleet K times; batching them shares everything scenario-invariant per shard -- the
+// generated columns (streaming mode), the clean-path arch histogram, and the per-defect
+// MatchingTestcases suite scan -- so one pass costs ~one scan plus K cheap probe
+// replays. Scenario k draws from Rng(scenarios[k].seed).Fork(shard), exactly the
+// streams its independent run would use, so every batched ScreeningStats is
+// byte-identical to pipeline.Run(fleet, scenarios[k]) (tests/screening_model_test.cc).
+struct ScenarioBatch {
+  // Scenario configs; seeds, stage parameters, cadence, horizon, and metric/trace sinks
+  // may all differ per scenario. Per-scenario `threads` fields are ignored -- the batch
+  // runs on one shared pool -- and per-scenario metrics/trace sinks receive exactly the
+  // deltas their independent runs would (merged in shard order).
+  std::vector<ScreeningConfig> scenarios;
+  // Worker threads for the shared pass: 0 = hardware concurrency, 1 = serial;
+  // SDC_THREADS overrides. Stats are bit-identical at any thread count.
+  int threads = 0;
 };
 
 // Group a processor's regular tests belong to, and the absolute month of its round in a
@@ -195,6 +220,14 @@ class ScreeningPipeline {
   // result is bit-identical at any thread count.
   ScreeningStats Run(const FleetPopulation& fleet, const ScreeningConfig& config) const;
 
+  // Screens the whole fleet under every scenario of `batch` in one pass over the packed
+  // columns. Result k is byte-identical to Run(fleet, batch.scenarios[k]) -- counters,
+  // detections, detection months bitwise, metrics deltas -- at any thread count; the
+  // clean-path scan and the per-defect suite matching are paid once per shard instead of
+  // once per scenario. Returns one ScreeningStats per scenario, in batch order.
+  std::vector<ScreeningStats> RunBatch(const FleetPopulation& fleet,
+                                       const ScenarioBatch& batch) const;
+
   // Expected error count for `defect` under one full-suite pass at the stage's settings on
   // a processor with `pcores` physical cores. Exposed for tests and calibration.
   double ExpectedErrors(const Defect& defect, const StageParams& stage, int pcores) const;
@@ -215,8 +248,22 @@ class ScreeningPipeline {
   // "detection" instant per new detection.
   void ScreenShardRange(const ScreeningShardView& view, const ScreeningConfig& config,
                         const std::array<ProcessorSpec, kArchCount>& arch_specs,
-                        uint64_t sub_shard, Rng& rng, ScreeningStats& stats,
-                        TraceDelta* trace) const;
+                        uint64_t sub_shard, SimdLevel simd, Rng& rng,
+                        ScreeningStats& stats, TraceDelta* trace) const;
+
+  // Batched screening kernel: one pass over [view.begin, view.end) that accumulates into
+  // stats[k] for every scenario k, drawing scenario k's randomness only from rngs[k] in
+  // serial order -- the reason each slot is byte-identical to a ScreenShardRange call for
+  // that scenario alone. Cached-model scenarios share the SIMD arch histogram and the
+  // per-defect MatchingTestcases memo; reference-model scenarios fall back to the
+  // per-scenario kernel (still amortizing shard generation in streaming mode).
+  // traces[k] may be null per scenario. All spans must have scenarios.size() entries.
+  void ScreenShardRangeBatch(const ScreeningShardView& view,
+                             std::span<const ScreeningConfig> scenarios,
+                             const std::array<ProcessorSpec, kArchCount>& arch_specs,
+                             uint64_t sub_shard, SimdLevel simd, std::span<Rng> rngs,
+                             std::span<ScreeningStats> stats,
+                             std::span<TraceDelta* const> traces) const;
 
   // Memoized fast path: screens one faulty, toolchain-detectable processor. Evaluates the
   // detection model once per (defect, stage), then replays the probe schedule against the
@@ -226,6 +273,17 @@ class ScreeningPipeline {
                              std::span<const Defect> defects,
                              const ScreeningConfig& config, int physical_cores, Rng& rng,
                              ScreeningStats& stats) const;
+
+  // ScreenFaultyProcessor with the per-defect MatchingTestcases counts precomputed
+  // (matching[d] = MatchingTestcases(defects[d])). The suite scan is the dominant cost of
+  // a faulty part and is scenario-invariant, so the batched kernel computes it once per
+  // part and replays K scenarios against it -- the counts are the same integers either
+  // way, so this refactor cannot perturb a bit of output.
+  void ScreenFaultyProcessorWithMatching(uint64_t serial, int arch_index,
+                                         std::span<const Defect> defects,
+                                         std::span<const int> matching,
+                                         const ScreeningConfig& config, int physical_cores,
+                                         Rng& rng, ScreeningStats& stats) const;
 
   // Pre-memoization implementation, kept verbatim as the equivalence-test oracle. Screens
   // one processor (clean parts included), recomputing MatchingTestcases / ExpectedErrors
@@ -263,33 +321,54 @@ class ShardOutcomeObserver {
 // and metric deltas are merged in shard order in EndStream -- TakeStats() is therefore
 // byte-identical to Run() on the materialized fleet at any thread count
 // (tests/stream_test.cc).
+//
+// Batched form: constructed from a ScenarioBatch, the consumer screens every generated
+// shard once per batched kernel call, producing one ScreeningStats per scenario from the
+// single generation pass -- the scenario-sweep configuration the engine is built for
+// (K scenarios cost one generate plus K cheap probe replays instead of K full passes).
+// TakeBatchStats()[k] is byte-identical to an independent streaming (or materialized)
+// run of scenarios[k].
 class StreamingScreen : public ShardConsumer {
  public:
-  // `pipeline` must outlive the stream pass.
+  // `pipeline` must outlive the stream pass. The single-config form is a batch of one.
   StreamingScreen(const ScreeningPipeline* pipeline, const ScreeningConfig& config);
+  StreamingScreen(const ScreeningPipeline* pipeline, ScenarioBatch batch);
 
-  // Registers an outcome observer; call before the pass starts. Observers are invoked in
-  // registration order after each shard is screened.
-  void AddObserver(ShardOutcomeObserver* observer);
+  // Registers an outcome observer for one scenario of the batch (0, the only valid index
+  // for the single-config form, by default); call before the pass starts. Observers are
+  // invoked in registration order after each shard is screened, receiving that
+  // scenario's shard stats.
+  void AddObserver(ShardOutcomeObserver* observer, size_t scenario = 0);
 
   void BeginStream(const PopulationConfig& config, uint64_t shard_count) override;
   void ConsumeShard(const FleetShard& shard) override;
   void EndStream() override;
 
-  // Moves out the merged fleet-wide stats; valid once after EndStream.
-  ScreeningStats TakeStats() { return std::move(stats_); }
+  size_t scenario_count() const { return scenarios_.size(); }
+
+  // Moves out scenario 0's merged fleet-wide stats; valid once after EndStream.
+  ScreeningStats TakeStats() { return std::move(stats_.front()); }
+  // Moves out the merged stats of every scenario, in batch order; valid once after
+  // EndStream.
+  std::vector<ScreeningStats> TakeBatchStats() { return std::move(stats_); }
 
  private:
+  struct ObserverEntry {
+    ShardOutcomeObserver* observer = nullptr;
+    size_t scenario = 0;
+  };
+
   const ScreeningPipeline* pipeline_;
-  ScreeningConfig config_;
-  Rng base_;
+  std::vector<ScreeningConfig> scenarios_;
+  std::vector<Rng> bases_;  // one base RNG per scenario, forked per screening shard
+  SimdLevel simd_ = SimdLevel::kScalar;  // resolved once at construction
   std::array<ProcessorSpec, kArchCount> arch_specs_;
-  std::vector<ShardOutcomeObserver*> observers_;
-  // Per-stream-shard partials, merged in shard order by EndStream.
-  std::vector<ScreeningStats> shard_stats_;
-  std::vector<MetricsDelta> shard_deltas_;
-  std::vector<TraceDelta> shard_traces_;
-  ScreeningStats stats_;
+  std::vector<ObserverEntry> observers_;
+  // Per-stream-shard, per-scenario partials, merged in shard order by EndStream.
+  std::vector<std::vector<ScreeningStats>> shard_stats_;
+  std::vector<std::vector<MetricsDelta>> shard_deltas_;
+  std::vector<std::vector<TraceDelta>> shard_traces_;
+  std::vector<ScreeningStats> stats_;  // one per scenario after EndStream
 };
 
 }  // namespace sdc

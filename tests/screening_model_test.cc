@@ -7,6 +7,8 @@
 
 #include <cstring>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -118,6 +120,169 @@ TEST_F(ScreeningModelTest, FastPathActuallyDetects) {
   EXPECT_GT(stats.faulty, 0u);
   EXPECT_GT(stats.total_detected(), 0u);
   EXPECT_FALSE(stats.detections.empty());
+}
+
+// ----- batched multi-scenario engine (ScreeningPipeline::RunBatch) ------------------
+//
+// The contract (docs/performance.md): every slot of a batched run is byte-identical to
+// running that scenario alone -- scenario k draws only from Rng(seed_k).Fork(shard), so
+// sharing the clean-path histogram and the MatchingTestcases memo across scenarios must
+// not move a bit.
+
+// K scenarios with distinct seeds and cadences (the spread the bench uses too), so the
+// batch cannot pass by accidentally computing one scenario K times.
+ScenarioBatch MakeBatch(int k_count, int threads, bool use_reference) {
+  static constexpr double kPeriods[] = {3.0, 1.0, 2.0, 6.0};
+  ScenarioBatch batch;
+  batch.threads = threads;
+  for (int k = 0; k < k_count; ++k) {
+    ScreeningConfig config;
+    config.seed = 77 + static_cast<uint64_t>(k);
+    config.regular_period_months = kPeriods[k % 4];
+    config.use_reference_model = use_reference;
+    batch.scenarios.push_back(config);
+  }
+  return batch;
+}
+
+class ScreeningBatchTest : public ScreeningModelTest {
+ protected:
+  static void ExpectBatchMatchesIndependent(int k_count, int threads,
+                                            bool use_reference) {
+    ScreeningPipeline pipeline(suite_);
+    const ScenarioBatch batch = MakeBatch(k_count, threads, use_reference);
+    const std::vector<ScreeningStats> batched = pipeline.RunBatch(*fleet_, batch);
+    ASSERT_EQ(batched.size(), batch.scenarios.size());
+    for (int k = 0; k < k_count; ++k) {
+      ScreeningConfig independent = batch.scenarios[static_cast<size_t>(k)];
+      independent.threads = threads;
+      SCOPED_TRACE("scenario " + std::to_string(k));
+      ExpectIdentical(batched[static_cast<size_t>(k)], pipeline.Run(*fleet_, independent));
+    }
+  }
+};
+
+TEST_F(ScreeningBatchTest, BatchedMatchesIndependentAtOneThread) {
+  ExpectBatchMatchesIndependent(8, 1, /*use_reference=*/false);
+}
+
+TEST_F(ScreeningBatchTest, BatchedMatchesIndependentAtTwoThreads) {
+  ExpectBatchMatchesIndependent(8, 2, /*use_reference=*/false);
+}
+
+TEST_F(ScreeningBatchTest, BatchedMatchesIndependentAtEightThreads) {
+  ExpectBatchMatchesIndependent(8, 8, /*use_reference=*/false);
+}
+
+TEST_F(ScreeningBatchTest, BatchedReferenceModelMatchesIndependent) {
+  // Reference-model scenarios take the per-scenario fallback inside the batch kernel;
+  // that path must be the same bits too. Small K: the reference model is slow.
+  ExpectBatchMatchesIndependent(2, 2, /*use_reference=*/true);
+}
+
+TEST_F(ScreeningBatchTest, MixedModelBatchMatchesIndependent) {
+  // Cached and reference scenarios in ONE batch: the cached slots ride the fused loop
+  // while the reference slot replays per scenario, and each must match its solo run.
+  ScreeningPipeline pipeline(suite_);
+  ScenarioBatch batch = MakeBatch(3, 2, /*use_reference=*/false);
+  batch.scenarios[1].use_reference_model = true;
+  const std::vector<ScreeningStats> batched = pipeline.RunBatch(*fleet_, batch);
+  ASSERT_EQ(batched.size(), 3u);
+  for (size_t k = 0; k < batch.scenarios.size(); ++k) {
+    ScreeningConfig independent = batch.scenarios[k];
+    independent.threads = 2;
+    SCOPED_TRACE("scenario " + std::to_string(k));
+    ExpectIdentical(batched[k], pipeline.Run(*fleet_, independent));
+  }
+}
+
+TEST_F(ScreeningBatchTest, DistinctStageParamsBatchMatchesIndependent) {
+  // Scenarios with bit-identical stage parameters share one survive-term table per
+  // faulty part; scenarios whose parameters differ must land in their own group and
+  // still match their solo runs bitwise. Three groups here: {0, 2} (default stages),
+  // {1} (hotter re-install), {3} (weaker factory catch).
+  ScreeningPipeline pipeline(suite_);
+  ScenarioBatch batch = MakeBatch(4, 2, /*use_reference=*/false);
+  batch.scenarios[1].stages[2].temperature_celsius = 72.0;
+  batch.scenarios[3].stages[0].catch_factor = 0.05;
+  const std::vector<ScreeningStats> batched = pipeline.RunBatch(*fleet_, batch);
+  ASSERT_EQ(batched.size(), 4u);
+  for (size_t k = 0; k < batch.scenarios.size(); ++k) {
+    ScreeningConfig independent = batch.scenarios[k];
+    independent.threads = 2;
+    SCOPED_TRACE("scenario " + std::to_string(k));
+    ExpectIdentical(batched[k], pipeline.Run(*fleet_, independent));
+  }
+}
+
+TEST_F(ScreeningBatchTest, BatchIsThreadCountInvariant) {
+  ScreeningPipeline pipeline(suite_);
+  const std::vector<ScreeningStats> one =
+      pipeline.RunBatch(*fleet_, MakeBatch(4, 1, false));
+  const std::vector<ScreeningStats> eight =
+      pipeline.RunBatch(*fleet_, MakeBatch(4, 8, false));
+  ASSERT_EQ(one.size(), eight.size());
+  for (size_t k = 0; k < one.size(); ++k) {
+    SCOPED_TRACE("scenario " + std::to_string(k));
+    ExpectIdentical(eight[k], one[k]);
+  }
+}
+
+TEST_F(ScreeningBatchTest, ScenariosActuallyDiffer) {
+  // Guard against the equivalence holding because every slot carries the same bits: the
+  // seeds differ, so the detection sets must differ somewhere.
+  ScreeningPipeline pipeline(suite_);
+  const std::vector<ScreeningStats> batched =
+      pipeline.RunBatch(*fleet_, MakeBatch(4, 2, false));
+  ASSERT_EQ(batched.size(), 4u);
+  bool any_difference = false;
+  for (size_t k = 1; k < batched.size(); ++k) {
+    EXPECT_EQ(batched[k].tested, kFleetSize);
+    EXPECT_GT(batched[k].total_detected(), 0u);
+    if (batched[k].detections.size() != batched[0].detections.size()) {
+      any_difference = true;
+      continue;
+    }
+    for (size_t i = 0; i < batched[k].detections.size(); ++i) {
+      if (batched[k].detections[i].serial != batched[0].detections[i].serial ||
+          batched[k].detections[i].stage != batched[0].detections[i].stage) {
+        any_difference = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference) << "all scenarios produced identical detections";
+}
+
+TEST_F(ScreeningBatchTest, EmptyBatchReturnsNoStats) {
+  ScreeningPipeline pipeline(suite_);
+  EXPECT_TRUE(pipeline.RunBatch(*fleet_, ScenarioBatch{}).empty());
+}
+
+TEST_F(ScreeningBatchTest, PerScenarioMetricsMatchIndependentRuns) {
+  // Each scenario's metric sink must see exactly the deltas its independent run records
+  // (sans wall-clock timers) -- not a sum over the batch.
+  ScreeningPipeline pipeline(suite_);
+  ScenarioBatch batch = MakeBatch(3, 2, false);
+  std::vector<MetricsRegistry> batch_registries(batch.scenarios.size());
+  for (size_t k = 0; k < batch.scenarios.size(); ++k) {
+    batch.scenarios[k].metrics = &batch_registries[k];
+  }
+  (void)pipeline.RunBatch(*fleet_, batch);
+  for (size_t k = 0; k < batch.scenarios.size(); ++k) {
+    MetricsRegistry independent_registry;
+    ScreeningConfig independent = batch.scenarios[k];
+    independent.threads = 2;
+    independent.metrics = &independent_registry;
+    (void)pipeline.Run(*fleet_, independent);
+    std::ostringstream batched_json;
+    std::ostringstream independent_json;
+    WriteMetricsJson(batched_json, batch_registries[k].Snapshot(),
+                     /*include_timers=*/false);
+    WriteMetricsJson(independent_json, independent_registry.Snapshot(),
+                     /*include_timers=*/false);
+    EXPECT_EQ(batched_json.str(), independent_json.str()) << "scenario " << k;
+  }
 }
 
 }  // namespace

@@ -33,6 +33,15 @@
 //   --processors N     fleet-size override for the fleet commands; wins over positional
 //                      counts and defaults, so 10^8-processor streaming runs are a flag.
 //   --seed S           fleet generation seed override for the same commands.
+//   --sweep SPEC       batched multi-scenario screening (docs/performance.md): `screen`
+//                      evaluates K scenarios against ONE fleet in ONE pass and prints a
+//                      per-scenario table. SPEC is `seeds:K` (K scenarios differing only
+//                      in screening seed) or a scenario file: one scenario per line of
+//                      whitespace-separated key=value pairs drawn from name, seed,
+//                      period_months, horizon_months, regular_groups, and
+//                      stage.<factory|datacenter|reinstall|regular>.<seconds|temp|catch>.
+//                      Composes with --stream; every row is byte-identical to a separate
+//                      single-scenario run.
 //
 // Numeric operands are parsed strictly (src/common/parse.h): empty input, trailing
 // garbage, overflow, and negative values where an unsigned count is expected are usage
@@ -43,6 +52,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -75,6 +85,7 @@ struct GlobalOptions {
   bool processors_set = false;
   uint64_t seed = 0;         // --seed override for fleet generation
   bool seed_set = false;
+  std::string sweep_spec;    // --sweep operand; empty = single-scenario commands
 };
 
 // Applies the global fleet overrides to a population config. The --processors / --seed
@@ -181,6 +192,219 @@ int CmdSweep(const std::string& cpu_id, double seconds_per_case,
   table.Print(std::cout);
   std::cout << report.failed_testcase_ids().size() << " failing testcases, "
             << report.total_errors() << " total errors\n";
+  return 0;
+}
+
+// One --sweep scenario: a display name plus the screening config it selects.
+struct SweepScenario {
+  std::string name;
+  ScreeningConfig config;
+};
+
+int StageIndexOf(const std::string& name) {
+  if (name == "factory") {
+    return 0;
+  }
+  if (name == "datacenter") {
+    return 1;
+  }
+  if (name == "reinstall" || name == "re-install") {
+    return 2;
+  }
+  if (name == "regular") {
+    return 3;
+  }
+  return -1;
+}
+
+// Applies one `key=value` token from a scenario file line. Strict like the rest of the
+// CLI: unknown keys, malformed numbers, and out-of-range values are errors, not defaults.
+bool ApplyScenarioAssignment(const std::string& token, SweepScenario& scenario,
+                             std::string& error) {
+  const size_t eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    error = "expected key=value, got '" + token + "'";
+    return false;
+  }
+  const std::string key = token.substr(0, eq);
+  const std::string value = token.substr(eq + 1);
+  if (key == "name") {
+    if (value.empty()) {
+      error = "name must not be empty";
+      return false;
+    }
+    scenario.name = value;
+    return true;
+  }
+  if (key == "seed") {
+    const auto parsed = ParseUint64(value.c_str());
+    if (!parsed.has_value()) {
+      error = "invalid seed '" + value + "'";
+      return false;
+    }
+    scenario.config.seed = *parsed;
+    return true;
+  }
+  if (key == "period_months" || key == "horizon_months") {
+    const auto parsed = ParseDouble(value.c_str());
+    if (!parsed.has_value() || *parsed <= 0.0) {
+      error = "invalid " + key + " '" + value + "'";
+      return false;
+    }
+    (key == "period_months" ? scenario.config.regular_period_months
+                            : scenario.config.horizon_months) = *parsed;
+    return true;
+  }
+  if (key == "regular_groups") {
+    const auto parsed = ParseInt(value.c_str());
+    if (!parsed.has_value() || *parsed < 1) {
+      error = "invalid regular_groups '" + value + "'";
+      return false;
+    }
+    scenario.config.regular_groups = *parsed;
+    return true;
+  }
+  if (key.rfind("stage.", 0) == 0) {
+    const size_t dot = key.find('.', 6);
+    if (dot == std::string::npos) {
+      error = "expected stage.<stage>.<field>, got '" + key + "'";
+      return false;
+    }
+    const int stage = StageIndexOf(key.substr(6, dot - 6));
+    if (stage < 0) {
+      error = "unknown stage in '" + key +
+              "' (factory | datacenter | reinstall | regular)";
+      return false;
+    }
+    const std::string field = key.substr(dot + 1);
+    const auto parsed = ParseDouble(value.c_str());
+    if (!parsed.has_value() || *parsed < 0.0) {
+      error = "invalid " + key + " '" + value + "'";
+      return false;
+    }
+    StageParams& params = scenario.config.stages[static_cast<size_t>(stage)];
+    if (field == "seconds") {
+      params.per_case_seconds = *parsed;
+    } else if (field == "temp") {
+      params.temperature_celsius = *parsed;
+    } else if (field == "catch") {
+      params.catch_factor = *parsed;
+    } else {
+      error = "unknown stage field in '" + key + "' (seconds | temp | catch)";
+      return false;
+    }
+    return true;
+  }
+  error = "unknown key '" + key + "'";
+  return false;
+}
+
+// Expands a --sweep operand into scenarios. `seeds:K` varies only the screening seed
+// (base seed 77 + k); anything else names a scenario file, one scenario per
+// non-comment line.
+bool ParseSweepSpec(const std::string& spec, std::vector<SweepScenario>& out,
+                    std::string& error) {
+  constexpr size_t kMaxScenarios = 256;
+  if (spec.rfind("seeds:", 0) == 0) {
+    const auto count = ParseUint64(spec.substr(6).c_str());
+    if (!count.has_value() || *count < 1 || *count > kMaxScenarios) {
+      error = "seeds:K needs 1 <= K <= " + std::to_string(kMaxScenarios) + ", got '" +
+              spec.substr(6) + "'";
+      return false;
+    }
+    for (uint64_t k = 0; k < *count; ++k) {
+      SweepScenario scenario;
+      scenario.config.seed += k;
+      scenario.name = "seed" + std::to_string(scenario.config.seed);
+      out.push_back(std::move(scenario));
+    }
+    return true;
+  }
+  std::ifstream file(spec);
+  if (!file) {
+    error = "cannot open scenario file '" + spec + "'";
+    return false;
+  }
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(file, line)) {
+    ++line_number;
+    const size_t comment = line.find('#');
+    if (comment != std::string::npos) {
+      line.resize(comment);
+    }
+    std::istringstream tokens(line);
+    std::string token;
+    SweepScenario scenario;
+    scenario.name = "s" + std::to_string(out.size());
+    bool any = false;
+    while (tokens >> token) {
+      any = true;
+      std::string assign_error;
+      if (!ApplyScenarioAssignment(token, scenario, assign_error)) {
+        error = spec + ":" + std::to_string(line_number) + ": " + assign_error;
+        return false;
+      }
+    }
+    if (!any) {
+      continue;  // blank or comment-only line
+    }
+    if (out.size() == kMaxScenarios) {
+      error = spec + ": more than " + std::to_string(kMaxScenarios) + " scenarios";
+      return false;
+    }
+    out.push_back(std::move(scenario));
+  }
+  if (out.empty()) {
+    error = spec + ": no scenarios (every line blank or comment)";
+    return false;
+  }
+  return true;
+}
+
+// Batched `screen --sweep`: K scenarios against one fleet in one pass
+// (ScreeningPipeline::RunBatch / batched StreamingScreen). The table rows are
+// byte-identical to K separate `screen` runs; any attached metrics/trace sink receives
+// every scenario's deltas.
+int CmdScreenSweep(uint64_t processor_count, std::vector<SweepScenario> scenarios,
+                   const GlobalOptions& options) {
+  PopulationConfig population_config;
+  population_config.processor_count = processor_count;
+  ApplyFleetOverrides(population_config, options);
+  const TestSuite suite = TestSuite::BuildFull();
+  ScreeningPipeline pipeline(&suite);
+  ScenarioBatch batch;
+  batch.threads = options.threads;
+  batch.scenarios.reserve(scenarios.size());
+  for (SweepScenario& scenario : scenarios) {
+    scenario.config.metrics = options.metrics;
+    scenario.config.trace = options.trace;
+    batch.scenarios.push_back(scenario.config);
+  }
+  std::vector<ScreeningStats> stats;
+  if (options.stream) {
+    FleetShardStream shard_stream(population_config);
+    StreamingScreen screen(&pipeline, batch);
+    shard_stream.Drive({&screen});
+    stats = screen.TakeBatchStats();
+  } else {
+    const FleetPopulation fleet = FleetPopulation::Generate(population_config);
+    stats = pipeline.RunBatch(fleet, batch);
+  }
+  TextTable table({"scenario", "seed", "period(m)", "factory", "datacenter", "re-install",
+                   "regular", "total", "rate"});
+  for (size_t k = 0; k < stats.size(); ++k) {
+    const ScreeningConfig& config = batch.scenarios[k];
+    table.AddRow({scenarios[k].name, std::to_string(config.seed),
+                  FormatDouble(config.regular_period_months, 1),
+                  std::to_string(stats[k].detected_by_stage[0]),
+                  std::to_string(stats[k].detected_by_stage[1]),
+                  std::to_string(stats[k].detected_by_stage[2]),
+                  std::to_string(stats[k].detected_by_stage[3]),
+                  std::to_string(stats[k].total_detected()),
+                  FormatPermyriad(stats[k].TotalRate())});
+  }
+  table.Print(std::cout);
   return 0;
 }
 
@@ -385,7 +609,15 @@ int Usage() {
                "                     materializing the fleet; output is byte-identical\n"
                "  --processors N     fleet-size override for the fleet commands (wins over\n"
                "                     positional counts and built-in defaults)\n"
-               "  --seed S           fleet generation seed override for the same commands\n";
+               "  --seed S           fleet generation seed override for the same commands\n"
+               "  --sweep SPEC       batch K screening scenarios against one fleet in one\n"
+               "                     pass (screen only; composes with --stream). SPEC is\n"
+               "                     seeds:K or a scenario file: one scenario per line of\n"
+               "                     key=value pairs (name, seed, period_months,\n"
+               "                     horizon_months, regular_groups,\n"
+               "                     stage.<factory|datacenter|reinstall|regular>\n"
+               "                     .<seconds|temp|catch>). Each row is byte-identical\n"
+               "                     to a separate single-scenario run\n";
   return 2;
 }
 
@@ -412,6 +644,15 @@ int Dispatch(int argc, char** argv, const GlobalOptions& options) {
     const auto count = ParseUint64(argv[2]);
     if (!count.has_value()) {
       return InvalidOperand("processor_count", argv[2]);
+    }
+    if (!options.sweep_spec.empty()) {
+      std::vector<SweepScenario> scenarios;
+      std::string error;
+      if (!ParseSweepSpec(options.sweep_spec, scenarios, error)) {
+        std::cerr << "sdcctl: invalid --sweep spec: " << error << "\n";
+        return 2;
+      }
+      return CmdScreenSweep(*count, std::move(scenarios), options);
     }
     return CmdScreen(*count, options);
   }
@@ -539,12 +780,30 @@ int Main(int argc, char** argv) {
       options.seed_set = true;
       continue;
     }
+    if (std::strcmp(argv[i], "--sweep") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "sdcctl: --sweep requires an operand (seeds:K or a scenario file)\n";
+        return 2;
+      }
+      options.sweep_spec = argv[++i];
+      if (options.sweep_spec.empty()) {
+        std::cerr << "sdcctl: --sweep operand must not be empty\n";
+        return 2;
+      }
+      continue;
+    }
     args.push_back(argv[i]);
   }
   argc = static_cast<int>(args.size());
   argv = args.data();
   if (argc < 2) {
     return Usage();
+  }
+  // --sweep only batches the `screen` command; rejecting it elsewhere beats silently
+  // running a single-scenario pass the user thought was a sweep.
+  if (!options.sweep_spec.empty() && std::strcmp(argv[1], "screen") != 0) {
+    std::cerr << "sdcctl: --sweep applies only to the screen command\n";
+    return 2;
   }
   // `metrics` with no explicit target defaults to stdout.
   if (std::strcmp(argv[1], "metrics") == 0 && options.metrics_out.empty()) {

@@ -26,6 +26,7 @@
 #include <cstring>
 #include <functional>
 
+#include "src/common/context.h"
 #include "src/fleet/pipeline.h"
 #include "src/fleet/population.h"
 #include "src/fleet/stream.h"
@@ -119,18 +120,20 @@ int Main(int argc, char** argv) {
                 static_cast<unsigned long long>(materialized_bytes));
     std::fflush(stdout);
 
-    // Streaming: one fused pass, no fleet.
+    // Streaming: one fused pass, no fleet, driven on an explicit EngineContext so the
+    // lane pool is built once and reused across every repeat at this width.
     const FleetShardStream stream(population_config);
+    EngineContext context(EngineOptions{.threads = threads});
     uint64_t peak_scratch = 0;
     {
       StreamingScreen screen(&pipeline, screening_config);
-      const StreamReport report = stream.Drive({&screen});
+      const StreamReport report = stream.Drive({&screen}, context);
       peak_scratch = report.peak_scratch_bytes;
       deterministic &= IdenticalStats(golden, screen.TakeStats());
     }
     const double streaming_wall = BestWallSeconds(repeats, [&] {
       StreamingScreen screen(&pipeline, screening_config);
-      (void)stream.Drive({&screen});
+      (void)stream.Drive({&screen}, context);
       (void)screen.TakeStats();
     });
     std::printf("{\"bench\": \"generate_screen\", \"mode\": \"streaming\", "

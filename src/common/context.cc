@@ -1,0 +1,51 @@
+#include "src/common/context.h"
+
+namespace sdc {
+
+EngineContext::EngineContext(const EngineOptions& options)
+    : threads_(options.env_overrides ? ResolveThreadCount(options.threads)
+                                     : ClampThreadCount(options.threads)),
+      simd_(options.env_overrides ? ResolveSimdLevel(options.simd)
+                                  : ClampSimdLevel(options.simd)),
+      pool_(ExactThreadCount{threads_}),
+      metrics_(options.metrics),
+      trace_(options.trace),
+      event_log_(options.event_log) {}
+
+MetricsRegistry* EngineContext::metrics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return metrics_;
+}
+
+TraceRecorder* EngineContext::trace() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trace_;
+}
+
+EventLog* EngineContext::event_log() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return event_log_;
+}
+
+MetricsRegistry* EngineContext::AttachMetrics(MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsRegistry* previous = metrics_;
+  metrics_ = metrics;
+  return previous;
+}
+
+TraceRecorder* EngineContext::AttachTrace(TraceRecorder* trace) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TraceRecorder* previous = trace_;
+  trace_ = trace;
+  return previous;
+}
+
+EventLog* EngineContext::AttachEventLog(EventLog* event_log) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EventLog* previous = event_log_;
+  event_log_ = event_log;
+  return previous;
+}
+
+}  // namespace sdc

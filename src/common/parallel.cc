@@ -10,6 +10,13 @@ int HardwareThreads() {
   return count == 0 ? 1 : static_cast<int>(count);
 }
 
+int ClampThreadCount(int requested) {
+  if (requested == 0) {
+    return HardwareThreads();
+  }
+  return std::max(requested, 1);
+}
+
 int ResolveThreadCount(int requested) {
   if (const char* env = std::getenv("SDC_THREADS")) {
     char* end = nullptr;
@@ -18,10 +25,7 @@ int ResolveThreadCount(int requested) {
       requested = static_cast<int>(parsed);
     }
   }
-  if (requested == 0) {
-    return HardwareThreads();
-  }
-  return std::max(requested, 1);
+  return ClampThreadCount(requested);
 }
 
 uint64_t ThreadPool::ShardCountFor(uint64_t begin, uint64_t end, uint64_t grain) {
@@ -34,7 +38,10 @@ uint64_t ThreadPool::ShardCountFor(uint64_t begin, uint64_t end, uint64_t grain)
 }
 
 ThreadPool::ThreadPool(int thread_count)
-    : thread_count_(ResolveThreadCount(thread_count)) {
+    : ThreadPool(ExactThreadCount{ResolveThreadCount(thread_count)}) {}
+
+ThreadPool::ThreadPool(ExactThreadCount resolved)
+    : thread_count_(std::max(resolved.value, 1)) {
   workers_.reserve(static_cast<size_t>(thread_count_ - 1));
   for (int i = 1; i < thread_count_; ++i) {
     workers_.emplace_back([this, lane = i] { WorkerLoop(lane); });

@@ -31,9 +31,22 @@ namespace sdc {
 // Number of hardware threads, at least 1.
 int HardwareThreads();
 
+// Maps a requested worker count to a concrete lane count without consulting the
+// environment: 0 maps to HardwareThreads() and anything below 1 clamps to 1.
+int ClampThreadCount(int requested);
+
 // Resolves a requested worker count: SDC_THREADS (when set to a non-negative integer)
-// replaces `requested`; then 0 maps to HardwareThreads() and anything below 1 clamps to 1.
+// replaces `requested`, then ClampThreadCount applies. Engine code calls this exactly
+// once, at EngineContext construction (src/common/context.h); a campaign whose context
+// already exists can never be re-sized by a later setenv.
 int ResolveThreadCount(int requested);
+
+// Already-resolved lane count for the ThreadPool constructor that must not re-read the
+// environment. EngineContext resolves SDC_THREADS once and builds its pool through this
+// form, which is what makes concurrent campaigns immune to mid-run environment changes.
+struct ExactThreadCount {
+  int value = 1;
+};
 
 class ThreadPool {
  public:
@@ -50,6 +63,8 @@ class ThreadPool {
   // thread participates in every ParallelFor, so N lanes spawn N-1 workers and a pool of
   // size 1 spawns none.
   explicit ThreadPool(int thread_count = 0);
+  // Pool of exactly `resolved.value` lanes (clamped to >= 1); never reads SDC_THREADS.
+  explicit ThreadPool(ExactThreadCount resolved);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;

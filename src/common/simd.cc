@@ -197,6 +197,13 @@ SimdLevel BestSupportedSimdLevel() {
   return best;
 }
 
+SimdLevel ClampSimdLevel(SimdLevel requested) {
+  if (requested == SimdLevel::kAuto || !LevelSupported(requested)) {
+    return BestSupportedSimdLevel();
+  }
+  return requested;
+}
+
 SimdLevel ResolveSimdLevel(SimdLevel requested) {
   // Environment override first (read per resolve, not cached: tests and CI toggle it),
   // then kAuto -> best, then clamp anything the host cannot run down to best.
@@ -206,10 +213,7 @@ SimdLevel ResolveSimdLevel(SimdLevel requested) {
       requested = parsed;
     }
   }
-  if (requested == SimdLevel::kAuto || !LevelSupported(requested)) {
-    return BestSupportedSimdLevel();
-  }
-  return requested;
+  return ClampSimdLevel(requested);
 }
 
 void CountBytesByValue(const uint8_t* data, size_t size, int bucket_count,

@@ -42,9 +42,14 @@ SimdLevel ParseSimdLevel(const std::string& name);
 // once). kScalar when built with SDC_FORCE_SCALAR.
 SimdLevel BestSupportedSimdLevel();
 
+// Resolves a requested level against the host alone, without consulting the environment:
+// kAuto and anything the host cannot execute map to BestSupportedSimdLevel(). Engine code
+// running under an EngineContext (src/common/context.h) uses this form after the context
+// resolved SDC_SIMD once at construction.
+SimdLevel ClampSimdLevel(SimdLevel requested);
+
 // Resolves a requested level against the environment and the host: SDC_SIMD (when set to
-// a recognized name) replaces `requested`; kAuto then maps to BestSupportedSimdLevel()
-// and anything the host cannot execute clamps down to the best supported level.
+// a recognized name) replaces `requested`; ClampSimdLevel then applies.
 SimdLevel ResolveSimdLevel(SimdLevel requested);
 
 // counts[v] += number of bytes in [data, data + size) equal to v, for v in

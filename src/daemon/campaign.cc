@@ -1,0 +1,253 @@
+#include "src/daemon/campaign.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "src/common/context.h"
+#include "src/fleet/population.h"
+#include "src/fleet/stream.h"
+#include "src/toolchain/registry.h"
+
+namespace sdc {
+namespace {
+
+// Thrown by the guard consumer to stop a pass at a shard boundary; ParallelStream drains
+// (skips) the remaining shards and rethrows out of Drive.
+struct CampaignCancelledError {};
+
+// First consumer of the campaign's stream: checks the cancel flag and counts progress.
+// Runs before the screeners on every shard, so a cancelled campaign stops paying for
+// screening (and, via the drain, generation) as soon as the flag is visible.
+class CampaignGuard : public ShardConsumer {
+ public:
+  CampaignGuard(const std::atomic<bool>* cancel, std::atomic<uint64_t>* shards_done)
+      : cancel_(cancel), shards_done_(shards_done) {}
+
+  void ConsumeShard(const FleetShard& /*shard*/) override {
+    if (cancel_->load(std::memory_order_relaxed)) {
+      throw CampaignCancelledError{};
+    }
+    shards_done_->fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  const std::atomic<bool>* cancel_;
+  std::atomic<uint64_t>* shards_done_;
+};
+
+}  // namespace
+
+std::string CampaignStateName(CampaignState state) {
+  switch (state) {
+    case CampaignState::kQueued:
+      return "queued";
+    case CampaignState::kRunning:
+      return "running";
+    case CampaignState::kDone:
+      return "done";
+    case CampaignState::kCancelled:
+      return "cancelled";
+    case CampaignState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+CampaignManager::CampaignManager(int total_lanes)
+    : total_lanes_(std::max(total_lanes, 1)) {}
+
+CampaignManager::~CampaignManager() { Shutdown(); }
+
+CampaignManager::Campaign* CampaignManager::FindLocked(uint64_t id) const {
+  // Ids are assigned densely from 1 in submission order.
+  if (id == 0 || id > campaigns_.size()) {
+    return nullptr;
+  }
+  return campaigns_[static_cast<size_t>(id - 1)].get();
+}
+
+uint64_t CampaignManager::Submit(CampaignSpec spec) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (shutting_down_) {
+    return 0;
+  }
+  auto campaign = std::make_unique<Campaign>();
+  campaign->id = next_id_++;
+  campaign->lanes = std::clamp(spec.lanes, 1, total_lanes_);
+  campaign->spec = std::move(spec);
+  Campaign& ref = *campaign;
+  campaigns_.push_back(std::move(campaign));
+  admit_queue_.push_back(ref.id);
+  ref.worker = std::thread([this, &ref] { RunCampaign(ref); });
+  return ref.id;
+}
+
+void CampaignManager::RunCampaign(Campaign& campaign) {
+  {
+    // Lane grant: strictly FIFO -- only the queue's front may take lanes, so a wide
+    // campaign can never be starved by narrow ones submitted after it.
+    std::unique_lock<std::mutex> lock(mutex_);
+    changed_.wait(lock, [&] {
+      if (shutting_down_ || campaign.cancel.load(std::memory_order_relaxed)) {
+        return true;
+      }
+      return admit_queue_.front() == campaign.id &&
+             lanes_in_use_ + campaign.lanes <= total_lanes_;
+    });
+    if (shutting_down_ || campaign.cancel.load(std::memory_order_relaxed)) {
+      admit_queue_.erase(
+          std::find(admit_queue_.begin(), admit_queue_.end(), campaign.id));
+      campaign.state = CampaignState::kCancelled;
+      changed_.notify_all();
+      return;
+    }
+    admit_queue_.pop_front();
+    lanes_in_use_ += campaign.lanes;
+    campaign.state = CampaignState::kRunning;
+    changed_.notify_all();
+  }
+
+  CampaignState terminal = CampaignState::kDone;
+  std::string error;
+  try {
+    // Private telemetry plus a private context: the campaign's pool holds exactly its
+    // granted lanes, resolved here once with env_overrides = false -- the environment is
+    // never consulted again for this campaign (src/common/context.h).
+    MetricsRegistry registry;
+    TraceRecorder recorder;
+    EngineContext context(EngineOptions{.threads = campaign.lanes,
+                                        .env_overrides = false,
+                                        .metrics = &registry,
+                                        .trace = &recorder});
+
+    PopulationConfig population;
+    population.processor_count = campaign.spec.processors;
+    population.seed = campaign.spec.seed;
+    // Sinks stay null: the context's attachments back them, pinned at pass start.
+
+    const TestSuite suite = TestSuite::BuildFull();
+    ScreeningPipeline pipeline(&suite);
+    ScenarioBatch batch;
+    batch.scenarios.reserve(campaign.spec.scenarios.size());
+    for (const SweepScenario& scenario : campaign.spec.scenarios) {
+      batch.scenarios.push_back(scenario.config);
+    }
+
+    FleetShardStream stream(population);
+    StreamingScreen screen(&pipeline, batch);
+    CampaignGuard guard(&campaign.cancel, &campaign.shards_done);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      campaign.shards_total = stream.shard_count();
+    }
+    stream.Drive({&guard, &screen}, context);
+
+    campaign.result.stats = screen.TakeBatchStats();
+    campaign.result.metrics = registry.Snapshot();
+    campaign.result.trace = recorder.Snapshot();
+  } catch (const CampaignCancelledError&) {
+    terminal = CampaignState::kCancelled;
+  } catch (const std::exception& e) {
+    terminal = CampaignState::kFailed;
+    error = e.what();
+  } catch (...) {
+    terminal = CampaignState::kFailed;
+    error = "unknown error";
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    lanes_in_use_ -= campaign.lanes;
+    campaign.state = terminal;
+    campaign.error = std::move(error);
+    changed_.notify_all();
+  }
+}
+
+std::optional<CampaignStatus> CampaignManager::GetStatus(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Campaign* campaign = FindLocked(id);
+  if (campaign == nullptr) {
+    return std::nullopt;
+  }
+  CampaignStatus status;
+  status.id = campaign->id;
+  status.name = campaign->spec.name;
+  status.state = campaign->state;
+  status.lanes = campaign->lanes;
+  status.shards_done = campaign->shards_done.load(std::memory_order_relaxed);
+  status.shards_total = campaign->shards_total;
+  status.error = campaign->error;
+  return status;
+}
+
+std::vector<CampaignStatus> CampaignManager::List() const {
+  std::vector<CampaignStatus> statuses;
+  std::lock_guard<std::mutex> lock(mutex_);
+  statuses.reserve(campaigns_.size());
+  for (const auto& campaign : campaigns_) {
+    CampaignStatus status;
+    status.id = campaign->id;
+    status.name = campaign->spec.name;
+    status.state = campaign->state;
+    status.lanes = campaign->lanes;
+    status.shards_done = campaign->shards_done.load(std::memory_order_relaxed);
+    status.shards_total = campaign->shards_total;
+    status.error = campaign->error;
+    statuses.push_back(std::move(status));
+  }
+  return statuses;
+}
+
+bool CampaignManager::Cancel(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Campaign* campaign = FindLocked(id);
+  if (campaign == nullptr) {
+    return false;
+  }
+  campaign->cancel.store(true, std::memory_order_relaxed);
+  changed_.notify_all();
+  return true;
+}
+
+std::optional<CampaignState> CampaignManager::Wait(uint64_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Campaign* campaign = FindLocked(id);
+  if (campaign == nullptr) {
+    return std::nullopt;
+  }
+  changed_.wait(lock, [&] {
+    return campaign->state == CampaignState::kDone ||
+           campaign->state == CampaignState::kCancelled ||
+           campaign->state == CampaignState::kFailed;
+  });
+  return campaign->state;
+}
+
+const CampaignResult* CampaignManager::Result(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Campaign* campaign = FindLocked(id);
+  if (campaign == nullptr || campaign->state != CampaignState::kDone) {
+    return nullptr;
+  }
+  return &campaign->result;
+}
+
+void CampaignManager::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+    for (const auto& campaign : campaigns_) {
+      campaign->cancel.store(true, std::memory_order_relaxed);
+    }
+    changed_.notify_all();
+  }
+  for (const auto& campaign : campaigns_) {
+    if (campaign->worker.joinable()) {
+      campaign->worker.join();
+    }
+  }
+}
+
+}  // namespace sdc

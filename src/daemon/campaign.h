@@ -1,0 +1,137 @@
+// Campaign scheduling for the sdcd daemon (docs/daemon.md).
+//
+// A campaign is one fused streaming pass -- generate the fleet shard by shard and screen
+// every scenario against it -- executed on a private EngineContext whose pool holds the
+// campaign's granted lanes. Contexts are constructed with env_overrides = false, so a
+// setenv (SDC_THREADS / SDC_SIMD) after daemon startup can never re-shape an admitted
+// campaign; the only thread-count authority is the lane grant below.
+//
+// Scheduling: the manager owns a fixed lane budget (the daemon's --lanes). Campaigns are
+// admitted strictly in submission order -- the head of the queue waits until enough lanes
+// are free, and nothing behind it can overtake -- which keeps admission deterministic and
+// starvation-free. Each admitted campaign runs on its own thread with its own
+// ThreadPool (src/common/parallel.h pools serve one caller at a time, so lanes are
+// multiplexed by partitioning the budget, never by sharing a pool).
+//
+// Determinism: a campaign's stats, metrics (minus wall-clock timers), and sim trace are a
+// pure function of its spec, so two campaigns interleaved in one daemon are byte-identical
+// to independent one-shot runs -- the property tools/check_daemon.py and
+// tests/daemon_test.cc pin.
+
+#ifndef SDC_SRC_DAEMON_CAMPAIGN_H_
+#define SDC_SRC_DAEMON_CAMPAIGN_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/daemon/spec.h"
+#include "src/fleet/pipeline.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
+
+namespace sdc {
+
+enum class CampaignState {
+  kQueued,     // submitted, waiting for its lane grant
+  kRunning,    // lanes granted, streaming pass in flight
+  kDone,       // completed; result available
+  kCancelled,  // cancelled before or during the pass
+  kFailed,     // the pass threw; see CampaignStatus::error
+};
+
+std::string CampaignStateName(CampaignState state);
+
+struct CampaignStatus {
+  uint64_t id = 0;
+  std::string name;
+  CampaignState state = CampaignState::kQueued;
+  int lanes = 1;               // granted lane count (clamped to the daemon budget)
+  uint64_t shards_done = 0;    // stream shards fully consumed so far
+  uint64_t shards_total = 0;   // 0 until the pass starts
+  std::string error;           // non-empty only for kFailed
+};
+
+// What a completed campaign produced: per-scenario screening stats plus the campaign's
+// private telemetry snapshots (taken once, when the pass finished).
+struct CampaignResult {
+  std::vector<ScreeningStats> stats;  // one per scenario, in spec order
+  MetricsSnapshot metrics;
+  TraceSnapshot trace;
+};
+
+class CampaignManager {
+ public:
+  // `total_lanes` is the daemon's lane budget (already resolved; must be >= 1).
+  explicit CampaignManager(int total_lanes);
+  ~CampaignManager();
+
+  CampaignManager(const CampaignManager&) = delete;
+  CampaignManager& operator=(const CampaignManager&) = delete;
+
+  int total_lanes() const { return total_lanes_; }
+
+  // Enqueues a campaign and starts its worker; returns its id (ids start at 1).
+  // Returns 0 if the manager is shutting down.
+  uint64_t Submit(CampaignSpec spec);
+
+  // Snapshot of one campaign / every campaign in submission order.
+  std::optional<CampaignStatus> GetStatus(uint64_t id) const;
+  std::vector<CampaignStatus> List() const;
+
+  // Requests cancellation: a queued campaign never starts, a running one stops at its
+  // next shard boundary (remaining shards are skipped, generation included). Returns
+  // false for unknown ids; cancelling a finished campaign is a no-op returning true.
+  bool Cancel(uint64_t id);
+
+  // Blocks until the campaign reaches a terminal state; nullopt for unknown ids.
+  std::optional<CampaignState> Wait(uint64_t id);
+
+  // The completed result; null unless the campaign is kDone. The pointer stays valid for
+  // the manager's lifetime.
+  const CampaignResult* Result(uint64_t id) const;
+
+  // Cancels everything outstanding and joins all campaign threads. Idempotent; the
+  // destructor calls it.
+  void Shutdown();
+
+ private:
+  struct Campaign {
+    uint64_t id = 0;
+    CampaignSpec spec;
+    CampaignState state = CampaignState::kQueued;
+    int lanes = 1;
+    std::atomic<uint64_t> shards_done{0};
+    uint64_t shards_total = 0;
+    std::atomic<bool> cancel{false};
+    std::string error;
+    CampaignResult result;
+    std::thread worker;
+  };
+
+  // Body of a campaign thread: wait for the lane grant, run the fused pass, publish the
+  // terminal state, release the lanes.
+  void RunCampaign(Campaign& campaign);
+  Campaign* FindLocked(uint64_t id) const;
+
+  mutable std::mutex mutex_;
+  // Signalled on every admission, terminal transition, and cancellation request.
+  std::condition_variable changed_;
+  int total_lanes_;
+  int lanes_in_use_ = 0;
+  uint64_t next_id_ = 1;
+  std::deque<uint64_t> admit_queue_;  // FIFO: only the front may take lanes
+  std::vector<std::unique_ptr<Campaign>> campaigns_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_DAEMON_CAMPAIGN_H_

@@ -1,0 +1,114 @@
+#include "src/daemon/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/common/parse.h"
+
+namespace sdc {
+
+DaemonClient::DaemonClient(std::string socket_path)
+    : socket_path_(std::move(socket_path)) {}
+
+DaemonClient::~DaemonClient() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+bool DaemonClient::Connect(std::string& error) {
+  sockaddr_un address{};
+  if (socket_path_.size() >= sizeof(address.sun_path)) {
+    error = "socket path too long (max " +
+            std::to_string(sizeof(address.sun_path) - 1) + " bytes): " + socket_path_;
+    return false;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  address.sun_family = AF_UNIX;
+  std::memcpy(address.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) < 0) {
+    error = "connect " + socket_path_ + ": " + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  return true;
+}
+
+bool DaemonClient::Request(const std::string& line, std::string& reply_line,
+                           std::string& payload, std::string& error) {
+  if (fd_ < 0) {
+    error = "not connected";
+    return false;
+  }
+  const std::string request = line + "\n";
+  size_t written = 0;
+  while (written < request.size()) {
+    const ssize_t n = ::write(fd_, request.data() + written, request.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      error = std::string("write: ") + std::strerror(errno);
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+
+  // Read up to the reply line's newline.
+  char chunk[4096];
+  size_t newline;
+  while ((newline = buffer_.find('\n')) == std::string::npos) {
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      error = "connection closed before a reply line arrived";
+      return false;
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+  reply_line = buffer_.substr(0, newline);
+  buffer_.erase(0, newline + 1);
+
+  // A trailing `bytes=N` token announces the payload length; no token, no payload.
+  payload.clear();
+  const size_t last_space = reply_line.find_last_of(' ');
+  const std::string last_token =
+      last_space == std::string::npos ? reply_line : reply_line.substr(last_space + 1);
+  if (last_token.rfind("bytes=", 0) != 0) {
+    return true;
+  }
+  const auto bytes = ParseUint64(last_token.substr(6).c_str());
+  if (!bytes.has_value()) {
+    error = "malformed payload length in reply '" + reply_line + "'";
+    return false;
+  }
+  while (buffer_.size() < *bytes) {
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      error = "connection closed mid-payload (" + std::to_string(buffer_.size()) + "/" +
+              std::to_string(*bytes) + " bytes)";
+      return false;
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+  payload = buffer_.substr(0, static_cast<size_t>(*bytes));
+  buffer_.erase(0, static_cast<size_t>(*bytes));
+  return true;
+}
+
+}  // namespace sdc

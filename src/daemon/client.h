@@ -1,0 +1,42 @@
+// Client side of the sdcd socket protocol, used by `sdcctl --socket` (docs/daemon.md).
+//
+// One connection, synchronous request/reply: Request writes a single protocol line and
+// reads the reply line plus -- when that line ends in `bytes=N` -- exactly N payload
+// bytes. Interpretation of the reply (ok vs err, exit-status mapping) stays with the
+// caller; this class only frames bytes.
+
+#ifndef SDC_SRC_DAEMON_CLIENT_H_
+#define SDC_SRC_DAEMON_CLIENT_H_
+
+#include <string>
+
+namespace sdc {
+
+class DaemonClient {
+ public:
+  explicit DaemonClient(std::string socket_path);
+  ~DaemonClient();
+
+  DaemonClient(const DaemonClient&) = delete;
+  DaemonClient& operator=(const DaemonClient&) = delete;
+
+  // Connects to the daemon's socket. Returns false and fills `error` if the daemon is
+  // not reachable there.
+  bool Connect(std::string& error);
+
+  // Sends one request line (newline appended here) and reads the full reply. On success
+  // `reply_line` holds the status line and `payload` the advertised body (empty when the
+  // line carries no `bytes=N` token). Returns false and fills `error` on transport
+  // failures -- a malformed or truncated reply, or a connection dropped mid-read.
+  bool Request(const std::string& line, std::string& reply_line, std::string& payload,
+               std::string& error);
+
+ private:
+  std::string socket_path_;
+  int fd_ = -1;
+  std::string buffer_;  // bytes read past the current reply line
+};
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_DAEMON_CLIENT_H_

@@ -1,0 +1,163 @@
+#include "src/daemon/protocol.h"
+
+#include <optional>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "src/common/parse.h"
+#include "src/report/exporters.h"
+
+namespace sdc {
+namespace {
+
+ProtocolReply Ok(std::string line) { return {std::move(line), {}, false}; }
+
+ProtocolReply Err(const std::string& code, const std::string& message) {
+  return {"err " + code + " " + message, {}, false};
+}
+
+// An ok line whose payload follows; `bytes=N` is always the last token so clients can
+// frame the body without parsing the rest of the line.
+ProtocolReply OkWithPayload(std::string line, std::string payload) {
+  line += " bytes=" + std::to_string(payload.size());
+  return {std::move(line), std::move(payload), false};
+}
+
+// Ids travel as exact decimal tokens; anything else is a protocol error, not a zero.
+std::optional<uint64_t> ParseId(const std::string& token) {
+  return ParseUint64(token.c_str());
+}
+
+}  // namespace
+
+std::string FormatCampaignStatus(const CampaignStatus& status) {
+  std::ostringstream line;
+  line << "id=" << status.id << " name=" << status.name
+       << " state=" << CampaignStateName(status.state) << " lanes=" << status.lanes
+       << " shards=" << status.shards_done << "/" << status.shards_total;
+  if (!status.error.empty()) {
+    line << " error=" << status.error;
+  }
+  return line.str();
+}
+
+ProtocolReply HandleRequestLine(CampaignManager& manager, const std::string& line) {
+  std::istringstream tokens(line);
+  std::string verb;
+  if (!(tokens >> verb)) {
+    return Err("proto", "empty request");
+  }
+
+  if (verb == "ping") {
+    return Ok("ok pong");
+  }
+
+  if (verb == "shutdown") {
+    ProtocolReply reply = Ok("ok bye");
+    reply.shutdown = true;
+    return reply;
+  }
+
+  if (verb == "submit") {
+    // Everything after the verb is the campaign spec; an empty remainder is the
+    // truncated-submit case and must be rejected, not defaulted.
+    std::string spec_text;
+    std::getline(tokens, spec_text);
+    CampaignSpec spec;
+    std::string error;
+    if (!ParseCampaignSpec(spec_text, spec, error)) {
+      return Err("spec", error);
+    }
+    const uint64_t id = manager.Submit(std::move(spec));
+    if (id == 0) {
+      return Err("shutdown", "daemon is shutting down");
+    }
+    return Ok("ok id=" + std::to_string(id));
+  }
+
+  if (verb == "list") {
+    const std::vector<CampaignStatus> statuses = manager.List();
+    std::string payload;
+    for (const CampaignStatus& status : statuses) {
+      payload += FormatCampaignStatus(status);
+      payload += '\n';
+    }
+    return OkWithPayload("ok count=" + std::to_string(statuses.size()),
+                         std::move(payload));
+  }
+
+  // Every remaining verb addresses one campaign by id.
+  if (verb != "status" && verb != "cancel" && verb != "wait" && verb != "result" &&
+      verb != "metrics" && verb != "trace") {
+    return Err("proto", "unknown verb '" + verb + "'");
+  }
+  std::string id_token;
+  if (!(tokens >> id_token)) {
+    return Err("proto", verb + " needs a campaign id");
+  }
+  const std::optional<uint64_t> id = ParseId(id_token);
+  if (!id.has_value()) {
+    return Err("proto", "invalid campaign id '" + id_token + "'");
+  }
+
+  if (verb == "status") {
+    const std::optional<CampaignStatus> status = manager.GetStatus(*id);
+    if (!status.has_value()) {
+      return Err("unknown-id", "no campaign " + id_token);
+    }
+    return Ok("ok " + FormatCampaignStatus(*status));
+  }
+
+  if (verb == "cancel") {
+    if (!manager.Cancel(*id)) {
+      return Err("unknown-id", "no campaign " + id_token);
+    }
+    return Ok("ok cancelled id=" + id_token);
+  }
+
+  if (verb == "wait") {
+    const std::optional<CampaignState> state = manager.Wait(*id);
+    if (!state.has_value()) {
+      return Err("unknown-id", "no campaign " + id_token);
+    }
+    return Ok("ok state=" + CampaignStateName(*state));
+  }
+
+  if (verb == "result" || verb == "metrics" || verb == "trace") {
+    const CampaignResult* result = manager.Result(*id);
+    if (result == nullptr) {
+      const std::optional<CampaignStatus> status = manager.GetStatus(*id);
+      if (!status.has_value()) {
+        return Err("unknown-id", "no campaign " + id_token);
+      }
+      return Err("not-done", "campaign " + id_token + " is " +
+                                 CampaignStateName(status->state));
+    }
+    std::ostringstream payload;
+    if (verb == "result") {
+      size_t scenario = 0;
+      std::string scenario_token;
+      if (tokens >> scenario_token) {
+        const auto parsed = ParseUint64(scenario_token.c_str());
+        if (!parsed.has_value() || *parsed >= result->stats.size()) {
+          return Err("proto", "invalid scenario index '" + scenario_token + "' (have " +
+                                  std::to_string(result->stats.size()) + ")");
+        }
+        scenario = static_cast<size_t>(*parsed);
+      }
+      WriteScreeningStatsJson(payload, result->stats[scenario]);
+    } else if (verb == "metrics") {
+      // Timers measure daemon wall clock; the protocol exports only the deterministic
+      // sections so replies are comparable across runs (docs/daemon.md).
+      WriteMetricsJson(payload, result->metrics, /*include_timers=*/false);
+    } else {
+      WriteTraceJson(payload, result->trace, /*include_host=*/false);
+    }
+    return OkWithPayload("ok", payload.str());
+  }
+
+  return Err("proto", "unknown verb '" + verb + "'");  // unreachable; keeps -Wreturn-type quiet
+}
+
+}  // namespace sdc

@@ -1,0 +1,53 @@
+// Request protocol of the sdcd daemon (docs/daemon.md).
+//
+// The wire format is deliberately line-oriented so it can be driven by hand with a
+// socket client and tested without sockets at all: each request is one line of
+// whitespace-separated tokens, each reply is one `ok ...` or `err <code> <msg>` line.
+// Replies that carry a body (result / metrics / trace / list) end the ok line with
+// `bytes=N` and follow it with exactly N bytes of payload.
+//
+// Verbs:
+//   ping                     -> ok pong
+//   submit <campaign spec>   -> ok id=N                  (spec: src/daemon/spec.h)
+//   status <id>              -> ok id=N name=... state=... lanes=L shards=D/T [error=...]
+//   list                     -> ok count=K bytes=N       + one status line per campaign
+//   cancel <id>              -> ok cancelled id=N
+//   wait <id>                -> ok state=<terminal>      (blocks)
+//   result <id> [k]          -> ok bytes=N               + scenario k screening stats JSON
+//   metrics <id>             -> ok bytes=N               + campaign metrics JSON, no timers
+//   trace <id>               -> ok bytes=N               + campaign sim-trace JSON, no host
+//   shutdown                 -> ok bye                   (server stops accepting)
+//
+// Error codes mirror the CLI's operand discipline: `proto` (malformed request line) and
+// `spec` (malformed campaign spec) are usage errors the client maps to exit status 2;
+// `unknown-id`, `not-done`, and `shutdown` are runtime conditions mapped to exit 1.
+
+#ifndef SDC_SRC_DAEMON_PROTOCOL_H_
+#define SDC_SRC_DAEMON_PROTOCOL_H_
+
+#include <string>
+
+#include "src/daemon/campaign.h"
+
+namespace sdc {
+
+// One reply: the status line (no trailing newline), the payload advertised by its
+// `bytes=N` token (empty when the line carries no such token), and whether the server
+// should stop serving after sending it.
+struct ProtocolReply {
+  std::string line;
+  std::string payload;
+  bool shutdown = false;
+};
+
+// Handles one request line against the manager. Pure with respect to I/O -- the server
+// owns the socket framing, tests call this directly.
+ProtocolReply HandleRequestLine(CampaignManager& manager, const std::string& line);
+
+// Renders one campaign status in the protocol's key=value form (shared by `status`
+// replies and `list` payload lines).
+std::string FormatCampaignStatus(const CampaignStatus& status);
+
+}  // namespace sdc
+
+#endif  // SDC_SRC_DAEMON_PROTOCOL_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/context.h"
+
 namespace sdc {
 
 Farron::Farron(const TestSuite* suite, FaultyMachine* machine, FarronConfig config)
@@ -13,6 +15,31 @@ Farron::Farron(const TestSuite* suite, FaultyMachine* machine, FarronConfig conf
       pool_(machine->cpu().spec().physical_cores),
       boundary_(config.initial_boundary_celsius, config.boundary_window) {
   boundary_.set_adaptive(config_.enable_adaptive_boundary);
+  if (config_.context != nullptr) {
+    event_log_ = config_.context->event_log();
+  }
+}
+
+MetricsRegistry* Farron::effective_metrics() const {
+  if (config_.metrics != nullptr) {
+    return config_.metrics;
+  }
+  return config_.context != nullptr ? config_.context->metrics() : nullptr;
+}
+
+TraceRecorder* Farron::effective_trace() const {
+  if (config_.trace != nullptr) {
+    return config_.trace;
+  }
+  return config_.context != nullptr ? config_.context->trace() : nullptr;
+}
+
+RunReport Farron::RunPlanOnContext(const std::vector<TestPlanEntry>& plan,
+                                   const TestRunConfig& run_config) const {
+  if (config_.context != nullptr) {
+    return framework_.RunPlan(*machine_, plan, run_config, *config_.context);
+  }
+  return framework_.RunPlan(*machine_, plan, run_config);
 }
 
 TestRunConfig Farron::MakeRunConfig() const {
@@ -32,7 +59,7 @@ FarronRoundSummary Farron::RunPreProduction() {
   const TestRunConfig run_config = MakeRunConfig();
   const std::vector<TestPlanEntry> plan =
       framework_.EqualPlan(config_.pre_production_per_case_seconds);
-  summary.report = framework_.RunPlan(*machine_, plan, run_config);
+  summary.report = RunPlanOnContext(plan, run_config);
   summary.plan_seconds = PriorityTracker::PlanSeconds(plan);
   AbsorbFailures(summary.report, summary);
   return summary;
@@ -71,7 +98,7 @@ FarronRoundSummary Farron::RunRegularRound(const std::vector<Feature>& app_featu
     plan = framework_.EqualPlan(60.0);  // ablation: the baseline's equal allocation
   }
   Emit(EventKind::kRoundStarted, "regular", -1, PriorityTracker::PlanSeconds(plan));
-  summary.report = framework_.RunPlan(*machine_, plan, MakeRunConfig());
+  summary.report = RunPlanOnContext(plan, MakeRunConfig());
   summary.plan_seconds = PriorityTracker::PlanSeconds(plan);
   last_plan_seconds_ = summary.plan_seconds;
   AbsorbFailures(summary.report, summary);
@@ -155,7 +182,7 @@ void Farron::RunTargetedAnalysis(FarronRoundSummary& summary) {
   for (size_t index : suspected) {
     plan.push_back({index, config_.targeted_per_case_seconds});
   }
-  const RunReport report = framework_.RunPlan(*machine_, plan, MakeRunConfig());
+  const RunReport report = RunPlanOnContext(plan, MakeRunConfig());
   // Health analysis: mask every physical core that produced errors.
   std::vector<bool> defective(static_cast<size_t>(pool_.total_cores()), false);
   for (const TestcaseResult& result : report.results) {

@@ -62,6 +62,11 @@ struct FarronConfig {
   // engage/release instants on the simulated clock. Null disables recording. Must outlive
   // the Farron instance (docs/observability.md).
   TraceRecorder* trace = nullptr;
+  // Optional engine context (src/common/context.h): its pool runs every test round, and
+  // its attached metrics/trace/event-log back any of the sinks above left null -- read at
+  // the start of each round, never mid-round. Null keeps the legacy per-round resolution
+  // (a fresh context per parallel plan). Must outlive the Farron instance.
+  EngineContext* context = nullptr;
 };
 
 // Per-round summary used by the evaluation harnesses.
@@ -128,9 +133,16 @@ class Farron {
 
   // Attaches a telemetry sink; Farron emits round, detection, decommission, and
   // triggering-condition-control events through it. Pass nullptr to detach. The log must
-  // outlive the Farron instance.
+  // outlive the Farron instance. When a FarronConfig::context carries an event log, the
+  // constructor attaches it automatically; SetEventLog still overrides.
   void SetEventLog(EventLog* log) { event_log_ = log; }
   EventLog* event_log() const { return event_log_; }
+
+  // Sinks the instance actually writes to: the explicit config sink, else the context's
+  // current attachment, else null. Protection and evaluation harnesses route their
+  // telemetry through these instead of reading config().metrics / config().trace raw.
+  MetricsRegistry* effective_metrics() const;
+  TraceRecorder* effective_trace() const;
 
   // --- State access. ---
   const PriorityTracker& priorities() const { return priorities_; }
@@ -141,6 +153,10 @@ class Farron {
 
  private:
   TestRunConfig MakeRunConfig() const;
+  // Runs a plan on the configured context when one is set (context pool + sink fallback),
+  // or through the legacy context-free framework entry point otherwise.
+  RunReport RunPlanOnContext(const std::vector<TestPlanEntry>& plan,
+                             const TestRunConfig& run_config) const;
   void AbsorbFailures(const RunReport& report, FarronRoundSummary& summary);
   void Emit(EventKind kind, const std::string& subject, int pcore = -1, double value = 0.0);
 

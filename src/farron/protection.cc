@@ -67,7 +67,7 @@ ProtectionReport SimulateProtectedWorkload(Farron& farron, FaultyMachine& machin
   // the end: one span for the whole run on the simulated clock (microseconds), plus one
   // instant per backoff transition. The loop is serial, so the delta is trivially in
   // order; the simulated clock makes it deterministic.
-  TraceRecorder* trace = farron.config().trace;
+  TraceRecorder* trace = farron.effective_trace();
   TraceDelta trace_delta;
   const double run_start_seconds = cpu.now_seconds();
 
@@ -141,7 +141,7 @@ ProtectionReport SimulateProtectedWorkload(Farron& farron, FaultyMachine& machin
   // One delta per simulated run: the loop above is serial, so a single end-of-run summary
   // keeps the registry cheap and the values a pure function of (machine, spec, hours).
   // Per-event counters ("events.*") flow separately through EventLog::AttachMetrics.
-  if (MetricsRegistry* metrics = farron.config().metrics; metrics != nullptr) {
+  if (MetricsRegistry* metrics = farron.effective_metrics(); metrics != nullptr) {
     MetricsDelta delta;
     delta.Add("protection.runs");
     delta.Add("protection.sdc_events", report.sdc_events);

@@ -8,6 +8,7 @@
 #include <numeric>
 #include <utility>
 
+#include "src/common/context.h"
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
 #include "src/common/simd.h"
@@ -554,12 +555,35 @@ void ScreeningPipeline::ScreenShardRangeBatch(
 
 ScreeningStats ScreeningPipeline::Run(const FleetPopulation& fleet,
                                       const ScreeningConfig& config) const {
+  // Context-free run: SDC_THREADS is consulted exactly once (context construction) and
+  // SDC_SIMD exactly once (here); sinks come from the config alone -- the legacy
+  // resolution, byte for byte.
+  EngineContext context(EngineOptions{.threads = config.threads});
+  return RunWith(fleet, config, context, config.metrics, config.trace,
+                 ResolveSimdLevel(config.simd));
+}
+
+ScreeningStats ScreeningPipeline::Run(const FleetPopulation& fleet,
+                                      const ScreeningConfig& config,
+                                      EngineContext& context) const {
+  MetricsRegistry* metrics =
+      config.metrics != nullptr ? config.metrics : context.metrics();
+  TraceRecorder* trace = config.trace != nullptr ? config.trace : context.trace();
+  const SimdLevel simd = config.simd == SimdLevel::kAuto ? context.simd()
+                                                         : ClampSimdLevel(config.simd);
+  return RunWith(fleet, config, context, metrics, trace, simd);
+}
+
+ScreeningStats ScreeningPipeline::RunWith(const FleetPopulation& fleet,
+                                          const ScreeningConfig& config,
+                                          EngineContext& context,
+                                          MetricsRegistry* metrics, TraceRecorder* trace,
+                                          SimdLevel simd) const {
   const Rng base(config.seed);
-  MetricsRegistry::ScopedTimer run_timer(config.metrics, "screening.run.wall");
-  TraceRecorder::ScopedHostSpan run_span(config.trace, "screening.run", "screen",
+  MetricsRegistry::ScopedTimer run_timer(metrics, "screening.run.wall");
+  TraceRecorder::ScopedHostSpan run_span(trace, "screening.run", "screen",
                                          kTraceTrackScreen);
-  ThreadPool pool(config.threads);
-  const SimdLevel simd = ResolveSimdLevel(config.simd);
+  ThreadPool& pool = context.pool();
 
   // Satellite of the memoization work: the per-arch hardware model is invariant across the
   // fleet, so it is materialized once per Run instead of once per faulty processor.
@@ -594,12 +618,12 @@ ScreeningStats ScreeningPipeline::Run(const FleetPopulation& fleet,
         view.end = end;
         Rng rng = base.Fork(shard);
         ScreenShardRange(view, config, arch_specs, shard, simd, rng, result.stats,
-                         config.trace != nullptr ? &result.trace : nullptr);
-        if (config.metrics != nullptr) {
+                         trace != nullptr ? &result.trace : nullptr);
+        if (metrics != nullptr) {
           result.delta = DeltaFromShardStats(result.stats);
           const std::chrono::duration<double> elapsed =
               std::chrono::steady_clock::now() - shard_start;
-          config.metrics->RecordTimerSeconds("screening.shard.wall", elapsed.count());
+          metrics->RecordTimerSeconds("screening.shard.wall", elapsed.count());
         }
         return result;
       },
@@ -608,14 +632,30 @@ ScreeningStats ScreeningPipeline::Run(const FleetPopulation& fleet,
         accumulator.delta.MergeFrom(shard_result.delta);
         accumulator.trace.MergeFrom(std::move(shard_result.trace));
       });
-  if (config.metrics != nullptr) {
-    config.metrics->MergeDelta(total.delta);
+  if (metrics != nullptr) {
+    metrics->MergeDelta(total.delta);
   }
-  if (config.trace != nullptr) {
-    config.trace->MergeDelta(std::move(total.trace));
+  if (trace != nullptr) {
+    trace->MergeDelta(std::move(total.trace));
   }
   return std::move(total.stats);
 }
+
+namespace {
+
+// Shared clean-path level of a batch: the first cached scenario's request. Every level
+// produces the same exact counts (src/common/simd.h), so the choice is observable only in
+// wall-clock time.
+SimdLevel BatchSimdRequest(const ScenarioBatch& batch) {
+  for (const ScreeningConfig& scenario : batch.scenarios) {
+    if (!scenario.use_reference_model) {
+      return scenario.simd;
+    }
+  }
+  return SimdLevel::kAuto;
+}
+
+}  // namespace
 
 std::vector<ScreeningStats> ScreeningPipeline::RunBatch(const FleetPopulation& fleet,
                                                         const ScenarioBatch& batch) const {
@@ -623,19 +663,49 @@ std::vector<ScreeningStats> ScreeningPipeline::RunBatch(const FleetPopulation& f
   if (k_count == 0) {
     return {};
   }
-  const auto run_start = std::chrono::steady_clock::now();
-  ThreadPool pool(batch.threads);
-  // The shared clean-path scan uses the first cached scenario's resolved level; every
-  // level produces the same exact counts (src/common/simd.h), so this choice is
-  // observable only in wall-clock time.
-  SimdLevel simd = SimdLevel::kAuto;
-  for (const ScreeningConfig& scenario : batch.scenarios) {
-    if (!scenario.use_reference_model) {
-      simd = scenario.simd;
-      break;
-    }
+  // Context-free batch: per-call context, env-resolved SIMD, scenario sinks only -- the
+  // legacy resolution, byte for byte.
+  EngineContext context(EngineOptions{.threads = batch.threads});
+  std::vector<MetricsRegistry*> metrics(k_count);
+  std::vector<TraceRecorder*> trace_sinks(k_count);
+  for (size_t k = 0; k < k_count; ++k) {
+    metrics[k] = batch.scenarios[k].metrics;
+    trace_sinks[k] = batch.scenarios[k].trace;
   }
-  simd = ResolveSimdLevel(simd);
+  return RunBatchWith(fleet, batch, context, metrics, trace_sinks,
+                      ResolveSimdLevel(BatchSimdRequest(batch)));
+}
+
+std::vector<ScreeningStats> ScreeningPipeline::RunBatch(const FleetPopulation& fleet,
+                                                        const ScenarioBatch& batch,
+                                                        EngineContext& context) const {
+  const size_t k_count = batch.scenarios.size();
+  if (k_count == 0) {
+    return {};
+  }
+  const SimdLevel request = BatchSimdRequest(batch);
+  const SimdLevel simd =
+      request == SimdLevel::kAuto ? context.simd() : ClampSimdLevel(request);
+  MetricsRegistry* context_metrics = context.metrics();
+  TraceRecorder* context_trace = context.trace();
+  std::vector<MetricsRegistry*> metrics(k_count);
+  std::vector<TraceRecorder*> trace_sinks(k_count);
+  for (size_t k = 0; k < k_count; ++k) {
+    metrics[k] = batch.scenarios[k].metrics != nullptr ? batch.scenarios[k].metrics
+                                                       : context_metrics;
+    trace_sinks[k] = batch.scenarios[k].trace != nullptr ? batch.scenarios[k].trace
+                                                         : context_trace;
+  }
+  return RunBatchWith(fleet, batch, context, metrics, trace_sinks, simd);
+}
+
+std::vector<ScreeningStats> ScreeningPipeline::RunBatchWith(
+    const FleetPopulation& fleet, const ScenarioBatch& batch, EngineContext& context,
+    std::span<MetricsRegistry* const> metrics, std::span<TraceRecorder* const> trace_sinks,
+    SimdLevel simd) const {
+  const size_t k_count = batch.scenarios.size();
+  const auto run_start = std::chrono::steady_clock::now();
+  ThreadPool& pool = context.pool();
 
   std::array<ProcessorSpec, kArchCount> arch_specs;
   for (int arch = 0; arch < kArchCount; ++arch) {
@@ -685,7 +755,7 @@ std::vector<ScreeningStats> ScreeningPipeline::RunBatch(const FleetPopulation& f
         std::vector<TraceDelta*> traces(k_count, nullptr);
         for (size_t k = 0; k < k_count; ++k) {
           rngs.push_back(bases[k].Fork(shard));
-          if (batch.scenarios[k].trace != nullptr) {
+          if (trace_sinks[k] != nullptr) {
             traces[k] = &result.traces[k];
           }
         }
@@ -694,10 +764,9 @@ std::vector<ScreeningStats> ScreeningPipeline::RunBatch(const FleetPopulation& f
         const std::chrono::duration<double> elapsed =
             std::chrono::steady_clock::now() - shard_start;
         for (size_t k = 0; k < k_count; ++k) {
-          if (batch.scenarios[k].metrics != nullptr) {
+          if (metrics[k] != nullptr) {
             result.deltas[k] = DeltaFromShardStats(result.stats[k]);
-            batch.scenarios[k].metrics->RecordTimerSeconds("screening.shard.wall",
-                                                           elapsed.count());
+            metrics[k]->RecordTimerSeconds("screening.shard.wall", elapsed.count());
           }
         }
         return result;
@@ -712,13 +781,12 @@ std::vector<ScreeningStats> ScreeningPipeline::RunBatch(const FleetPopulation& f
   const std::chrono::duration<double> run_elapsed =
       std::chrono::steady_clock::now() - run_start;
   for (size_t k = 0; k < k_count; ++k) {
-    if (batch.scenarios[k].metrics != nullptr) {
-      batch.scenarios[k].metrics->MergeDelta(total.deltas[k]);
-      batch.scenarios[k].metrics->RecordTimerSeconds("screening.run.wall",
-                                                     run_elapsed.count());
+    if (metrics[k] != nullptr) {
+      metrics[k]->MergeDelta(total.deltas[k]);
+      metrics[k]->RecordTimerSeconds("screening.run.wall", run_elapsed.count());
     }
-    if (batch.scenarios[k].trace != nullptr) {
-      batch.scenarios[k].trace->MergeDelta(std::move(total.traces[k]));
+    if (trace_sinks[k] != nullptr) {
+      trace_sinks[k]->MergeDelta(std::move(total.traces[k]));
     }
   }
   return std::move(total.stats);
@@ -866,15 +934,16 @@ StreamingScreen::StreamingScreen(const ScreeningPipeline* pipeline, ScenarioBatc
     bases_.emplace_back(scenario.seed);
   }
   // Shared clean-path level: first cached scenario's request (every level counts
-  // identically, so this only affects wall-clock time).
-  SimdLevel simd = SimdLevel::kAuto;
+  // identically, so this only affects wall-clock time). Legacy resolution (environment
+  // consulted) happens here at construction; a context-threaded BeginStream re-resolves
+  // the recorded request against the context instead.
   for (const ScreeningConfig& scenario : scenarios_) {
     if (!scenario.use_reference_model) {
-      simd = scenario.simd;
+      simd_request_ = scenario.simd;
       break;
     }
   }
-  simd_ = ResolveSimdLevel(simd);
+  simd_ = ResolveSimdLevel(simd_request_);
   for (int arch = 0; arch < kArchCount; ++arch) {
     arch_specs_[static_cast<size_t>(arch)] = MakeArchSpec(arch);
   }
@@ -884,8 +953,28 @@ void StreamingScreen::AddObserver(ShardOutcomeObserver* observer, size_t scenari
   observers_.push_back({observer, scenario});
 }
 
-void StreamingScreen::BeginStream(const PopulationConfig& config, uint64_t shard_count) {
+void StreamingScreen::BeginStreamWithContext(EngineContext* context,
+                                             const PopulationConfig& config,
+                                             uint64_t shard_count) {
   const size_t k_count = scenarios_.size();
+  if (context != nullptr) {
+    simd_ = simd_request_ == SimdLevel::kAuto ? context->simd()
+                                              : ClampSimdLevel(simd_request_);
+  }
+  // Pin the per-scenario sinks for the whole pass: the scenario's explicit sink wins,
+  // the context's attachment as of *now* backs it up. ConsumeShard / EndStream only ever
+  // look at these pins, so a detach on the context mid-stream can neither drop nor
+  // double-merge a shard's delta.
+  MetricsRegistry* context_metrics = context != nullptr ? context->metrics() : nullptr;
+  TraceRecorder* context_trace = context != nullptr ? context->trace() : nullptr;
+  pinned_metrics_.assign(k_count, nullptr);
+  pinned_trace_.assign(k_count, nullptr);
+  for (size_t k = 0; k < k_count; ++k) {
+    pinned_metrics_[k] =
+        scenarios_[k].metrics != nullptr ? scenarios_[k].metrics : context_metrics;
+    pinned_trace_[k] =
+        scenarios_[k].trace != nullptr ? scenarios_[k].trace : context_trace;
+  }
   shard_stats_.assign(shard_count, std::vector<ScreeningStats>(k_count));
   shard_deltas_.assign(shard_count, std::vector<MetricsDelta>(k_count));
   shard_traces_.assign(shard_count, std::vector<TraceDelta>(k_count));
@@ -893,6 +982,10 @@ void StreamingScreen::BeginStream(const PopulationConfig& config, uint64_t shard
   for (const ObserverEntry& entry : observers_) {
     entry.observer->BeginStream(config, scenarios_[entry.scenario], shard_count);
   }
+}
+
+void StreamingScreen::BeginStream(const PopulationConfig& config, uint64_t shard_count) {
+  BeginStreamWithContext(nullptr, config, shard_count);
 }
 
 void StreamingScreen::ConsumeShard(const FleetShard& shard) {
@@ -910,7 +1003,7 @@ void StreamingScreen::ConsumeShard(const FleetShard& shard) {
 
   std::vector<TraceDelta*> traces(k_count, nullptr);
   for (size_t k = 0; k < k_count; ++k) {
-    if (scenarios_[k].trace != nullptr) {
+    if (pinned_trace_[k] != nullptr) {
       traces[k] = &shard_traces_[shard.shard][k];
     }
   }
@@ -935,9 +1028,9 @@ void StreamingScreen::ConsumeShard(const FleetShard& shard) {
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - shard_start;
   for (size_t k = 0; k < k_count; ++k) {
-    if (scenarios_[k].metrics != nullptr) {
+    if (pinned_metrics_[k] != nullptr) {
       shard_deltas_[shard.shard][k] = DeltaFromShardStats(stats[k]);
-      scenarios_[k].metrics->RecordTimerSeconds("screening.shard.wall", elapsed.count());
+      pinned_metrics_[k]->RecordTimerSeconds("screening.shard.wall", elapsed.count());
     }
   }
   for (const ObserverEntry& entry : observers_) {
@@ -951,23 +1044,23 @@ void StreamingScreen::EndStream() {
   // lives in the host domain -- same reasoning as FleetMaterializer::EndStream. Scenario
   // 0's recorder hosts the span; each scenario's deltas merge into its own sinks.
   TraceRecorder::ScopedHostSpan merge_span(
-      scenarios_.empty() ? nullptr : scenarios_.front().trace, "screening.aggregate",
+      pinned_trace_.empty() ? nullptr : pinned_trace_.front(), "screening.aggregate",
       "aggregate", kTraceTrackAggregate);
   std::vector<MetricsDelta> total_deltas(k_count);
   for (size_t shard = 0; shard < shard_stats_.size(); ++shard) {
     for (size_t k = 0; k < k_count; ++k) {
       stats_[k].MergeFrom(std::move(shard_stats_[shard][k]));
-      if (scenarios_[k].metrics != nullptr) {
+      if (pinned_metrics_[k] != nullptr) {
         total_deltas[k].MergeFrom(shard_deltas_[shard][k]);
       }
-      if (scenarios_[k].trace != nullptr) {
-        scenarios_[k].trace->MergeDelta(std::move(shard_traces_[shard][k]));
+      if (pinned_trace_[k] != nullptr) {
+        pinned_trace_[k]->MergeDelta(std::move(shard_traces_[shard][k]));
       }
     }
   }
   for (size_t k = 0; k < k_count; ++k) {
-    if (scenarios_[k].metrics != nullptr) {
-      scenarios_[k].metrics->MergeDelta(total_deltas[k]);
+    if (pinned_metrics_[k] != nullptr) {
+      pinned_metrics_[k]->MergeDelta(total_deltas[k]);
     }
   }
   shard_stats_.clear();

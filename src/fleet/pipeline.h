@@ -217,16 +217,27 @@ class ScreeningPipeline {
 
   // Screens the whole fleet. Sharded across config.threads workers; per-shard stats are
   // merged in shard order and each shard draws from its own forked RNG stream, so the
-  // result is bit-identical at any thread count.
+  // result is bit-identical at any thread count. The context-free form constructs a fresh
+  // EngineContext per call (SDC_THREADS / SDC_SIMD consulted exactly there); the explicit
+  // form runs on the caller's context -- its pool supplies the lanes, its attached sinks
+  // back any config sink left null (pinned once at pass start), and config.simd == kAuto
+  // resolves to the context's level with no environment read (src/common/context.h).
   ScreeningStats Run(const FleetPopulation& fleet, const ScreeningConfig& config) const;
+  ScreeningStats Run(const FleetPopulation& fleet, const ScreeningConfig& config,
+                     EngineContext& context) const;
 
   // Screens the whole fleet under every scenario of `batch` in one pass over the packed
   // columns. Result k is byte-identical to Run(fleet, batch.scenarios[k]) -- counters,
   // detections, detection months bitwise, metrics deltas -- at any thread count; the
   // clean-path scan and the per-defect suite matching are paid once per shard instead of
-  // once per scenario. Returns one ScreeningStats per scenario, in batch order.
+  // once per scenario. Returns one ScreeningStats per scenario, in batch order. Context
+  // forms mirror Run: per-scenario sinks fall back to the context's attachments, pinned
+  // once at pass start.
   std::vector<ScreeningStats> RunBatch(const FleetPopulation& fleet,
                                        const ScenarioBatch& batch) const;
+  std::vector<ScreeningStats> RunBatch(const FleetPopulation& fleet,
+                                       const ScenarioBatch& batch,
+                                       EngineContext& context) const;
 
   // Expected error count for `defect` under one full-suite pass at the stage's settings on
   // a processor with `pcores` physical cores. Exposed for tests and calibration.
@@ -237,6 +248,19 @@ class ScreeningPipeline {
 
  private:
   friend class StreamingScreen;
+
+  // Shared bodies of the Run / RunBatch overloads. `metrics` / `trace` (one per scenario
+  // for the batch form) are the pinned sinks for the whole pass and `simd` the resolved
+  // level; the pool is context.pool(). Neither body reads the environment.
+  ScreeningStats RunWith(const FleetPopulation& fleet, const ScreeningConfig& config,
+                         EngineContext& context, MetricsRegistry* metrics,
+                         TraceRecorder* trace, SimdLevel simd) const;
+  std::vector<ScreeningStats> RunBatchWith(const FleetPopulation& fleet,
+                                           const ScenarioBatch& batch,
+                                           EngineContext& context,
+                                           std::span<MetricsRegistry* const> metrics,
+                                           std::span<TraceRecorder* const> traces,
+                                           SimdLevel simd) const;
 
   // The screening kernel: screens serials [view.begin, view.end) against `rng`,
   // accumulating into `stats` (counters add, so one stats object may accumulate several
@@ -340,6 +364,14 @@ class StreamingScreen : public ShardConsumer {
   // scenario's shard stats.
   void AddObserver(ShardOutcomeObserver* observer, size_t scenario = 0);
 
+  // Context-threaded begin: pins per-scenario sinks (explicit scenario sink wins, the
+  // context's attachment backs it up) and, when the scenario requested kAuto, takes the
+  // context's resolved vector level -- no environment read. A detach on the context
+  // between shards cannot drop or double-merge a delta: the pass completes against what
+  // was pinned here. The context-free BeginStream keeps the legacy resolution
+  // (construction-time ResolveSimdLevel, scenario sinks only).
+  void BeginStreamWithContext(EngineContext* context, const PopulationConfig& config,
+                              uint64_t shard_count) override;
   void BeginStream(const PopulationConfig& config, uint64_t shard_count) override;
   void ConsumeShard(const FleetShard& shard) override;
   void EndStream() override;
@@ -361,9 +393,16 @@ class StreamingScreen : public ShardConsumer {
   const ScreeningPipeline* pipeline_;
   std::vector<ScreeningConfig> scenarios_;
   std::vector<Rng> bases_;  // one base RNG per scenario, forked per screening shard
-  SimdLevel simd_ = SimdLevel::kScalar;  // resolved once at construction
+  // Legacy resolution happens at construction (simd_); a context-threaded BeginStream
+  // re-resolves the recorded request against the context instead.
+  SimdLevel simd_request_ = SimdLevel::kAuto;
+  SimdLevel simd_ = SimdLevel::kScalar;
   std::array<ProcessorSpec, kArchCount> arch_specs_;
   std::vector<ObserverEntry> observers_;
+  // Sinks pinned at pass start (scenario sink, else context attachment), used by
+  // ConsumeShard / EndStream instead of re-reading scenarios_[k].
+  std::vector<MetricsRegistry*> pinned_metrics_;
+  std::vector<TraceRecorder*> pinned_trace_;
   // Per-stream-shard, per-scenario partials, merged in shard order by EndStream.
   std::vector<std::vector<ScreeningStats>> shard_stats_;
   std::vector<std::vector<MetricsDelta>> shard_deltas_;

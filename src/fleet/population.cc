@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/context.h"
 #include "src/common/rng.h"
 #include "src/fleet/stream.h"
 #include "src/telemetry/metrics.h"
@@ -84,6 +85,18 @@ FleetPopulation FleetPopulation::Generate(const PopulationConfig& config) {
   FleetShardStream stream(config);
   FleetMaterializer materializer(&fleet);
   stream.Drive({&materializer});
+  return fleet;
+}
+
+FleetPopulation FleetPopulation::Generate(const PopulationConfig& config,
+                                          EngineContext& context) {
+  MetricsRegistry* metrics =
+      config.metrics != nullptr ? config.metrics : context.metrics();
+  MetricsRegistry::ScopedTimer generate_timer(metrics, "fleet.generate.wall");
+  FleetPopulation fleet;
+  FleetShardStream stream(config);
+  FleetMaterializer materializer(&fleet);
+  stream.Drive({&materializer}, context);
   return fleet;
 }
 

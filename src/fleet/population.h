@@ -25,6 +25,7 @@
 
 namespace sdc {
 
+class EngineContext;
 class MetricsRegistry;
 class Rng;
 class TraceRecorder;
@@ -131,7 +132,13 @@ class FleetPopulation {
   static constexpr uint8_t kFaultyFlag = 1;
   static constexpr uint8_t kDetectableFlag = 2;
 
+  // Context-free form: constructs a fresh EngineContext per call (SDC_THREADS consulted
+  // exactly there). The explicit form generates on the caller's context -- its pool
+  // supplies the lanes and its attached sinks back any config sink left null, so no
+  // mutable process-global state is read after the context was built
+  // (src/common/context.h).
   static FleetPopulation Generate(const PopulationConfig& config);
+  static FleetPopulation Generate(const PopulationConfig& config, EngineContext& context);
 
   uint64_t size() const { return arch_.size(); }
   const PopulationConfig& config() const { return config_; }

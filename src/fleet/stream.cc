@@ -5,6 +5,7 @@
 #include <iterator>
 #include <utility>
 
+#include "src/common/context.h"
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
 #include "src/telemetry/metrics.h"
@@ -48,6 +49,12 @@ std::span<const Defect> FleetShard::DefectsOf(uint64_t serial) const {
 
 ShardConsumer::~ShardConsumer() = default;
 
+void ShardConsumer::BeginStreamWithContext(EngineContext* /*context*/,
+                                           const PopulationConfig& config,
+                                           uint64_t shard_count) {
+  BeginStream(config, shard_count);
+}
+
 void ShardConsumer::BeginStream(const PopulationConfig& /*config*/,
                                 uint64_t /*shard_count*/) {}
 
@@ -58,18 +65,44 @@ uint64_t FleetShardStream::shard_count() const {
 }
 
 StreamReport FleetShardStream::Drive(std::span<ShardConsumer* const> consumers) const {
-  MetricsRegistry::ScopedTimer drive_timer(config_.metrics, "fleet.stream.wall");
-  TraceRecorder::ScopedHostSpan drive_span(config_.trace, "fleet.stream.drive",
-                                           "generate", kTraceTrackGenerate);
+  // Context-free drive: the environment (SDC_THREADS) is consulted exactly once, while
+  // this per-call context is constructed. Consumers see a null context so their sink and
+  // SIMD resolution stays byte-for-byte the legacy behavior.
+  EngineContext context(EngineOptions{.threads = config_.threads});
+  return DriveWith(consumers, context, nullptr);
+}
+
+StreamReport FleetShardStream::Drive(std::span<ShardConsumer* const> consumers,
+                                     EngineContext& context) const {
+  return DriveWith(consumers, context, &context);
+}
+
+StreamReport FleetShardStream::DriveWith(std::span<ShardConsumer* const> consumers,
+                                         EngineContext& context,
+                                         EngineContext* consumer_context) const {
+  // Sinks are pinned here, once, for the whole pass: an explicit config sink wins, the
+  // context's attachment backs it up, and a detach between shards cannot drop or
+  // double-merge a delta -- the in-flight pass completes against what was pinned.
+  MetricsRegistry* metrics =
+      config_.metrics != nullptr
+          ? config_.metrics
+          : (consumer_context != nullptr ? consumer_context->metrics() : nullptr);
+  TraceRecorder* trace =
+      config_.trace != nullptr
+          ? config_.trace
+          : (consumer_context != nullptr ? consumer_context->trace() : nullptr);
+  MetricsRegistry::ScopedTimer drive_timer(metrics, "fleet.stream.wall");
+  TraceRecorder::ScopedHostSpan drive_span(trace, "fleet.stream.drive", "generate",
+                                           kTraceTrackGenerate);
   const uint64_t shards = shard_count();
-  ThreadPool pool(config_.threads);
+  ThreadPool& pool = context.pool();
 
   StreamReport report;
   report.shards = shards;
   report.lanes = pool.thread_count();
 
   for (ShardConsumer* consumer : consumers) {
-    consumer->BeginStream(config_, shards);
+    consumer->BeginStreamWithContext(consumer_context, config_, shards);
   }
 
   const Rng base(config_.seed);
@@ -78,8 +111,8 @@ StreamReport FleetShardStream::Drive(std::span<ShardConsumer* const> consumers) 
     uint64_t peak_bytes = 0;
   };
   std::vector<LaneState> lanes(static_cast<size_t>(pool.thread_count()));
-  std::vector<MetricsDelta> deltas(config_.metrics != nullptr ? shards : 0);
-  std::vector<TraceDelta> traces(config_.trace != nullptr ? shards : 0);
+  std::vector<MetricsDelta> deltas(metrics != nullptr ? shards : 0);
+  std::vector<TraceDelta> traces(trace != nullptr ? shards : 0);
 
   pool.ParallelStream(
       0, config_.processor_count, kFleetShardGrain,
@@ -100,10 +133,10 @@ StreamReport FleetShardStream::Drive(std::span<ShardConsumer* const> consumers) 
         for (ShardConsumer* consumer : consumers) {
           consumer->ConsumeShard(view);
         }
-        if (config_.metrics != nullptr) {
+        if (metrics != nullptr) {
           deltas[shard] = DeltaFromTally(state.buffer.tally, end - begin);
         }
-        if (config_.trace != nullptr) {
+        if (trace != nullptr) {
           // Sim clock: processor serial space. ts = first serial, dur = shard width, so
           // the generation timeline reads as coverage of the fleet's serial axis.
           TraceEvent span = MakeTraceSpan("generate.shard", "generate",
@@ -124,14 +157,14 @@ StreamReport FleetShardStream::Drive(std::span<ShardConsumer* const> consumers) 
   for (const LaneState& state : lanes) {
     report.peak_scratch_bytes += state.peak_bytes;
   }
-  if (config_.metrics != nullptr) {
+  if (metrics != nullptr) {
     for (const MetricsDelta& delta : deltas) {
-      config_.metrics->MergeDelta(delta);
+      metrics->MergeDelta(delta);
     }
   }
-  if (config_.trace != nullptr) {
+  if (trace != nullptr) {
     for (TraceDelta& delta : traces) {
-      config_.trace->MergeDelta(std::move(delta));
+      trace->MergeDelta(std::move(delta));
     }
   }
   for (ShardConsumer* consumer : consumers) {
@@ -142,6 +175,21 @@ StreamReport FleetShardStream::Drive(std::span<ShardConsumer* const> consumers) 
 
 StreamReport FleetShardStream::Drive(std::initializer_list<ShardConsumer*> consumers) const {
   return Drive(std::span<ShardConsumer* const>(consumers.begin(), consumers.size()));
+}
+
+StreamReport FleetShardStream::Drive(std::initializer_list<ShardConsumer*> consumers,
+                                     EngineContext& context) const {
+  return Drive(std::span<ShardConsumer* const>(consumers.begin(), consumers.size()),
+               context);
+}
+
+void FleetMaterializer::BeginStreamWithContext(EngineContext* context,
+                                               const PopulationConfig& config,
+                                               uint64_t shard_count) {
+  BeginStream(config, shard_count);
+  if (trace_ == nullptr && context != nullptr) {
+    trace_ = context->trace();
+  }
 }
 
 void FleetMaterializer::BeginStream(const PopulationConfig& config, uint64_t shard_count) {

@@ -29,6 +29,8 @@
 
 namespace sdc {
 
+class EngineContext;
+
 // Borrowed view of one generated shard, valid only for the duration of
 // ShardConsumer::ConsumeShard. Serial-indexed accessors take global serials in
 // [begin, end); the packed columns are indexed serial - begin.
@@ -77,7 +79,15 @@ class ShardConsumer {
  public:
   virtual ~ShardConsumer();
 
-  // Called once before any shard, on the driving thread.
+  // Called once before any shard, on the driving thread. Context-threaded drives
+  // (Drive(consumers, EngineContext&)) pass their context so consumers can resolve
+  // telemetry sinks and the vector level from it -- and PIN them for the whole pass
+  // (src/common/context.h); context-free drives pass null. The default implementation
+  // forwards to the context-free BeginStream, so existing consumers need no changes.
+  virtual void BeginStreamWithContext(EngineContext* context,
+                                      const PopulationConfig& config,
+                                      uint64_t shard_count);
+  // Context-free form, kept for consumers that do not care about contexts.
   virtual void BeginStream(const PopulationConfig& config, uint64_t shard_count);
   // Called once per shard; thread-safe against itself on distinct shards.
   virtual void ConsumeShard(const FleetShard& shard) = 0;
@@ -107,11 +117,25 @@ class FleetShardStream {
   uint64_t shard_count() const;
 
   // Runs the pass; consumers are invoked in the given order on every shard. Blocks until
-  // every shard has been consumed and EndStream ran on every consumer.
+  // every shard has been consumed and EndStream ran on every consumer. The context-free
+  // form constructs a fresh EngineContext per call (environment consulted exactly there);
+  // the explicit form reuses the caller's context -- its pool supplies the lanes, and its
+  // attached sinks back any config sink left null, pinned once at pass start
+  // (src/common/context.h).
   StreamReport Drive(std::span<ShardConsumer* const> consumers) const;
   StreamReport Drive(std::initializer_list<ShardConsumer*> consumers) const;
+  StreamReport Drive(std::span<ShardConsumer* const> consumers,
+                     EngineContext& context) const;
+  StreamReport Drive(std::initializer_list<ShardConsumer*> consumers,
+                     EngineContext& context) const;
 
  private:
+  // `consumer_context` is what BeginStreamWithContext observes: the caller's context for
+  // explicit drives, null for context-free drives (whose internal context only supplies
+  // the pool, preserving the legacy sink and SIMD resolution exactly).
+  StreamReport DriveWith(std::span<ShardConsumer* const> consumers, EngineContext& context,
+                         EngineContext* consumer_context) const;
+
   PopulationConfig config_;
 };
 
@@ -122,6 +146,10 @@ class FleetMaterializer : public ShardConsumer {
  public:
   explicit FleetMaterializer(FleetPopulation* fleet) : fleet_(fleet) {}
 
+  // Pins the stitch-span trace sink: an explicit config.trace wins, otherwise the
+  // context's attachment as of pass start.
+  void BeginStreamWithContext(EngineContext* context, const PopulationConfig& config,
+                              uint64_t shard_count) override;
   void BeginStream(const PopulationConfig& config, uint64_t shard_count) override;
   void ConsumeShard(const FleetShard& shard) override;
   void EndStream() override;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "src/common/context.h"
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
 #include "src/telemetry/metrics.h"
@@ -120,8 +121,38 @@ RunReport TestFramework::RunPlan(FaultyMachine& machine,
   TraceRecorder::ScopedHostSpan plan_span(config.trace, "toolchain.plan", "toolchain",
                                           kTraceTrackToolchain);
   if (config.parallel_plan_entries && plan.size() > 1) {
-    return RunPlanParallel(machine, plan, config);
+    // Context-free parallel plan: a per-call context supplies the pool, so SDC_THREADS is
+    // consulted exactly once, here.
+    EngineContext context(EngineOptions{.threads = config.threads});
+    return RunPlanParallel(machine, plan, config, context.pool());
   }
+  return RunPlanSerial(machine, plan, config);
+}
+
+RunReport TestFramework::RunPlan(FaultyMachine& machine,
+                                 const std::vector<TestPlanEntry>& plan,
+                                 const TestRunConfig& config,
+                                 EngineContext& context) const {
+  // Effective sinks are read from the context once, at plan start; a detach mid-plan
+  // cannot drop or double-merge the plan's telemetry.
+  TestRunConfig effective = config;
+  if (effective.metrics == nullptr) {
+    effective.metrics = context.metrics();
+  }
+  if (effective.trace == nullptr) {
+    effective.trace = context.trace();
+  }
+  TraceRecorder::ScopedHostSpan plan_span(effective.trace, "toolchain.plan", "toolchain",
+                                          kTraceTrackToolchain);
+  if (effective.parallel_plan_entries && plan.size() > 1) {
+    return RunPlanParallel(machine, plan, effective, context.pool());
+  }
+  return RunPlanSerial(machine, plan, effective);
+}
+
+RunReport TestFramework::RunPlanSerial(FaultyMachine& machine,
+                                       const std::vector<TestPlanEntry>& plan,
+                                       const TestRunConfig& config) const {
   RunReport report;
   Processor& cpu = machine.cpu();
   const double start_seconds = cpu.now_seconds();
@@ -139,12 +170,12 @@ RunReport TestFramework::RunPlan(FaultyMachine& machine,
 
 RunReport TestFramework::RunPlanParallel(const FaultyMachine& machine,
                                          const std::vector<TestPlanEntry>& plan,
-                                         const TestRunConfig& config) const {
+                                         const TestRunConfig& config,
+                                         ThreadPool& pool) const {
   // One fresh clone per entry makes entries fully independent: each starts from the same
   // settled (and, if configured, burnt-in) state with its own injector RNG, so the merged
   // report depends only on (machine, plan, config), never on the worker count. Grain 1:
   // entries are coarse units of work.
-  ThreadPool pool(config.threads);
   std::vector<RunReport> entry_reports = pool.ParallelMap<RunReport>(
       0, plan.size(), 1, [&](uint64_t entry_index, uint64_t, uint64_t) {
         const auto clone_start = std::chrono::steady_clock::now();

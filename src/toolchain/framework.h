@@ -24,7 +24,9 @@
 
 namespace sdc {
 
+class EngineContext;
 class MetricsRegistry;
+class ThreadPool;
 class TraceRecorder;
 
 struct TestPlanEntry {
@@ -106,9 +108,15 @@ class TestFramework {
 
   // Executes the plan's testcases on `machine`: in order on the shared machine by
   // default, or across a worker pool (one fresh machine clone per entry) when
-  // config.parallel_plan_entries is set.
+  // config.parallel_plan_entries is set. The context-free form constructs a fresh
+  // EngineContext when it needs a pool (SDC_THREADS consulted exactly there); the
+  // explicit form runs on the caller's context -- its pool supplies the lanes, and its
+  // attached sinks back any config sink left null, read once at plan start
+  // (src/common/context.h).
   RunReport RunPlan(FaultyMachine& machine, const std::vector<TestPlanEntry>& plan,
                     const TestRunConfig& config) const;
+  RunReport RunPlan(FaultyMachine& machine, const std::vector<TestPlanEntry>& plan,
+                    const TestRunConfig& config, EngineContext& context) const;
 
   // Equal-resource plan over the whole suite (the baseline's strategy, Section 7).
   std::vector<TestPlanEntry> EqualPlan(double per_case_seconds) const;
@@ -118,9 +126,13 @@ class TestFramework {
  private:
   void RunEntry(FaultyMachine& machine, const TestPlanEntry& entry,
                 const TestRunConfig& config, RunReport& report) const;
+  // Shared bodies of the RunPlan overloads; config sinks are already effective (context
+  // fallback applied by the caller) and the pool is whichever context supplied it.
+  RunReport RunPlanSerial(FaultyMachine& machine, const std::vector<TestPlanEntry>& plan,
+                          const TestRunConfig& config) const;
   RunReport RunPlanParallel(const FaultyMachine& machine,
                             const std::vector<TestPlanEntry>& plan,
-                            const TestRunConfig& config) const;
+                            const TestRunConfig& config, ThreadPool& pool) const;
 
   const TestSuite* suite_;
 };

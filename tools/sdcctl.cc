@@ -42,6 +42,11 @@
 //                      stage.<factory|datacenter|reinstall|regular>.<seconds|temp|catch>.
 //                      Composes with --stream; every row is byte-identical to a separate
 //                      single-scenario run.
+//   --socket PATH      client mode: forward the command as a protocol verb to the sdcd
+//                      daemon listening at PATH (docs/daemon.md) -- submit, status, list,
+//                      wait, cancel, result, metrics, trace, ping, shutdown. Campaign
+//                      results fetched this way are byte-identical to the one-shot
+//                      streaming run of the same spec.
 //
 // Numeric operands are parsed strictly (src/common/parse.h): empty input, trailing
 // garbage, overflow, and negative values where an unsigned count is expected are usage
@@ -59,6 +64,8 @@
 #include "src/analysis/repro.h"
 #include "src/common/parse.h"
 #include "src/common/table.h"
+#include "src/daemon/client.h"
+#include "src/daemon/spec.h"
 #include "src/farron/baseline.h"
 #include "src/farron/farron.h"
 #include "src/farron/protection.h"
@@ -86,6 +93,7 @@ struct GlobalOptions {
   uint64_t seed = 0;         // --seed override for fleet generation
   bool seed_set = false;
   std::string sweep_spec;    // --sweep operand; empty = single-scenario commands
+  std::string socket_path;   // --socket operand; non-empty = sdcd client mode
 };
 
 // Applies the global fleet overrides to a population config. The --processors / --seed
@@ -193,173 +201,6 @@ int CmdSweep(const std::string& cpu_id, double seconds_per_case,
   std::cout << report.failed_testcase_ids().size() << " failing testcases, "
             << report.total_errors() << " total errors\n";
   return 0;
-}
-
-// One --sweep scenario: a display name plus the screening config it selects.
-struct SweepScenario {
-  std::string name;
-  ScreeningConfig config;
-};
-
-int StageIndexOf(const std::string& name) {
-  if (name == "factory") {
-    return 0;
-  }
-  if (name == "datacenter") {
-    return 1;
-  }
-  if (name == "reinstall" || name == "re-install") {
-    return 2;
-  }
-  if (name == "regular") {
-    return 3;
-  }
-  return -1;
-}
-
-// Applies one `key=value` token from a scenario file line. Strict like the rest of the
-// CLI: unknown keys, malformed numbers, and out-of-range values are errors, not defaults.
-bool ApplyScenarioAssignment(const std::string& token, SweepScenario& scenario,
-                             std::string& error) {
-  const size_t eq = token.find('=');
-  if (eq == std::string::npos || eq == 0) {
-    error = "expected key=value, got '" + token + "'";
-    return false;
-  }
-  const std::string key = token.substr(0, eq);
-  const std::string value = token.substr(eq + 1);
-  if (key == "name") {
-    if (value.empty()) {
-      error = "name must not be empty";
-      return false;
-    }
-    scenario.name = value;
-    return true;
-  }
-  if (key == "seed") {
-    const auto parsed = ParseUint64(value.c_str());
-    if (!parsed.has_value()) {
-      error = "invalid seed '" + value + "'";
-      return false;
-    }
-    scenario.config.seed = *parsed;
-    return true;
-  }
-  if (key == "period_months" || key == "horizon_months") {
-    const auto parsed = ParseDouble(value.c_str());
-    if (!parsed.has_value() || *parsed <= 0.0) {
-      error = "invalid " + key + " '" + value + "'";
-      return false;
-    }
-    (key == "period_months" ? scenario.config.regular_period_months
-                            : scenario.config.horizon_months) = *parsed;
-    return true;
-  }
-  if (key == "regular_groups") {
-    const auto parsed = ParseInt(value.c_str());
-    if (!parsed.has_value() || *parsed < 1) {
-      error = "invalid regular_groups '" + value + "'";
-      return false;
-    }
-    scenario.config.regular_groups = *parsed;
-    return true;
-  }
-  if (key.rfind("stage.", 0) == 0) {
-    const size_t dot = key.find('.', 6);
-    if (dot == std::string::npos) {
-      error = "expected stage.<stage>.<field>, got '" + key + "'";
-      return false;
-    }
-    const int stage = StageIndexOf(key.substr(6, dot - 6));
-    if (stage < 0) {
-      error = "unknown stage in '" + key +
-              "' (factory | datacenter | reinstall | regular)";
-      return false;
-    }
-    const std::string field = key.substr(dot + 1);
-    const auto parsed = ParseDouble(value.c_str());
-    if (!parsed.has_value() || *parsed < 0.0) {
-      error = "invalid " + key + " '" + value + "'";
-      return false;
-    }
-    StageParams& params = scenario.config.stages[static_cast<size_t>(stage)];
-    if (field == "seconds") {
-      params.per_case_seconds = *parsed;
-    } else if (field == "temp") {
-      params.temperature_celsius = *parsed;
-    } else if (field == "catch") {
-      params.catch_factor = *parsed;
-    } else {
-      error = "unknown stage field in '" + key + "' (seconds | temp | catch)";
-      return false;
-    }
-    return true;
-  }
-  error = "unknown key '" + key + "'";
-  return false;
-}
-
-// Expands a --sweep operand into scenarios. `seeds:K` varies only the screening seed
-// (base seed 77 + k); anything else names a scenario file, one scenario per
-// non-comment line.
-bool ParseSweepSpec(const std::string& spec, std::vector<SweepScenario>& out,
-                    std::string& error) {
-  constexpr size_t kMaxScenarios = 256;
-  if (spec.rfind("seeds:", 0) == 0) {
-    const auto count = ParseUint64(spec.substr(6).c_str());
-    if (!count.has_value() || *count < 1 || *count > kMaxScenarios) {
-      error = "seeds:K needs 1 <= K <= " + std::to_string(kMaxScenarios) + ", got '" +
-              spec.substr(6) + "'";
-      return false;
-    }
-    for (uint64_t k = 0; k < *count; ++k) {
-      SweepScenario scenario;
-      scenario.config.seed += k;
-      scenario.name = "seed" + std::to_string(scenario.config.seed);
-      out.push_back(std::move(scenario));
-    }
-    return true;
-  }
-  std::ifstream file(spec);
-  if (!file) {
-    error = "cannot open scenario file '" + spec + "'";
-    return false;
-  }
-  std::string line;
-  size_t line_number = 0;
-  while (std::getline(file, line)) {
-    ++line_number;
-    const size_t comment = line.find('#');
-    if (comment != std::string::npos) {
-      line.resize(comment);
-    }
-    std::istringstream tokens(line);
-    std::string token;
-    SweepScenario scenario;
-    scenario.name = "s" + std::to_string(out.size());
-    bool any = false;
-    while (tokens >> token) {
-      any = true;
-      std::string assign_error;
-      if (!ApplyScenarioAssignment(token, scenario, assign_error)) {
-        error = spec + ":" + std::to_string(line_number) + ": " + assign_error;
-        return false;
-      }
-    }
-    if (!any) {
-      continue;  // blank or comment-only line
-    }
-    if (out.size() == kMaxScenarios) {
-      error = spec + ": more than " + std::to_string(kMaxScenarios) + " scenarios";
-      return false;
-    }
-    out.push_back(std::move(scenario));
-  }
-  if (out.empty()) {
-    error = spec + ": no scenarios (every line blank or comment)";
-    return false;
-  }
-  return true;
 }
 
 // Batched `screen --sweep`: K scenarios against one fleet in one pass
@@ -582,6 +423,49 @@ int CmdExport(const std::string& what, const GlobalOptions& options) {
   return 2;
 }
 
+// Client mode (--socket): forwards one protocol verb verbatim to a running sdcd
+// (docs/daemon.md) and maps the reply onto the CLI's exit-status discipline -- usage
+// errors the daemon flags as `err proto` / `err spec` exit 2 like any other malformed
+// operand; runtime conditions (unknown id, campaign not done, daemon shutting down, no
+// daemon at the socket) exit 1. Payload-bearing replies (result / metrics / trace / list)
+// put exactly the payload on stdout so client output can be diffed against one-shot runs.
+int RunClient(int argc, char** argv, const std::string& socket_path) {
+  std::string request = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    request += ' ';
+    request += argv[i];
+  }
+  DaemonClient client(socket_path);
+  std::string error;
+  if (!client.Connect(error)) {
+    std::cerr << "sdcctl: " << error << "\n";
+    return 1;
+  }
+  std::string reply_line;
+  std::string payload;
+  if (!client.Request(request, reply_line, payload, error)) {
+    std::cerr << "sdcctl: " << error << "\n";
+    return 1;
+  }
+  if (reply_line.rfind("err ", 0) == 0) {
+    std::cerr << "sdcctl: daemon: " << reply_line.substr(4) << "\n";
+    const size_t code_end = reply_line.find(' ', 4);
+    const std::string code = reply_line.substr(4, code_end == std::string::npos
+                                                      ? std::string::npos
+                                                      : code_end - 4);
+    return code == "proto" || code == "spec" ? 2 : 1;
+  }
+  if (!payload.empty()) {
+    std::cout << payload;
+    if (payload.back() != '\n') {
+      std::cout << "\n";
+    }
+  } else {
+    std::cout << reply_line << "\n";
+  }
+  return 0;
+}
+
 int Usage() {
   std::cerr << "usage: sdcctl [--threads N] [--metrics-out FILE] [--trace-out FILE] "
                "[--stream] [--processors N] [--seed S]\n"
@@ -617,7 +501,14 @@ int Usage() {
                "                     horizon_months, regular_groups,\n"
                "                     stage.<factory|datacenter|reinstall|regular>\n"
                "                     .<seconds|temp|catch>). Each row is byte-identical\n"
-               "                     to a separate single-scenario run\n";
+               "                     to a separate single-scenario run\n"
+               "  --socket PATH      talk to a running sdcd at PATH instead of running\n"
+               "                     locally. Commands become protocol verbs\n"
+               "                     (docs/daemon.md):\n"
+               "                       submit <key=value ...>   enqueue a campaign\n"
+               "                       status <id> | list | wait <id> | cancel <id>\n"
+               "                       result <id> [k] | metrics <id> | trace <id>\n"
+               "                       ping | shutdown\n";
   return 2;
 }
 
@@ -792,12 +683,29 @@ int Main(int argc, char** argv) {
       }
       continue;
     }
+    if (std::strcmp(argv[i], "--socket") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "sdcctl: --socket requires an operand (the sdcd socket path)\n";
+        return 2;
+      }
+      options.socket_path = argv[++i];
+      if (options.socket_path.empty()) {
+        std::cerr << "sdcctl: --socket operand must not be empty\n";
+        return 2;
+      }
+      continue;
+    }
     args.push_back(argv[i]);
   }
   argc = static_cast<int>(args.size());
   argv = args.data();
   if (argc < 2) {
     return Usage();
+  }
+  // Client mode bypasses local dispatch entirely: the daemon owns execution; this process
+  // only frames the request and maps the reply to an exit status.
+  if (!options.socket_path.empty()) {
+    return RunClient(argc, argv, options.socket_path);
   }
   // --sweep only batches the `screen` command; rejecting it elsewhere beats silently
   // running a single-scenario pass the user thought was a sweep.

@@ -1,0 +1,101 @@
+// sdcd: persistent screening daemon (docs/daemon.md).
+//
+//   sdcd --socket PATH [--lanes N]
+//
+// Serves concurrent screening campaigns over a Unix-domain stream socket at PATH, each
+// campaign a fused generate->screen pass (docs/streaming.md) on a private EngineContext.
+// --lanes N bounds the ThreadPool lanes shared by all concurrent campaigns (0 = hardware
+// concurrency; SDC_THREADS overrides N -- resolved exactly once, here at startup: a
+// setenv against a running daemon changes nothing). Campaigns are admitted strictly in
+// submission order as lanes free up, and every campaign's stats, metrics, and sim trace
+// are byte-identical to an independent one-shot `sdcctl --stream` run of the same spec --
+// the property tools/check_daemon.py verifies end to end.
+//
+// Drive it with `sdcctl --socket PATH <verb> ...`; stop it with `sdcctl --socket PATH
+// shutdown` (in-flight campaigns are cancelled at their next shard boundary).
+//
+// Operands are parsed strictly (src/common/parse.h): a missing or malformed flag operand
+// is a usage error (exit 2), never a silent default.
+
+#include <unistd.h>
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "src/common/parallel.h"
+#include "src/common/parse.h"
+#include "src/daemon/campaign.h"
+#include "src/daemon/server.h"
+
+namespace sdc {
+namespace {
+
+int Usage() {
+  std::cerr << "usage: sdcd --socket PATH [--lanes N]\n"
+               "  --socket PATH  Unix-domain socket to listen on (created at startup,\n"
+               "                 removed on shutdown; a stale socket at PATH is replaced)\n"
+               "  --lanes N      total ThreadPool lanes shared by concurrent campaigns;\n"
+               "                 0 = hardware concurrency. SDC_THREADS overrides N --\n"
+               "                 consulted once here, never after startup\n";
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  std::string socket_path;
+  int lanes = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--socket") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "sdcd: --socket requires an operand\n";
+        return 2;
+      }
+      socket_path = argv[++i];
+      if (socket_path.empty()) {
+        std::cerr << "sdcd: --socket operand must not be empty\n";
+        return 2;
+      }
+      continue;
+    }
+    if (std::strcmp(argv[i], "--lanes") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "sdcd: --lanes requires an operand\n";
+        return 2;
+      }
+      const auto parsed = ParseInt(argv[i + 1]);
+      if (!parsed.has_value() || *parsed < 0) {
+        std::cerr << "sdcd: invalid --lanes operand: '" << argv[i + 1] << "'\n";
+        return 2;
+      }
+      lanes = *parsed;
+      ++i;
+      continue;
+    }
+    std::cerr << "sdcd: unknown argument: '" << argv[i] << "'\n";
+    return Usage();
+  }
+  if (socket_path.empty()) {
+    return Usage();
+  }
+
+  // The only environment read of the daemon's lifetime: campaigns run with
+  // env_overrides = false on lanes partitioned from this budget.
+  CampaignManager manager(ResolveThreadCount(lanes));
+  DaemonServer server(&manager, socket_path);
+  std::string error;
+  if (!server.Start(error)) {
+    std::cerr << "sdcd: " << error << "\n";
+    return 1;
+  }
+  std::cerr << "sdcd: serving " << manager.total_lanes() << " lanes on " << socket_path
+            << "\n";
+  server.Serve();
+  manager.Shutdown();
+  ::unlink(socket_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace sdc
+
+int main(int argc, char** argv) { return sdc::Main(argc, argv); }

@@ -15,15 +15,27 @@
 // exits non-zero on any divergence; the closing "summary" line reports the
 // cached-vs-reference screening speedup at one thread.
 //
-// Two more row families cover the batched engine and the SIMD clean path
+// "generate" likewise runs under both models: cached is the blocked SIMD generator
+// (GenerationPlan + bulk uniform fill + branchless classify, docs/performance.md),
+// reference the original per-processor loop kept behind
+// PopulationConfig::use_reference_generator. The binary asserts the two fleets are
+// byte-identical -- columns, faulty index, defect arena (doubles compared bitwise),
+// per-arch tallies -- at every thread count, and the summary reports the blocked
+// generator's speedup at one thread.
+//
+// Further row families cover the batched engine and the SIMD kernels
 // (docs/performance.md):
-//   "screen_scalar" -- the cached model with ScreeningConfig::simd pinned to the scalar
-//                      fallback, so the vector kernel's contribution is measurable.
-//   "screen_batch"  -- ScreeningPipeline::RunBatch over K in {1,2,4,8} scenarios
-//                      (seeds 77+k, periods cycling {3,1,2,6} months) at 1/2/8 threads;
-//                      the figure of merit is ns_per_processor_scenario =
-//                      wall * 1e9 / (processors * K). The binary asserts every batched
-//                      slot is bitwise identical to that scenario's independent run.
+//   "screen_scalar"   -- the cached model with ScreeningConfig::simd pinned to the
+//                        scalar fallback, so the vector kernel's contribution is
+//                        measurable.
+//   "generate_scalar" -- the blocked generator with PopulationConfig::simd pinned to
+//                        scalar; its fleet too must match the golden fleet bitwise.
+//   "screen_batch"    -- ScreeningPipeline::RunBatch over K in {1,2,4,8} scenarios
+//                        (seeds 77+k, periods cycling {3,1,2,6} months) at 1/2/8
+//                        threads; the figure of merit is ns_per_processor_scenario =
+//                        wall * 1e9 / (processors * K). The binary asserts every
+//                        batched slot is bitwise identical to that scenario's
+//                        independent run.
 // The leading "env" line records the resolved SIMD level, whether the build compiled the
 // vector kernels out (-DSDC_FORCE_SCALAR), and the host's hardware thread count, so
 // checked-in results are interpretable.
@@ -114,6 +126,78 @@ bool IdenticalStats(const ScreeningStats& a, const ScreeningStats& b) {
   return true;
 }
 
+bool SameBits(double a, double b) { return std::memcmp(&a, &b, sizeof(double)) == 0; }
+
+bool IdenticalDefects(const Defect& a, const Defect& b) {
+  if (a.id != b.id || a.feature != b.feature || a.affected_ops != b.affected_ops ||
+      a.affected_types != b.affected_types || a.affected_pcores != b.affected_pcores ||
+      a.semantics != b.semantics ||
+      a.pcore_rate_scale.size() != b.pcore_rate_scale.size() ||
+      a.pattern_sets.size() != b.pattern_sets.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.pcore_rate_scale.size(); ++i) {
+    if (!SameBits(a.pcore_rate_scale[i], b.pcore_rate_scale[i])) {
+      return false;
+    }
+  }
+  if (!SameBits(a.min_trigger_celsius, b.min_trigger_celsius) ||
+      !SameBits(a.base_log10_rate, b.base_log10_rate) ||
+      !SameBits(a.temp_slope, b.temp_slope) ||
+      !SameBits(a.intensity_ref, b.intensity_ref) ||
+      !SameBits(a.intensity_exponent, b.intensity_exponent) ||
+      !SameBits(a.pattern_probability, b.pattern_probability) ||
+      !SameBits(a.multi_flip_probability, b.multi_flip_probability) ||
+      !SameBits(a.extra_flip_probability, b.extra_flip_probability) ||
+      !SameBits(a.onset_months, b.onset_months)) {
+    return false;
+  }
+  for (size_t s = 0; s < a.pattern_sets.size(); ++s) {
+    const PatternSet& x = a.pattern_sets[s];
+    const PatternSet& y = b.pattern_sets[s];
+    if (x.type != y.type || x.patterns.size() != y.patterns.size()) {
+      return false;
+    }
+    for (size_t p = 0; p < x.patterns.size(); ++p) {
+      if (x.patterns[p].mask.lo != y.patterns[p].mask.lo ||
+          x.patterns[p].mask.hi != y.patterns[p].mask.hi ||
+          !SameBits(x.patterns[p].weight, y.patterns[p].weight)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Byte-identity of two fleets: packed columns, sparse faulty index, arena ranges, every
+// defect field (doubles bitwise), and the merged per-arch tallies -- the contract the
+// blocked generator makes against the reference loop (docs/performance.md).
+bool IdenticalFleets(const FleetPopulation& a, const FleetPopulation& b) {
+  if (a.size() != b.size() || a.arch_bytes() != b.arch_bytes() ||
+      a.flag_bytes() != b.flag_bytes() || a.faulty_serials() != b.faulty_serials() ||
+      a.faulty_ranges().size() != b.faulty_ranges().size() ||
+      a.defect_arena().size() != b.defect_arena().size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.faulty_ranges().size(); ++i) {
+    if (a.faulty_ranges()[i].offset != b.faulty_ranges()[i].offset ||
+        a.faulty_ranges()[i].count != b.faulty_ranges()[i].count) {
+      return false;
+    }
+  }
+  for (int arch = 0; arch < kArchCount; ++arch) {
+    if (a.CountByArch(arch) != b.CountByArch(arch)) {
+      return false;
+    }
+  }
+  for (size_t i = 0; i < a.defect_arena().size(); ++i) {
+    if (!IdenticalDefects(a.defect_arena()[i], b.defect_arena()[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
 int Main(int argc, char** argv) {
   const uint64_t processors =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1'000'000ull;
@@ -140,16 +224,17 @@ int Main(int argc, char** argv) {
   double scalar_screen_t1 = 0.0;
   double batch_k1_t1 = 0.0;
   double batch_k8_t1 = 0.0;
+  double blocked_generate_t1 = 0.0;
+  double reference_generate_t1 = 0.0;
 
-  // Ground truth for the determinism assertion: the cached model at one thread.
-  ScreeningStats golden;
-  {
-    PopulationConfig population_config;
-    population_config.processor_count = processors;
-    population_config.threads = 1;
-    const FleetPopulation fleet = FleetPopulation::Generate(population_config);
-    golden = pipeline.Run(fleet, ScreeningConfig{.threads = 1});
-  }
+  // Ground truth for the determinism assertions: the blocked generator and the cached
+  // screening model at one thread. Every other (generator, dispatch, threads) variant
+  // must reproduce this fleet and these stats bitwise.
+  PopulationConfig golden_population;
+  golden_population.processor_count = processors;
+  golden_population.threads = 1;
+  const FleetPopulation golden_fleet = FleetPopulation::Generate(golden_population);
+  const ScreeningStats golden = pipeline.Run(golden_fleet, ScreeningConfig{.threads = 1});
 
   for (int threads : {1, 2, 8}) {
     PopulationConfig population_config;
@@ -161,7 +246,33 @@ int Main(int argc, char** argv) {
     });
     EmitJson("generate", "cached", threads, generate_wall, processors);
 
+    // The pre-blocking per-processor loop, and the blocked kernel pinned to scalar
+    // dispatch: three generators, one fleet, asserted byte-identical below.
+    PopulationConfig reference_population = population_config;
+    reference_population.use_reference_generator = true;
+    deterministic &=
+        IdenticalFleets(golden_fleet, FleetPopulation::Generate(reference_population));
+    const double generate_reference_wall = BestWallSeconds(repeats, [&] {
+      (void)FleetPopulation::Generate(reference_population);
+    });
+    EmitJson("generate", "reference", threads, generate_reference_wall, processors);
+
+    PopulationConfig scalar_population = population_config;
+    scalar_population.simd = SimdLevel::kScalar;
+    deterministic &=
+        IdenticalFleets(golden_fleet, FleetPopulation::Generate(scalar_population));
+    const double generate_scalar_wall = BestWallSeconds(repeats, [&] {
+      (void)FleetPopulation::Generate(scalar_population);
+    });
+    EmitJson("generate_scalar", "cached", threads, generate_scalar_wall, processors);
+
+    if (threads == 1) {
+      blocked_generate_t1 = generate_wall;
+      reference_generate_t1 = generate_reference_wall;
+    }
+
     const FleetPopulation fleet = FleetPopulation::Generate(population_config);
+    deterministic &= IdenticalFleets(golden_fleet, fleet);
     for (const bool use_reference : {false, true}) {
       ScreeningConfig screening_config;
       screening_config.threads = threads;
@@ -236,14 +347,20 @@ int Main(int argc, char** argv) {
       batch_k8_t1 > 0.0 ? 8.0 * batch_k1_t1 / batch_k8_t1 : 0.0;
   const double simd_speedup =
       cached_screen_t1 > 0.0 ? scalar_screen_t1 / cached_screen_t1 : 0.0;
+  // Blocked vs reference generator at one thread -- the generate acceptance bound
+  // tools/check_screening_json.py enforces (relative, so flaky CI hosts cannot fail it
+  // on absolute wall time alone).
+  const double generate_speedup =
+      blocked_generate_t1 > 0.0 ? reference_generate_t1 / blocked_generate_t1 : 0.0;
   std::printf("{\"bench\": \"summary\", \"screen_speedup_cached_vs_reference\": %.2f, "
               "\"batch_amortization_k8\": %.2f, \"screen_simd_speedup\": %.2f, "
+              "\"generate_speedup_blocked_vs_reference\": %.2f, "
               "\"deterministic\": %s}\n",
-              speedup, batch_amortization, simd_speedup,
+              speedup, batch_amortization, simd_speedup, generate_speedup,
               deterministic ? "true" : "false");
   if (!deterministic) {
     std::fprintf(stderr,
-                 "FAIL: model/scalar/batch paths diverged from the golden run "
+                 "FAIL: generator/model/scalar/batch paths diverged from the golden run "
                  "(see docs/performance.md)\n");
     return 1;
   }

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace sdc {
@@ -29,6 +30,17 @@ class Rng {
 
   // Returns the next raw 64-bit output.
   uint64_t Next();
+
+  // Fills `out` with out.size() consecutive raw outputs -- bit-for-bit the sequence that
+  // many Next() calls would return, advancing the state identically. The Gaussian cache
+  // is untouched (Next() never reads or writes it), which is what lets the blocked fleet
+  // generator bulk-fill uniforms between faulty parts without perturbing a Box-Muller
+  // partner cached by an earlier defect draw (docs/performance.md).
+  void FillBlock(std::span<uint64_t> out);
+
+  // Discards `count` raw outputs; equivalent to (but faster than) calling Next() that
+  // many times. Used to replay a copied Rng forward to a known draw position.
+  void Skip(uint64_t count);
 
   // Uniform double in [0, 1).
   double NextDouble();
@@ -57,7 +69,10 @@ class Rng {
   uint64_t NextPoisson(double mean);
 
   // Picks an index in [0, weights.size()) proportionally to non-negative `weights`.
-  // Returns 0 if all weights are zero. `weights` must be non-empty.
+  // Degenerate inputs are defined and draw-free: an empty vector or a non-positive total
+  // returns 0 without consuming a draw (callers holding an empty vector must treat the 0
+  // as "no choice", not an index). With a positive total exactly one draw is consumed,
+  // and rounding at the top of the range clamps to the last index.
   size_t NextWeighted(const std::vector<double>& weights);
 
   // Creates an independent child stream; deterministic in (parent seed, tag). Reads only
@@ -70,6 +85,62 @@ class Rng {
   double cached_gaussian_ = 0.0;
   bool has_cached_gaussian_ = false;
   uint64_t seed_;  // retained for Fork()
+};
+
+// The integer draw space of NextDouble: every uniform is (Next() >> 11) * 2^-53, so each
+// draw is fully described by its 53-bit mantissa u53 = Next() >> 11 in [0, kU53End).
+// kU53End itself is therefore a boundary value strictly above every possible draw.
+inline constexpr uint64_t kU53End = uint64_t{1} << 53;
+
+// Smallest u53 for which NextDouble() >= p, i.e. NextBernoulli(p) with p in (0, 1) is
+// true exactly for draws with u53 < BernoulliThresholdU53(p). Found by binary search over
+// the exact comparison NextBernoulli performs, so the threshold test is bit-equivalent to
+// the floating-point one. Returns 0 for p <= 0 (never) and kU53End for p >= 1 (always) --
+// but note NextBernoulli consumes no draw in those two regimes.
+uint64_t BernoulliThresholdU53(double p);
+
+// Precomputed form of Rng::NextWeighted for a fixed weight vector.
+//
+// NextWeighted re-sums its weights and walks a subtraction chain on every call. For hot
+// paths that draw from the same weights millions of times (the fleet generator's arch
+// pick, a defect's pattern choice), WeightedCdf finds the exact boundaries of that chain
+// in u53 space once, by binary search over the chain itself -- not by re-deriving them
+// with different floating-point arithmetic -- so Sample(rng) returns bit-for-bit the
+// index NextWeighted(weights) would have, with identical draw consumption, for every
+// possible Rng state. (The chain's index is a monotone step function of the draw, which
+// is what makes the boundaries well defined.)
+//
+// Degenerate inputs follow NextWeighted exactly: empty weights or a non-positive total
+// make Sample return 0 without consuming a draw; non-finite weights (whose comparisons
+// defeat the monotonicity the search needs) fall back to running the chain per draw.
+class WeightedCdf {
+ public:
+  WeightedCdf() = default;
+  explicit WeightedCdf(std::span<const double> weights);
+
+  size_t size() const { return size_; }
+  // True when Sample consumes exactly one raw draw; false makes Sample return 0 and
+  // leave the Rng untouched (empty weights or total <= 0, as in NextWeighted).
+  bool draws() const { return draws_; }
+  // True when the u53 boundaries are valid (all weights finite). The blocked fleet
+  // generator requires exact() && draws() to classify bulk draws with IndexOf.
+  bool exact() const { return exact_; }
+  // Chain boundaries for indices 0..size-2, ascending: for a drawing, exact cdf,
+  // IndexOf(raw) == number of boundaries <= (raw >> 11).
+  std::span<const uint64_t> bounds_u53() const { return bounds_; }
+
+  // Exactly NextWeighted(weights) on `rng`: same index, same draw consumption.
+  size_t Sample(Rng& rng) const;
+
+  // Classifies one raw Next() output. Requires exact() && draws().
+  size_t IndexOf(uint64_t raw) const;
+
+ private:
+  std::vector<uint64_t> bounds_;
+  std::vector<double> weights_;  // retained only for the non-finite fallback
+  size_t size_ = 0;
+  bool draws_ = false;
+  bool exact_ = true;
 };
 
 }  // namespace sdc

@@ -60,6 +60,35 @@ SimdLevel ResolveSimdLevel(SimdLevel requested);
 void CountBytesByValue(const uint8_t* data, size_t size, int bucket_count,
                        uint64_t* counts, SimdLevel level = SimdLevel::kAuto);
 
+// Classification tables of the blocked fleet generator (docs/performance.md): the arch
+// CDF boundaries and the per-arch faulty-prevalence thresholds, both in the integer draw
+// space u53 = raw >> 11 of src/common/rng.h. Entries beyond the used prefix must be
+// padded with kClassifyNever (a boundary above every possible draw) so the kernels can
+// run fixed-trip-count loops over the full arrays.
+inline constexpr int kMaxClassifyClasses = 16;
+inline constexpr uint64_t kClassifyNever = uint64_t{1} << 53;
+
+struct DrawClassifyTables {
+  int class_count = 0;  // in [1, kMaxClassifyClasses]
+  // cdf_bounds_u53[i] = smallest u53 classified above class i; class_count - 1 used.
+  uint64_t cdf_bounds_u53[kMaxClassifyClasses - 1];
+  // fault_thresholds_u53[c] = faulty iff the second draw's u53 < this; class_count used.
+  uint64_t fault_thresholds_u53[kMaxClassifyClasses];
+};
+
+// Classifies `count` interleaved draw pairs: for each i, with a = draws[2i] >> 11 and
+// f = draws[2i + 1] >> 11,
+//   class_out[i]  = number of cdf_bounds_u53 entries <= a  (the branchless CDF walk);
+//   bit i of faulty_bits = (f < fault_thresholds_u53[class_out[i]]).
+// faulty_bits must hold (count + 63) / 64 words; the kernel zeroes them first. Returns
+// the number of set faulty bits. All u53 values and table entries are < 2^54, which is
+// what lets the vector paths use signed 64-bit compares. Like CountBytesByValue, every
+// level yields bit-identical output; levels without a 64-bit vector compare (SSE2) take
+// the scalar path, so dispatch is still never a behavior change.
+size_t ClassifyDrawPairs(const uint64_t* draws, size_t count,
+                         const DrawClassifyTables& tables, uint8_t* class_out,
+                         uint64_t* faulty_bits, SimdLevel level = SimdLevel::kAuto);
+
 }  // namespace sdc
 
 #endif  // SDC_SRC_COMMON_SIMD_H_

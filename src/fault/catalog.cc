@@ -98,6 +98,7 @@ Defect MakeComputationDefect(Rng& rng, const ComputationDefectParams& params,
   if (params.core_scale_decades > 0.0 && params.pcores.empty()) {
     defect.pcore_rate_scale = LogSpreadScales(rng, pcore_count, params.core_scale_decades);
   }
+  defect.SealPatternCdfs();
   return defect;
 }
 
@@ -667,8 +668,9 @@ void SampleTriggerAndRate(Rng& rng, double ops_per_second, double* min_trigger_c
   *base_log10_rate = log10_frequency - std::log10(60.0 * ops_per_second);
 }
 
-std::vector<Defect> GenerateRandomDefects(Rng& rng, int arch_index, int pcore_count) {
-  std::vector<Defect> defects;
+size_t GenerateRandomDefects(Rng& rng, int arch_index, int pcore_count,
+                             std::vector<Defect>& defects) {
+  const size_t start = defects.size();
   // One defect per faulty part is the common case; a minority carry two within one type.
   const bool consistency = rng.NextBernoulli(8.0 / 27.0);  // study mix: 19 computation, 8 not
   const bool all_cores = rng.NextBernoulli(0.5);           // Observation 4
@@ -713,6 +715,12 @@ std::vector<Defect> GenerateRandomDefects(Rng& rng, int arch_index, int pcore_co
       defects.push_back(MakeComputationDefect(rng, params, pcore_count));
     }
   }
+  return defects.size() - start;
+}
+
+std::vector<Defect> GenerateRandomDefects(Rng& rng, int arch_index, int pcore_count) {
+  std::vector<Defect> defects;
+  GenerateRandomDefects(rng, arch_index, pcore_count, defects);
   return defects;
 }
 

@@ -59,7 +59,12 @@ std::optional<FaultyProcessorInfo> TryFindInCatalog(const std::string& cpu_id);
 
 // Draws a defect set for one faulty fleet processor of the given architecture. Used by the
 // population generator; parameters follow the same distributions as the study catalog.
-// `deployed` marks defects that may develop after deployment (onset_months > 0).
+// `deployed` marks defects that may develop after deployment (onset_months > 0). The
+// appending form pushes onto `out` and returns how many defects it added -- the hot path
+// for shard generation, where defects land directly in the reused shard arena instead of
+// a per-processor vector. The vector form wraps it for one-shot callers.
+size_t GenerateRandomDefects(Rng& rng, int arch_index, int pcore_count,
+                             std::vector<Defect>& out);
 std::vector<Defect> GenerateRandomDefects(Rng& rng, int arch_index, int pcore_count);
 
 // Draws the minimum-trigger temperature and matching base rate for a defect so that the

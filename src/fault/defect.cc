@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 namespace sdc {
 namespace {
@@ -122,23 +123,40 @@ Word128 MakePatternMask(DataType type, int flip_count, Rng& rng) {
   return mask;
 }
 
+void Defect::SealPatternCdfs() {
+  for (PatternSet& set : pattern_sets) {
+    std::vector<double> weights;
+    weights.reserve(set.patterns.size());
+    for (const BitflipPattern& pattern : set.patterns) {
+      weights.push_back(pattern.weight);
+    }
+    set.weight_cdf = WeightedCdf(std::span<const double>(weights));
+  }
+}
+
 Word128 Defect::Corrupt(const Word128& golden, DataType type, Rng& rng) const {
   Word128 mask;
-  const std::vector<BitflipPattern>* patterns = nullptr;
+  const PatternSet* match = nullptr;
   for (const PatternSet& set : pattern_sets) {
     if (set.type == type && !set.patterns.empty()) {
-      patterns = &set.patterns;
+      match = &set;
       break;
     }
   }
-  const bool use_pattern = patterns != nullptr && rng.NextBernoulli(pattern_probability);
+  const bool use_pattern = match != nullptr && rng.NextBernoulli(pattern_probability);
   if (use_pattern) {
-    std::vector<double> weights;
-    weights.reserve(patterns->size());
-    for (const auto& pattern : *patterns) {
-      weights.push_back(pattern.weight);
+    if (match->weight_cdf.size() == match->patterns.size()) {
+      mask = match->patterns[match->weight_cdf.Sample(rng)].mask;
+    } else {
+      // Unsealed defect (hand-built in a test, or weights edited after sealing): take the
+      // original per-draw re-sum, which matches the sealed pick draw for draw.
+      std::vector<double> weights;
+      weights.reserve(match->patterns.size());
+      for (const BitflipPattern& pattern : match->patterns) {
+        weights.push_back(pattern.weight);
+      }
+      mask = match->patterns[rng.NextWeighted(weights)].mask;
     }
-    mask = (*patterns)[rng.NextWeighted(weights)].mask;
   } else {
     mask.SetBit(SampleFlipPosition(type, rng), true);
     if (rng.NextBernoulli(multi_flip_probability)) {

@@ -49,6 +49,11 @@ struct BitflipPattern {
 struct PatternSet {
   DataType type = DataType::kFloat64;
   std::vector<BitflipPattern> patterns;
+  // Sealed cumulative form of the pattern weights (Defect::SealPatternCdfs), consulted by
+  // Corrupt so the per-corruption weighted pick stops re-summing the weights on every
+  // draw. Empty (default) means unsealed: Corrupt falls back to Rng::NextWeighted over
+  // the live weights. Both picks are draw-for-draw identical (see WeightedCdf).
+  WeightedCdf weight_cdf;
 };
 
 // How flips combine with the data (XOR = true flip; stuck-at produces direction bias).
@@ -109,6 +114,11 @@ struct Defect {
   // Applies the damage model to `golden`, returning corrupted bits (always != golden for a
   // non-degenerate mask; if the draw produces no change the lowest eligible bit is flipped).
   Word128 Corrupt(const Word128& golden, DataType type, Rng& rng) const;
+
+  // Precomputes each pattern set's weight CDF so Corrupt's weighted pick is O(patterns)
+  // once instead of per corruption. Call after pattern_sets/weights stop changing (the
+  // catalog builders do); safe to re-call. Draw sequences are unchanged either way.
+  void SealPatternCdfs();
 };
 
 // Samples a bit position for noise flips: mid-word concentrated for numeric types (fraction

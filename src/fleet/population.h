@@ -21,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "src/common/simd.h"
 #include "src/fault/catalog.h"
 
 namespace sdc {
@@ -74,6 +75,15 @@ struct PopulationConfig {
   // Output is bit-identical for a given seed at any thread count (see docs/parallelism.md);
   // SDC_THREADS overrides this value.
   int threads = 0;
+  // Runs the original per-processor scalar generator instead of the blocked kernel
+  // (docs/performance.md). Both produce the same fleet to the bit -- columns, faulty
+  // index, defect arena, tallies -- which tests and bench/micro_screening assert; the
+  // flag exists so that equivalence stays checkable forever (the PR 3 / PR 6 precedent).
+  bool use_reference_generator = false;
+  // Vector level for the blocked generator's classify/tally kernels. kAuto resolves to
+  // the context's level (context overloads) or via SDC_SIMD + host detection (legacy
+  // overloads); any level generates identical bytes, so this is purely a speed knob.
+  SimdLevel simd = SimdLevel::kAuto;
   // Optional metric sink ("fleet.generate.*"): per-shard deltas merged in shard order, so
   // recorded values obey the same thread-count invariance as the fleet itself
   // (docs/observability.md). Null disables instrumentation.
@@ -118,11 +128,41 @@ struct FleetShardBuffer {
   uint64_t CapacityBytes() const;
 };
 
+// Shard-independent precomputed state of the generation kernel, built once per
+// stream/batch (FleetShardStream::Drive does it before the first shard) and shared
+// read-only by every shard -- per-shard work that is a pure function of the config
+// (weight re-summing, MakeArchSpec lookups, CDF boundaries, Bernoulli thresholds) lives
+// here instead of in the per-processor loop. `blocked` reports whether the bulk kernel
+// is usable: it needs an exact, drawing arch CDF and a per-arch prevalence that consumes
+// exactly one draw per processor (0 < rate/detectability < 1); any degenerate config --
+// or PopulationConfig::use_reference_generator -- falls back to the reference loop,
+// which handles every input. Both paths generate identical bytes (docs/performance.md).
+struct GenerationPlan {
+  std::vector<double> shares;                  // hoisted copy of config.arch_share
+  std::array<int, kArchCount> pcores_by_arch{};  // hoisted MakeArchSpec(...).physical_cores
+  WeightedCdf arch_cdf;                        // exact replica of NextWeighted(shares)
+  DrawClassifyTables tables;                   // arch CDF + prevalence thresholds, u53 space
+  SimdLevel simd = SimdLevel::kScalar;         // resolved level for classify + tally
+  bool blocked = false;
+
+  // Legacy resolve: SDC_SIMD consulted here (once per plan), mirroring the context-free
+  // screening entry points.
+  static GenerationPlan Build(const PopulationConfig& config);
+  // Context resolve: the level captured at context construction backs a kAuto request;
+  // no environment read (src/common/context.h).
+  static GenerationPlan Build(const PopulationConfig& config, EngineContext& context);
+};
+
 // Generates serials [begin, end) of the fleet described by `config` into `buffer`
 // (cleared first), drawing every random value from base.Fork(shard) where `base` is
 // Rng(config.seed). This is the single generation kernel: FleetPopulation::Generate and
 // FleetShardStream both call it, so the materialized and streaming fleets are identical
-// bytes by construction. `begin` must equal shard * kFleetShardGrain.
+// bytes by construction. `begin` must equal shard * kFleetShardGrain. The plan-taking
+// form is the hot one (the stream builds one plan for the whole pass); the plan-free
+// form builds a throwaway plan per call and exists for tests and one-shot callers.
+void GenerateFleetShard(const PopulationConfig& config, const GenerationPlan& plan,
+                        const Rng& base, uint64_t shard, uint64_t begin, uint64_t end,
+                        FleetShardBuffer& buffer);
 void GenerateFleetShard(const PopulationConfig& config, const Rng& base, uint64_t shard,
                         uint64_t begin, uint64_t end, FleetShardBuffer& buffer);
 

@@ -106,6 +106,11 @@ StreamReport FleetShardStream::DriveWith(std::span<ShardConsumer* const> consume
   }
 
   const Rng base(config_.seed);
+  // One plan for the whole pass: the per-shard CDF/threshold/pcore precompute happens
+  // here, once, and every lane shares it read-only.
+  const GenerationPlan plan = consumer_context != nullptr
+                                  ? GenerationPlan::Build(config_, *consumer_context)
+                                  : GenerationPlan::Build(config_);
   struct LaneState {
     FleetShardBuffer buffer;
     uint64_t peak_bytes = 0;
@@ -118,7 +123,7 @@ StreamReport FleetShardStream::DriveWith(std::span<ShardConsumer* const> consume
       0, config_.processor_count, kFleetShardGrain,
       [&](int lane, uint64_t shard, uint64_t begin, uint64_t end) {
         LaneState& state = lanes[static_cast<size_t>(lane)];
-        GenerateFleetShard(config_, base, shard, begin, end, state.buffer);
+        GenerateFleetShard(config_, plan, base, shard, begin, end, state.buffer);
 
         FleetShard view;
         view.shard = shard;

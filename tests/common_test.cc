@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <span>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -120,6 +121,157 @@ TEST(RngTest, WeightedPickFollowsWeights) {
   }
   EXPECT_EQ(counts[2], 0);
   EXPECT_NEAR(static_cast<double>(counts[1]) / (counts[0] + counts[1]), 0.75, 0.02);
+}
+
+TEST(RngTest, WeightedDegenerateInputsConsumeNoDraw) {
+  // The blocked fleet generator's replay arithmetic depends on knowing exactly when
+  // NextWeighted draws: never for an empty vector or a non-positive finite total, always
+  // otherwise (including a NaN-polluted total, whose `<= 0` test is false).
+  Rng rng(29);
+  Rng pristine(29);
+  EXPECT_EQ(rng.NextWeighted({}), 0u);
+  EXPECT_EQ(rng.NextWeighted({0.0, 0.0}), 0u);
+  EXPECT_EQ(rng.NextWeighted({-1.0, 0.5}), 0u);
+  EXPECT_EQ(rng.Next(), pristine.Next());  // no draw was consumed above
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  (void)rng.NextWeighted({nan, 1.0});
+  (void)pristine.Next();  // the NaN total escapes `total <= 0`, so one draw is consumed
+  EXPECT_EQ(rng.Next(), pristine.Next());
+}
+
+TEST(RngTest, WeightedSingleElementNeverUnderflows) {
+  // A single positive weight must return index 0 for every draw (the old clamp
+  // `weights.size() - 1` is exercised when the subtraction chain never goes negative,
+  // which rounding can produce).
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.NextWeighted({0.3}), 0u);
+  }
+}
+
+TEST(RngTest, FillBlockMatchesNextSequence) {
+  Rng bulk(37);
+  Rng serial(37);
+  uint64_t draws[257];
+  bulk.FillBlock(std::span<uint64_t>(draws, 257));  // odd size: exercises no alignment
+  for (uint64_t draw : draws) {
+    EXPECT_EQ(draw, serial.Next());
+  }
+  // Split fills continue the same stream.
+  bulk.FillBlock(std::span<uint64_t>(draws, 3));
+  bulk.FillBlock(std::span<uint64_t>(draws + 3, 5));
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(draws[i], serial.Next());
+  }
+  EXPECT_EQ(bulk.Next(), serial.Next());
+}
+
+TEST(RngTest, SkipMatchesDiscardedNexts) {
+  Rng skipped(41);
+  Rng drained(41);
+  skipped.Skip(0);
+  EXPECT_EQ(skipped.Next(), drained.Next());
+  skipped.Skip(129);
+  for (int i = 0; i < 129; ++i) {
+    (void)drained.Next();
+  }
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(skipped.Next(), drained.Next());
+  }
+}
+
+TEST(RngTest, BernoulliThresholdU53MatchesNextBernoulli) {
+  // The threshold must classify every raw draw exactly as NextBernoulli does:
+  // faulty iff (raw >> 11) < threshold.
+  const double kProbs[] = {1e-9, 6.242e-4, 0.25, 0.5, 0.3 + 1e-16, 1.0 - 1e-16};
+  Rng draw_rng(43);
+  for (double p : kProbs) {
+    const uint64_t threshold = BernoulliThresholdU53(p);
+    for (int i = 0; i < 20000; ++i) {
+      const uint64_t raw = draw_rng.Next();
+      const bool via_threshold = (raw >> 11) < threshold;
+      const bool via_double = static_cast<double>(raw >> 11) * 0x1.0p-53 < p;
+      ASSERT_EQ(via_threshold, via_double) << "p=" << p << " raw=" << raw;
+    }
+    // The boundary itself must be exact, not just sampled: threshold - 1 passes,
+    // threshold fails.
+    if (threshold > 0 && threshold < kU53End) {
+      EXPECT_LT(static_cast<double>(threshold - 1) * 0x1.0p-53, p);
+      EXPECT_GE(static_cast<double>(threshold) * 0x1.0p-53, p);
+    }
+  }
+  EXPECT_EQ(BernoulliThresholdU53(0.0), 0u);
+  EXPECT_EQ(BernoulliThresholdU53(-1.0), 0u);
+  EXPECT_EQ(BernoulliThresholdU53(std::numeric_limits<double>::quiet_NaN()), 0u);
+  EXPECT_EQ(BernoulliThresholdU53(1.0), kU53End);
+  EXPECT_EQ(BernoulliThresholdU53(2.0), kU53End);
+}
+
+TEST(RngTest, WeightedCdfSampleMatchesNextWeighted) {
+  // WeightedCdf::Sample must be a drop-in for NextWeighted: same index, same draw
+  // consumption, for well-behaved and adversarial weight vectors alike.
+  const std::vector<std::vector<double>> kWeightSets = {
+      {0.10, 0.10, 0.12, 0.06, 0.08, 0.14, 0.10, 0.16, 0.14},  // the fleet arch shares
+      {1.0},
+      {1.0, 3.0, 0.0},
+      {0.0, 0.0, 5.0},
+      {1e-300, 1.0, 1e-300},
+      {0.1 + 0.2, 0.3, 0.4},  // rounding-hostile partial sums
+      {5.0, -1.0, 3.0},       // negative weight: the chain can skip an index
+      {},
+      {0.0, 0.0},
+      {std::numeric_limits<double>::infinity(), 1.0},              // non-finite fallback
+      {std::numeric_limits<double>::quiet_NaN(), 1.0},             // NaN total still draws
+      {std::numeric_limits<double>::max(), std::numeric_limits<double>::max()},
+  };
+  uint64_t seed = 47;
+  for (const std::vector<double>& weights : kWeightSets) {
+    const WeightedCdf cdf{std::span<const double>(weights)};
+    EXPECT_EQ(cdf.size(), weights.size());
+    Rng via_cdf(seed);
+    Rng via_chain(seed);
+    for (int i = 0; i < 20000; ++i) {
+      ASSERT_EQ(cdf.Sample(via_cdf), via_chain.NextWeighted(weights))
+          << "weights[0]=" << (weights.empty() ? -1.0 : weights[0]) << " i=" << i;
+    }
+    // Draw-consumption parity: both streams must sit at the same position.
+    EXPECT_EQ(via_cdf.Next(), via_chain.Next());
+    ++seed;
+  }
+}
+
+TEST(RngTest, WeightedCdfBoundariesAreExact) {
+  // IndexOf at bound - 1 / bound must flip the class -- the sampled test above would
+  // almost never land on the exact boundary draws.
+  const std::vector<double> weights = {0.10, 0.10, 0.12, 0.06, 0.08,
+                                       0.14, 0.10, 0.16, 0.14};
+  const WeightedCdf cdf{std::span<const double>(weights)};
+  ASSERT_TRUE(cdf.exact());
+  ASSERT_TRUE(cdf.draws());
+  const std::span<const uint64_t> bounds = cdf.bounds_u53();
+  ASSERT_EQ(bounds.size(), weights.size() - 1);
+  double total = 0.0;
+  for (double w : weights) {
+    total += w;
+  }
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    ASSERT_GT(bounds[i], 0u);
+    // Replay NextWeighted's own arithmetic at the boundary and one below it.
+    const auto chain_at = [&](uint64_t u53) {
+      double pick = static_cast<double>(u53) * 0x1.0p-53 * total;
+      for (size_t j = 0; j < weights.size(); ++j) {
+        pick -= weights[j];
+        if (pick < 0.0) {
+          return j;
+        }
+      }
+      return weights.size() - 1;
+    };
+    EXPECT_EQ(chain_at(bounds[i] - 1), i);
+    EXPECT_GT(chain_at(bounds[i]), i);
+    EXPECT_EQ(cdf.IndexOf((bounds[i] - 1) << 11), i);
+    EXPECT_EQ(cdf.IndexOf(bounds[i] << 11), i + 1);
+  }
 }
 
 TEST(RngTest, ForkIndependentButDeterministic) {

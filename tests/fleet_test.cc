@@ -1,6 +1,7 @@
 // Tests for src/fleet: population generation and the four-stage screening pipeline.
 // Statistical assertions use loose bounds around the Table 1 / Table 2 calibration targets.
 
+#include <bit>
 #include <cmath>
 #include <set>
 
@@ -12,6 +13,116 @@
 
 namespace sdc {
 namespace {
+
+// ---- Byte-identity helpers for the blocked-vs-reference generator contract ----------
+//
+// "Identical fleet" means identical everything: packed columns, sparse faulty index,
+// arena ranges, every Defect field (doubles compared by bit pattern, not value), and the
+// merged tallies. The blocked generator (docs/performance.md) promises exactly this.
+
+uint64_t Fnv1a(uint64_t hash, const void* data, size_t size) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    hash = (hash ^ bytes[i]) * 0x100000001b3ull;
+  }
+  return hash;
+}
+
+uint64_t HashDouble(uint64_t hash, double value) {
+  const uint64_t bits = std::bit_cast<uint64_t>(value);
+  return Fnv1a(hash, &bits, sizeof(bits));
+}
+
+uint64_t HashDefect(uint64_t hash, const Defect& defect) {
+  hash = Fnv1a(hash, defect.id.data(), defect.id.size());
+  const int feature = static_cast<int>(defect.feature);
+  hash = Fnv1a(hash, &feature, sizeof(feature));
+  for (OpKind op : defect.affected_ops) {
+    const int v = static_cast<int>(op);
+    hash = Fnv1a(hash, &v, sizeof(v));
+  }
+  for (DataType type : defect.affected_types) {
+    const int v = static_cast<int>(type);
+    hash = Fnv1a(hash, &v, sizeof(v));
+  }
+  for (int pcore : defect.affected_pcores) {
+    hash = Fnv1a(hash, &pcore, sizeof(pcore));
+  }
+  for (double scale : defect.pcore_rate_scale) {
+    hash = HashDouble(hash, scale);
+  }
+  hash = HashDouble(hash, defect.min_trigger_celsius);
+  hash = HashDouble(hash, defect.base_log10_rate);
+  hash = HashDouble(hash, defect.temp_slope);
+  hash = HashDouble(hash, defect.pattern_probability);
+  hash = HashDouble(hash, defect.onset_months);
+  for (const PatternSet& set : defect.pattern_sets) {
+    const int v = static_cast<int>(set.type);
+    hash = Fnv1a(hash, &v, sizeof(v));
+    for (const BitflipPattern& pattern : set.patterns) {
+      hash = Fnv1a(hash, &pattern.mask.lo, sizeof(pattern.mask.lo));
+      hash = Fnv1a(hash, &pattern.mask.hi, sizeof(pattern.mask.hi));
+      hash = HashDouble(hash, pattern.weight);
+    }
+  }
+  return hash;
+}
+
+uint64_t HashFleet(const FleetPopulation& fleet) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  hash = Fnv1a(hash, fleet.arch_bytes().data(), fleet.arch_bytes().size());
+  hash = Fnv1a(hash, fleet.flag_bytes().data(), fleet.flag_bytes().size());
+  for (uint64_t serial : fleet.faulty_serials()) {
+    hash = Fnv1a(hash, &serial, sizeof(serial));
+  }
+  for (const DefectRange& range : fleet.faulty_ranges()) {
+    hash = Fnv1a(hash, &range.offset, sizeof(range.offset));
+    hash = Fnv1a(hash, &range.count, sizeof(range.count));
+  }
+  for (const Defect& defect : fleet.defect_arena()) {
+    hash = HashDefect(hash, defect);
+  }
+  for (int arch = 0; arch < kArchCount; ++arch) {
+    const uint64_t count = fleet.CountByArch(arch);
+    hash = Fnv1a(hash, &count, sizeof(count));
+  }
+  return hash;
+}
+
+void ExpectFleetsIdentical(const FleetPopulation& a, const FleetPopulation& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.arch_bytes(), b.arch_bytes());
+  EXPECT_EQ(a.flag_bytes(), b.flag_bytes());
+  EXPECT_EQ(a.faulty_serials(), b.faulty_serials());
+  ASSERT_EQ(a.faulty_ranges().size(), b.faulty_ranges().size());
+  for (size_t i = 0; i < a.faulty_ranges().size(); ++i) {
+    EXPECT_EQ(a.faulty_ranges()[i].offset, b.faulty_ranges()[i].offset);
+    EXPECT_EQ(a.faulty_ranges()[i].count, b.faulty_ranges()[i].count);
+  }
+  ASSERT_EQ(a.defect_arena().size(), b.defect_arena().size());
+  for (int arch = 0; arch < kArchCount; ++arch) {
+    EXPECT_EQ(a.CountByArch(arch), b.CountByArch(arch)) << ArchName(arch);
+  }
+  // Field-level defect comparison is what the hash summarizes; assert it directly too so
+  // a mismatch points at the defect, not at a digest.
+  for (size_t i = 0; i < a.defect_arena().size(); ++i) {
+    EXPECT_EQ(HashDefect(0xcbf29ce484222325ull, a.defect_arena()[i]),
+              HashDefect(0xcbf29ce484222325ull, b.defect_arena()[i]))
+        << "defect " << i;
+  }
+  EXPECT_EQ(HashFleet(a), HashFleet(b));
+}
+
+FleetPopulation GenerateVariant(uint64_t processors, uint64_t seed, bool reference,
+                                SimdLevel simd, int threads) {
+  PopulationConfig config;
+  config.processor_count = processors;
+  config.seed = seed;
+  config.use_reference_generator = reference;
+  config.simd = simd;
+  config.threads = threads;
+  return FleetPopulation::Generate(config);
+}
 
 // Shared mid-size fleet (200k parts) to keep the statistical tests fast but stable.
 class FleetTest : public ::testing::Test {
@@ -111,6 +222,68 @@ TEST_F(FleetTest, GenerationDeterministic) {
     EXPECT_EQ(a.arch_index(i), b.arch_index(i));
     EXPECT_EQ(a.faulty(i), b.faulty(i));
   }
+}
+
+TEST_F(FleetTest, BlockedGeneratorMatchesReferenceAcrossThreadsAndSimd) {
+  // The tentpole contract: the blocked SIMD generator and the original per-processor
+  // loop produce byte-identical fleets -- columns, faulty index, defect arena, tallies --
+  // at every thread count and dispatch level. 100k parts spans 13 shards including a
+  // partial tail shard, so block tails and shard boundaries are both exercised.
+  const FleetPopulation reference =
+      GenerateVariant(100000, 991, /*reference=*/true, SimdLevel::kAuto, 1);
+  for (const int threads : {1, 2, 8}) {
+    for (const SimdLevel simd : {SimdLevel::kScalar, SimdLevel::kAuto}) {
+      const FleetPopulation blocked =
+          GenerateVariant(100000, 991, /*reference=*/false, simd, threads);
+      ExpectFleetsIdentical(reference, blocked);
+    }
+    const FleetPopulation reference_mt =
+        GenerateVariant(100000, 991, /*reference=*/true, SimdLevel::kAuto, threads);
+    ExpectFleetsIdentical(reference, reference_mt);
+  }
+}
+
+TEST_F(FleetTest, DegenerateConfigsFallBackToReferenceBehavior) {
+  // Configs where clean processors would not consume exactly two draws must disable the
+  // blocked path and still match the reference loop bit for bit.
+  PopulationConfig zero_rate;
+  zero_rate.processor_count = 20000;
+  zero_rate.seed = 313;
+  zero_rate.detected_rate = {};  // prevalence 0 everywhere: Bernoulli never draws
+  PopulationConfig all_faulty = zero_rate;
+  all_faulty.detected_rate.fill(1.0);
+  all_faulty.detectability = 0.5;  // prevalence 2.0: Bernoulli short-circuits true
+  PopulationConfig one_arch = zero_rate;
+  one_arch.detected_rate = PopulationConfig().detected_rate;
+  one_arch.arch_share = {};  // zero total: NextWeighted returns 0 without drawing
+  for (const PopulationConfig& base : {zero_rate, all_faulty, one_arch}) {
+    PopulationConfig ref = base;
+    ref.use_reference_generator = true;
+    PopulationConfig blocked = base;
+    blocked.use_reference_generator = false;
+    ExpectFleetsIdentical(FleetPopulation::Generate(ref),
+                          FleetPopulation::Generate(blocked));
+  }
+  const FleetPopulation zero = FleetPopulation::Generate(zero_rate);
+  EXPECT_EQ(zero.faulty_count(), 0u);
+  const FleetPopulation faulty = FleetPopulation::Generate(all_faulty);
+  EXPECT_EQ(faulty.faulty_count(), 20000u);
+}
+
+TEST_F(FleetTest, GoldenFleetSnapshotHash) {
+  // Pinned digest of a full fleet (columns, faulty index, defect arena fields, tallies)
+  // for the default config at 100k parts, seed 20210101. Any change here is a format
+  // break: the fleet is part of the determinism contract (docs/parallelism.md), and this
+  // constant is what lets a future refactor prove it moved no byte. Regenerate only for
+  // an intentional, documented format change.
+  PopulationConfig config;
+  config.processor_count = 100000;
+  const FleetPopulation fleet = FleetPopulation::Generate(config);
+  EXPECT_EQ(HashFleet(fleet), 0xa03e3b0bb460cae3ull);
+  PopulationConfig reference_config = config;
+  reference_config.use_reference_generator = true;
+  EXPECT_EQ(HashFleet(FleetPopulation::Generate(reference_config)),
+            0xa03e3b0bb460cae3ull);
 }
 
 TEST_F(FleetTest, ScreeningStageSplitMatchesTable1Shape) {

@@ -5,16 +5,20 @@ Runs the bench at a small fleet size and asserts:
   * every non-comment stdout line is a valid JSON object;
   * the leading "env" line reports the resolved SIMD level, the forced-scalar build
     flag, and the host's hardware thread count;
-  * all expected (bench, model, threads) rows -- including the "screen_scalar" rows and
-    the batched "screen_batch" K x threads matrix -- are present exactly once, in order,
+  * all expected (bench, model, threads) rows -- including the generate
+    cached/reference pair, the "generate_scalar" and "screen_scalar" rows, and the
+    batched "screen_batch" K x threads matrix -- are present exactly once, in order,
     with positive throughput numbers;
   * the closing summary line reports a deterministic run (the binary itself exits
     non-zero when any path diverges bitwise -- this script double-checks the flag), a
-    cached-vs-reference speedup > 1, and a batch amortization at K=8 of at least
+    cached-vs-reference screening speedup > 1, a batch amortization at K=8 of at least
     MIN_BATCH_AMORTIZATION (the relative acceptance bound: one batched pass must beat
     8 independent passes by >= 2x; it holds in scalar builds too, because the shared
     work the batch amortizes -- the clean-path scan and the MatchingTestcases memo --
-    exists at every dispatch level).
+    exists at every dispatch level), and a blocked-vs-reference generate speedup of at
+    least MIN_GENERATE_SPEEDUP (relative for the same flaky-host reason; the blocked
+    generator's win -- bulk uniform fill, branchless classify, no per-draw weight
+    re-summing -- also survives scalar dispatch, so one bound covers both CI legs).
 
 Optionally, `--max-batch-ns X` also enforces the absolute bound: every K=8 batched row
 must come in at or under X ns per processor-scenario. CI smoke runs skip it (shared
@@ -31,6 +35,10 @@ REPEATS = 2
 THREADS = (1, 2, 8)
 BATCH_KS = (1, 2, 4, 8)
 MIN_BATCH_AMORTIZATION = 2.0
+# The blocked generator replaced a ~28.8 ns/processor loop with a ~8.7 ns one (3.2x on
+# the reference host, bench/BENCH_screening.json); 2.5x leaves headroom for CI noise
+# while still failing on any regression that would give back the win.
+MIN_GENERATE_SPEEDUP = 2.5
 REQUIRED_KEYS = {
     "bench", "model", "threads", "processors", "wall_seconds",
     "ns_per_processor", "fleets_per_second",
@@ -46,6 +54,8 @@ SIMD_LEVELS = {"scalar", "sse2", "avx2", "neon"}
 def expected_combinations():
     for threads in THREADS:
         yield ("generate", "cached", threads)
+        yield ("generate", "reference", threads)
+        yield ("generate_scalar", "cached", threads)
         for model in ("cached", "reference"):
             yield ("screen", model, threads)
             yield ("generate_screen", model, threads)
@@ -123,6 +133,10 @@ def main() -> int:
         f"batched pass amortizes only "
         f"{summary['batch_amortization_k8']:.2f}x over 8 independent runs "
         f"(acceptance bound: >= {MIN_BATCH_AMORTIZATION}x)")
+    assert summary["generate_speedup_blocked_vs_reference"] >= MIN_GENERATE_SPEEDUP, (
+        f"blocked generator is only "
+        f"{summary['generate_speedup_blocked_vs_reference']:.2f}x the reference loop "
+        f"(acceptance bound: >= {MIN_GENERATE_SPEEDUP}x)")
     if max_batch_ns is not None:
         assert batch_k8_ns, "no K=8 batched rows"
         worst = max(batch_k8_ns)
@@ -132,6 +146,8 @@ def main() -> int:
     print(f"ok: {len(rows)} bench rows on {env['simd']} "
           f"(forced_scalar={env['forced_scalar']}), deterministic, cached screen "
           f"{summary['screen_speedup_cached_vs_reference']:.2f}x the reference model, "
+          f"blocked generate "
+          f"{summary['generate_speedup_blocked_vs_reference']:.2f}x the reference loop, "
           f"K=8 batch {summary['batch_amortization_k8']:.2f}x over independent runs")
     return 0
 

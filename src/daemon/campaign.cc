@@ -127,26 +127,53 @@ void CampaignManager::RunCampaign(Campaign& campaign) {
     // Sinks stay null: the context's attachments back them, pinned at pass start.
 
     const TestSuite suite = TestSuite::BuildFull();
-    ScreeningPipeline pipeline(&suite);
-    ScenarioBatch batch;
-    batch.scenarios.reserve(campaign.spec.scenarios.size());
-    for (const SweepScenario& scenario : campaign.spec.scenarios) {
-      batch.scenarios.push_back(scenario.config);
-    }
+    if (campaign.spec.kind == "scrub") {
+      // Scrub campaign: discovery with the single scenario's screening config, then the
+      // budgeted epoch loop. The progress ledger counts epochs (epoch_tick fires once
+      // after discovery and after every epoch); a cancel request lands at the next epoch
+      // boundary via the tick's return value, surfacing here as ScrubCancelledError.
+      ScrubConfig config;
+      config.population = population;
+      config.screening = campaign.spec.scenarios.front().config;
+      config.budget_fraction = campaign.spec.scrub_budget_fraction;
+      config.horizon_months = campaign.spec.scrub_horizon_months;
+      config.epoch_months = campaign.spec.scrub_epoch_months;
+      config.max_cases_per_round = campaign.spec.scrub_max_cases;
+      config.workload_sample_hours = campaign.spec.scrub_sample_hours;
+      config.epoch_tick = [this, &campaign](uint64_t epochs_done,
+                                            uint64_t epochs_total) {
+        campaign.shards_done.store(epochs_done, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          campaign.shards_total = epochs_total;
+        }
+        return !campaign.cancel.load(std::memory_order_relaxed);
+      };
+      campaign.result.scrub = FleetScrubber(&suite).Run(config, context);
+    } else {
+      ScreeningPipeline pipeline(&suite);
+      ScenarioBatch batch;
+      batch.scenarios.reserve(campaign.spec.scenarios.size());
+      for (const SweepScenario& scenario : campaign.spec.scenarios) {
+        batch.scenarios.push_back(scenario.config);
+      }
 
-    FleetShardStream stream(population);
-    StreamingScreen screen(&pipeline, batch);
-    CampaignGuard guard(&campaign.cancel, &campaign.shards_done);
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      campaign.shards_total = stream.shard_count();
-    }
-    stream.Drive({&guard, &screen}, context);
+      FleetShardStream stream(population);
+      StreamingScreen screen(&pipeline, batch);
+      CampaignGuard guard(&campaign.cancel, &campaign.shards_done);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        campaign.shards_total = stream.shard_count();
+      }
+      stream.Drive({&guard, &screen}, context);
 
-    campaign.result.stats = screen.TakeBatchStats();
+      campaign.result.stats = screen.TakeBatchStats();
+    }
     campaign.result.metrics = registry.Snapshot();
     campaign.result.trace = recorder.Snapshot();
   } catch (const CampaignCancelledError&) {
+    terminal = CampaignState::kCancelled;
+  } catch (const ScrubCancelledError&) {
     terminal = CampaignState::kCancelled;
   } catch (const std::exception& e) {
     terminal = CampaignState::kFailed;

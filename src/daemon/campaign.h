@@ -34,6 +34,7 @@
 
 #include "src/daemon/spec.h"
 #include "src/fleet/pipeline.h"
+#include "src/scrub/scrubber.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
 
@@ -54,17 +55,20 @@ struct CampaignStatus {
   std::string name;
   CampaignState state = CampaignState::kQueued;
   int lanes = 1;               // granted lane count (clamped to the daemon budget)
-  uint64_t shards_done = 0;    // stream shards fully consumed so far
-  uint64_t shards_total = 0;   // 0 until the pass starts
+  uint64_t shards_done = 0;    // stream shards consumed (scrub campaigns: epochs done)
+  uint64_t shards_total = 0;   // 0 until the pass starts (scrub campaigns: total epochs)
   std::string error;           // non-empty only for kFailed
 };
 
 // What a completed campaign produced: per-scenario screening stats plus the campaign's
-// private telemetry snapshots (taken once, when the pass finished).
+// private telemetry snapshots (taken once, when the pass finished). A scrub campaign
+// (spec.kind == "scrub") carries the full ScrubReport instead of screening stats -- its
+// `stats` stays empty and the result verb renders the scrub report.
 struct CampaignResult {
   std::vector<ScreeningStats> stats;  // one per scenario, in spec order
   MetricsSnapshot metrics;
   TraceSnapshot trace;
+  std::optional<ScrubReport> scrub;  // kind=scrub campaigns only
 };
 
 class CampaignManager {

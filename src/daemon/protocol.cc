@@ -136,17 +136,28 @@ ProtocolReply HandleRequestLine(CampaignManager& manager, const std::string& lin
     }
     std::ostringstream payload;
     if (verb == "result") {
-      size_t scenario = 0;
-      std::string scenario_token;
-      if (tokens >> scenario_token) {
-        const auto parsed = ParseUint64(scenario_token.c_str());
-        if (!parsed.has_value() || *parsed >= result->stats.size()) {
-          return Err("proto", "invalid scenario index '" + scenario_token + "' (have " +
-                                  std::to_string(result->stats.size()) + ")");
+      if (result->scrub.has_value()) {
+        // Scrub campaign: the result is the scrub report, not per-scenario stats, so a
+        // scenario index is meaningless here.
+        std::string scenario_token;
+        if (tokens >> scenario_token) {
+          return Err("proto", "scrub campaigns have no scenario index");
         }
-        scenario = static_cast<size_t>(*parsed);
+        WriteScrubReportJson(payload, *result->scrub);
+      } else {
+        size_t scenario = 0;
+        std::string scenario_token;
+        if (tokens >> scenario_token) {
+          const auto parsed = ParseUint64(scenario_token.c_str());
+          if (!parsed.has_value() || *parsed >= result->stats.size()) {
+            return Err("proto", "invalid scenario index '" + scenario_token +
+                                    "' (have " + std::to_string(result->stats.size()) +
+                                    ")");
+          }
+          scenario = static_cast<size_t>(*parsed);
+        }
+        WriteScreeningStatsJson(payload, result->stats[scenario]);
       }
-      WriteScreeningStatsJson(payload, result->stats[scenario]);
     } else if (verb == "metrics") {
       // Timers measure daemon wall clock; the protocol exports only the deterministic
       // sections so replies are comparable across runs (docs/daemon.md).

@@ -169,6 +169,7 @@ bool ParseCampaignSpec(const std::string& text, CampaignSpec& out, std::string& 
   base_scenario.name = "s0";
   bool any_token = false;
   bool any_scenario_key = false;
+  bool any_scrub_key = false;
   std::string sweep_spec;
   std::istringstream tokens(text);
   std::string token;
@@ -224,6 +225,64 @@ bool ParseCampaignSpec(const std::string& text, CampaignSpec& out, std::string& 
       sweep_spec = value;
       continue;
     }
+    if (key == "kind") {
+      if (value != "screen" && value != "scrub") {
+        error = "unknown kind '" + value + "' (expected screen or scrub)";
+        return false;
+      }
+      spec.kind = value;
+      continue;
+    }
+    if (key == "scrub.budget") {
+      const auto parsed = ParseDouble(value.c_str());
+      if (!parsed.has_value() || *parsed < 0.0) {
+        error = "invalid scrub.budget '" + value + "' (need a fraction >= 0)";
+        return false;
+      }
+      any_scrub_key = true;
+      spec.scrub_budget_fraction = *parsed;
+      continue;
+    }
+    if (key == "scrub.horizon_months") {
+      const auto parsed = ParseDouble(value.c_str());
+      if (!parsed.has_value() || *parsed <= 0.0) {
+        error = "invalid scrub.horizon_months '" + value + "'";
+        return false;
+      }
+      any_scrub_key = true;
+      spec.scrub_horizon_months = *parsed;
+      continue;
+    }
+    if (key == "scrub.epoch_months") {
+      const auto parsed = ParseDouble(value.c_str());
+      if (!parsed.has_value() || *parsed <= 0.0) {
+        error = "invalid scrub.epoch_months '" + value + "'";
+        return false;
+      }
+      any_scrub_key = true;
+      spec.scrub_epoch_months = *parsed;
+      continue;
+    }
+    if (key == "scrub.max_cases") {
+      const auto parsed = ParseUint64(value.c_str());
+      if (!parsed.has_value()) {
+        error = "invalid scrub.max_cases '" + value + "'";
+        return false;
+      }
+      any_scrub_key = true;
+      spec.scrub_max_cases = *parsed;
+      continue;
+    }
+    if (key == "scrub.sample_hours") {
+      const auto parsed = ParseDouble(value.c_str());
+      if (!parsed.has_value() || *parsed < 0.0) {
+        error = "invalid scrub.sample_hours '" + value + "'";
+        return false;
+      }
+      any_scrub_key = true;
+      spec.scrub_sample_hours = *parsed;
+      continue;
+    }
     if (key.rfind("scenario.", 0) == 0) {
       any_scenario_key = true;
       std::string assign_error;
@@ -242,6 +301,14 @@ bool ParseCampaignSpec(const std::string& text, CampaignSpec& out, std::string& 
   }
   if (!sweep_spec.empty() && any_scenario_key) {
     error = "sweep= and scenario.* keys are mutually exclusive";
+    return false;
+  }
+  if (spec.kind == "scrub" && !sweep_spec.empty()) {
+    error = "kind=scrub runs one discovery scenario; sweep= is not allowed";
+    return false;
+  }
+  if (spec.kind != "scrub" && any_scrub_key) {
+    error = "scrub.* keys require kind=scrub";
     return false;
   }
   if (!sweep_spec.empty()) {

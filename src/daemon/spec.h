@@ -51,12 +51,27 @@ struct CampaignSpec {
   uint64_t seed = 20210101;      // fleet generation seed
   int lanes = 1;                 // pool lanes requested (clamped to the daemon budget)
   std::vector<SweepScenario> scenarios;  // at least one after parsing
+
+  // Campaign kind: "screen" (the fused generate->screen pass, the default) or "scrub"
+  // (discovery plus the budgeted FleetScrubber epoch loop; docs/scrubbing.md). A scrub
+  // campaign screens with its single scenario's config to discover the escapes and
+  // rejects sweep=; its progress ledger counts epochs instead of stream shards and
+  // cancellation lands at the next epoch boundary.
+  std::string kind = "screen";
+  // Scrub-kind knobs (scrub.* keys; rejected when kind=screen).
+  double scrub_budget_fraction = 1e-5;  // scrub.budget
+  double scrub_horizon_months = 12.0;   // scrub.horizon_months
+  double scrub_epoch_months = 1.0;      // scrub.epoch_months
+  uint64_t scrub_max_cases = 48;        // scrub.max_cases (0 = full plans)
+  double scrub_sample_hours = 0.05;     // scrub.sample_hours (workload sampling)
 };
 
 // Parses one campaign spec line of whitespace-separated key=value tokens:
-//   name=<id> processors=<N> seed=<S> lanes=<L>
+//   name=<id> processors=<N> seed=<S> lanes=<L> kind=<screen|scrub>
 //   scenario.<key>=<v>   (screening knobs of the single default scenario)
 //   sweep=<seeds:K|file> (multi-scenario campaign; excludes scenario.* keys)
+//   scrub.<budget|horizon_months|epoch_months|max_cases|sample_hours>=<v>
+//                        (kind=scrub only; sweep= is rejected for scrub campaigns)
 // Every key is optional, but the line must contain at least one token: an empty or
 // blank spec -- the truncated-submit case on the socket -- is an error, not a default
 // campaign. Returns false and fills `error` on any violation.

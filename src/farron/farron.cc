@@ -49,8 +49,12 @@ TestRunConfig Farron::MakeRunConfig() const {
   run_config.burn_in_seconds = config_.enable_hot_testing ? config_.burn_in_seconds : 0.0;
   run_config.seed = config_.seed;
   run_config.pcores_under_test = pool_.UsableCores();
-  run_config.metrics = config_.metrics;
-  run_config.trace = config_.trace;
+  // Resolve sinks here (config > context > off) instead of passing the raw config
+  // pointers: RunPlan's context overload applies the same fallback, but the legacy
+  // overload does not, and sessions route chunks through both paths -- resolving once
+  // keeps the precedence in one place. Same sink either way.
+  run_config.metrics = effective_metrics();
+  run_config.trace = effective_trace();
   return run_config;
 }
 

@@ -152,6 +152,10 @@ class Farron {
   const FarronConfig& config() const { return config_; }
 
  private:
+  // Sessions decompose the regular-test cycle into budgeted chunks and need the same
+  // internals RunRegularRound uses (plan execution, failure absorption, event emission).
+  friend class ProtectionSession;
+
   TestRunConfig MakeRunConfig() const;
   // Runs a plan on the configured context when one is set (context pool + sink fallback),
   // or through the legacy context-free framework entry point otherwise.

@@ -1,11 +1,23 @@
 #include "src/farron/longitudinal.h"
 
+#include <limits>
+
+#include "src/farron/session.h"
+
 namespace sdc {
 
 LifecycleReport RunLifecycle(Farron& farron, FaultyMachine& machine, const TestSuite& suite,
                              const LifecycleConfig& config) {
   LifecycleReport report;
   DefectInjector* injector = machine.injector();
+
+  // The lifecycle is a thin loop over one long-lived session: each interval runs the
+  // workload in steps and then an unbudgeted test round (== Farron::RunRegularRound).
+  SessionOptions session_options;
+  session_options.protect = true;
+  session_options.app_features = config.app_features;
+  ProtectionSession session(&farron, &machine, &suite, config.workload,
+                            Rng(config.workload.seed), session_options);
 
   // Month 0: pre-production testing (defects with onset 0 are live; wear-out defects are
   // still dormant).
@@ -42,8 +54,17 @@ LifecycleReport RunLifecycle(Farron& farron, FaultyMachine& machine, const TestS
     if (injector != nullptr) {
       injector->set_age_months(month);
     }
-    const ProtectionReport app = SimulateProtectedWorkload(
-        farron, machine, suite, config.workload, config.app_hours_per_interval, true);
+    ProtectionReport app;
+    if (config.workload.use_reference_loop) {
+      app = SimulateProtectedWorkloadReference(farron, machine, suite, config.workload,
+                                               config.app_hours_per_interval, true);
+    } else {
+      session.BeginWorkload(config.app_hours_per_interval);
+      while (!session.workload_done()) {
+        session.Step(3600.0);
+      }
+      app = session.FinishWorkload();
+    }
     period.app_sdc_events = app.sdc_events;
     period.backoff_seconds = app.backoff_seconds;
     report.total_app_sdc_events += app.sdc_events;
@@ -51,7 +72,8 @@ LifecycleReport RunLifecycle(Farron& farron, FaultyMachine& machine, const TestS
     if (injector != nullptr) {
       injector->set_age_months(month);
     }
-    const FarronRoundSummary round = farron.RunRegularRound(config.app_features);
+    session.RunTestRound(std::numeric_limits<double>::infinity());
+    const FarronRoundSummary round = *session.last_round_summary();
     period.tested = true;
     period.detected = round.report.any_error();
     period.masked_cores = farron.pool().masked_count();

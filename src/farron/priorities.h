@@ -9,6 +9,7 @@
 #ifndef SDC_SRC_FARRON_PRIORITIES_H_
 #define SDC_SRC_FARRON_PRIORITIES_H_
 
+#include <array>
 #include <istream>
 #include <ostream>
 #include <string>
@@ -34,6 +35,27 @@ struct PriorityPlanParams {
   // Global scale on all durations (adaptive test-duration knob: lower temperature
   // boundaries need less testing, Section 7.1).
   double duration_scale = 1.0;
+};
+
+// Fleet-level scheduling weights for the budgeted scrubber (src/scrub): the same
+// prioritization idea as the per-processor plan above, lifted one level up -- which
+// *processors* get the next funded test round, instead of which testcases get the next
+// slice. Scores multiply three factors and the scrubber funds the highest first:
+//   score = arch_weight[arch] * temperature_factor * (1 + aging_weight * epochs_waiting)
+struct ScrubSchedulerParams {
+  // Relative weight per micro-architecture M1..M9, defaulting to Table 2's detected
+  // failure rates (in permyriad): architectures that historically fail more get their
+  // rounds funded sooner (Observation 11 applied across the fleet).
+  std::array<double, 9> arch_weight = {4.619, 0.352, 2.649, 0.082, 0.759,
+                                       3.251, 1.599, 9.290, 4.646};
+  // Temperature factor: 1 + per_degree * max(0, observed_peak - reference). Hotter parts
+  // trigger defects at higher rates (Figures 8-9), so their rounds detect more per
+  // second of budget. Parts with no observed sample score a neutral 1.0.
+  double temperature_reference_celsius = 55.0;
+  double temperature_weight_per_degree = 0.05;
+  // Starvation-free aging: every epoch a part waits unfunded inflates its score, so any
+  // positive-weight part is eventually funded no matter how cold or reliable its arch.
+  double aging_weight_per_epoch = 0.5;
 };
 
 class PriorityTracker {

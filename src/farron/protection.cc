@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "src/common/rng.h"
+#include "src/farron/session.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
 #include "src/toolchain/testcase.h"
@@ -13,6 +15,26 @@ namespace sdc {
 ProtectionReport SimulateProtectedWorkload(Farron& farron, FaultyMachine& machine,
                                            const TestSuite& suite, const WorkloadSpec& spec,
                                            double hours, bool protect) {
+  if (spec.use_reference_loop) {
+    return SimulateProtectedWorkloadReference(farron, machine, suite, spec, hours, protect);
+  }
+  SessionOptions options;
+  options.protect = protect;
+  ProtectionSession session(&farron, &machine, &suite, spec, Rng(spec.seed),
+                            std::move(options));
+  session.BeginWorkload(hours);
+  // Any quantum works -- the session contract makes the cut invisible; 15 simulated
+  // minutes keeps the loop visibly reentrant without measurable overhead.
+  while (!session.workload_done()) {
+    session.Step(900.0);
+  }
+  return session.FinishWorkload();
+}
+
+ProtectionReport SimulateProtectedWorkloadReference(Farron& farron, FaultyMachine& machine,
+                                                    const TestSuite& suite,
+                                                    const WorkloadSpec& spec, double hours,
+                                                    bool protect) {
   ProtectionReport report;
   report.simulated_hours = hours;
   Processor& cpu = machine.cpu();

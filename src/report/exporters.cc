@@ -261,4 +261,81 @@ void WriteTraceJson(std::ostream& out, const TraceSnapshot& snapshot, bool inclu
   json.EndObject();
 }
 
+void WriteScrubReportJson(std::ostream& out, const ScrubReport& report) {
+  JsonWriter json(out);
+  json.BeginObject();
+  json.Key("fleet").BeginObject();
+  json.KeyValue("processors", report.fleet_processors);
+  json.KeyValue("cores", report.fleet_cores);
+  json.KeyValue("faulty", report.faulty);
+  json.KeyValue("pre_production_detections", report.pre_production_detections);
+  json.KeyValue("sessions", report.sessions);
+  json.KeyValue("undetectable_sessions", report.undetectable_sessions);
+  json.EndObject();
+  json.Key("budget").BeginObject();
+  json.KeyValue("fraction", report.budget_fraction);
+  json.KeyValue("horizon_months", report.horizon_months);
+  json.KeyValue("epoch_months", report.epoch_months);
+  json.KeyValue("nominal_round_seconds", report.nominal_round_seconds);
+  json.KeyValue("total_budget_seconds", report.total_budget_seconds);
+  json.KeyValue("session_seconds", report.session_seconds);
+  json.KeyValue("sweep_seconds", report.sweep_seconds);
+  json.KeyValue("spent_seconds", report.total_spent_seconds());
+  json.KeyValue("diagnosis_seconds", report.diagnosis_seconds);
+  json.KeyValue("utilization", report.utilization());
+  json.EndObject();
+  json.Key("outcomes").BeginObject();
+  json.KeyValue("detections", static_cast<uint64_t>(report.detections.size()));
+  json.KeyValue("coverage", report.coverage());
+  json.KeyValue("mean_time_to_detect_months", report.MeanTimeToDetectMonths());
+  json.KeyValue("workload_sdc_events", report.workload_sdc_events);
+  json.EndObject();
+  json.Key("timeline").BeginArray();
+  for (const ScrubEpochPoint& point : report.timeline) {
+    json.BeginObject();
+    json.KeyValue("epoch", point.epoch);
+    json.KeyValue("month", point.month);
+    json.KeyValue("budget_seconds", point.budget_seconds);
+    json.KeyValue("session_seconds", point.session_seconds);
+    json.KeyValue("sweep_seconds", point.sweep_seconds);
+    json.KeyValue("spent_seconds", point.spent_seconds());
+    json.KeyValue("sessions_funded", point.sessions_funded);
+    json.KeyValue("parts_swept", point.parts_swept);
+    json.KeyValue("detections", point.detections);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("detections").BeginArray();
+  for (const ScrubDetection& detection : report.detections) {
+    json.BeginObject();
+    json.KeyValue("serial", detection.serial);
+    json.KeyValue("arch", ArchName(detection.arch_index));
+    json.KeyValue("month", detection.month);
+    json.KeyValue("rounds", detection.rounds);
+    json.KeyValue("scheduled_seconds", detection.scheduled_seconds);
+    json.KeyValue("screen_regular_month", detection.screen_regular_month);
+    json.KeyValue("deprecated", detection.deprecated);
+    json.KeyValue("masked_cores", detection.masked_cores);
+    json.Key("provenance").BeginObject();
+    json.KeyValue("epoch", detection.provenance.epoch);
+    json.KeyValue("rank", static_cast<uint64_t>(detection.provenance.rank));
+    json.KeyValue("score", detection.provenance.score);
+    json.KeyValue("granted_seconds", detection.provenance.granted_seconds);
+    json.KeyValue("consumed_seconds", detection.provenance.consumed_seconds);
+    json.EndObject();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("capacity").BeginObject();
+  json.KeyValue("fleet_cores", report.capacity.fleet_cores);
+  json.KeyValue("production_detections", report.capacity.production_detections);
+  json.KeyValue("baseline_cores_lost", report.capacity.baseline_cores_lost);
+  json.KeyValue("fine_grained_cores_lost", report.capacity.fine_grained_cores_lost);
+  json.KeyValue("parts_deprecated_fine", report.capacity.parts_deprecated_fine);
+  json.KeyValue("cores_saved", report.capacity.cores_saved());
+  json.KeyValue("retention_factor", report.capacity.RetentionFactor());
+  json.EndObject();
+  json.EndObject();
+}
+
 }  // namespace sdc

@@ -11,6 +11,7 @@
 
 #include "src/fault/catalog.h"
 #include "src/fleet/pipeline.h"
+#include "src/scrub/scrubber.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
 #include "src/toolchain/framework.h"
@@ -44,6 +45,12 @@ void WriteMetricsJson(std::ostream& out, const MetricsSnapshot& snapshot,
 // the determinism tests compare).
 void WriteTraceJson(std::ostream& out, const TraceSnapshot& snapshot,
                     bool include_host = true);
+
+// A fleet scrub report: discovery counts, the per-epoch budget ledger, every detection
+// with its scheduler provenance, and the decommission replay. The document is a pure
+// function of the ScrubConfig (byte-identical at any thread count and discovery mode),
+// which tools/check_scrub_json.py relies on.
+void WriteScrubReportJson(std::ostream& out, const ScrubReport& report);
 
 }  // namespace sdc
 

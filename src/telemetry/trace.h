@@ -52,6 +52,7 @@ inline constexpr int kTraceTrackDetection = 3;   // per-detection provenance ins
 inline constexpr int kTraceTrackAggregate = 4;   // shard-order merges / stitches
 inline constexpr int kTraceTrackToolchain = 5;   // toolchain plan entries
 inline constexpr int kTraceTrackProtection = 6;  // Farron protection loop
+inline constexpr int kTraceTrackScrub = 7;       // fleet scrubber epochs and detections
 
 // Process ids in the trace-event output: one synthetic process per clock domain.
 inline constexpr int kTracePidSim = 1;

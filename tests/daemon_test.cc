@@ -19,6 +19,8 @@
 #include "src/fleet/pipeline.h"
 #include "src/fleet/stream.h"
 #include "src/report/exporters.h"
+#include "src/scrub/scrubber.h"
+#include "src/toolchain/registry.h"
 
 namespace sdc {
 namespace {
@@ -70,6 +72,40 @@ TEST(CampaignSpecTest, RejectsMalformedSpecs) {
   EXPECT_FALSE(ParseCampaignSpec("sweep=seeds:0", spec, error));
   EXPECT_FALSE(ParseCampaignSpec("sweep=seeds:2 scenario.seed=3", spec, error));
   EXPECT_EQ(error, "sweep= and scenario.* keys are mutually exclusive");
+}
+
+TEST(CampaignSpecTest, ParsesScrubSpec) {
+  CampaignSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseCampaignSpec(
+      "name=bg kind=scrub processors=20000 seed=7 scrub.budget=2e-5 "
+      "scrub.horizon_months=3 scrub.epoch_months=0.5 scrub.max_cases=8 "
+      "scrub.sample_hours=0.02 scenario.seed=9",
+      spec, error))
+      << error;
+  EXPECT_EQ(spec.kind, "scrub");
+  EXPECT_DOUBLE_EQ(spec.scrub_budget_fraction, 2e-5);
+  EXPECT_DOUBLE_EQ(spec.scrub_horizon_months, 3.0);
+  EXPECT_DOUBLE_EQ(spec.scrub_epoch_months, 0.5);
+  EXPECT_EQ(spec.scrub_max_cases, 8u);
+  EXPECT_DOUBLE_EQ(spec.scrub_sample_hours, 0.02);
+  ASSERT_EQ(spec.scenarios.size(), 1u);  // the discovery scenario
+  EXPECT_EQ(spec.scenarios[0].config.seed, 9u);
+}
+
+TEST(CampaignSpecTest, RejectsMalformedScrubSpecs) {
+  CampaignSpec spec;
+  std::string error;
+  EXPECT_FALSE(ParseCampaignSpec("kind=paint", spec, error));  // unknown kind
+  EXPECT_FALSE(ParseCampaignSpec("scrub.budget=1e-5", spec, error));
+  EXPECT_EQ(error, "scrub.* keys require kind=scrub");
+  EXPECT_FALSE(ParseCampaignSpec("kind=scrub sweep=seeds:2", spec, error));
+  EXPECT_EQ(error, "kind=scrub runs one discovery scenario; sweep= is not allowed");
+  EXPECT_FALSE(ParseCampaignSpec("kind=scrub scrub.budget=-1", spec, error));
+  EXPECT_FALSE(ParseCampaignSpec("kind=scrub scrub.horizon_months=0", spec, error));
+  EXPECT_FALSE(ParseCampaignSpec("kind=scrub scrub.epoch_months=0", spec, error));
+  EXPECT_FALSE(ParseCampaignSpec("kind=scrub scrub.max_cases=8x", spec, error));
+  EXPECT_FALSE(ParseCampaignSpec("kind=scrub scrub.sample_hours=-0.1", spec, error));
 }
 
 // ---------------------------------------------------------------------------
@@ -252,6 +288,85 @@ TEST(CampaignManagerTest, CancelStopsACampaign) {
   ASSERT_TRUE(state.has_value());
   EXPECT_TRUE(*state == CampaignState::kCancelled || *state == CampaignState::kDone);
   EXPECT_FALSE(manager.Cancel(999));  // unknown id
+}
+
+// ---------------------------------------------------------------------------
+// Scrub campaigns
+
+// The spec a scrub campaign is tested with: small fleet, short horizon, narrow test
+// windows -- cheap enough for TSAN while still funding real sessions.
+constexpr char kScrubSpec[] =
+    "name=bg kind=scrub processors=20000 seed=20210101 lanes=2 scrub.budget=2e-5 "
+    "scrub.horizon_months=3 scrub.max_cases=8 scrub.sample_hours=0.02";
+
+std::string ScrubJson(const ScrubReport& report) {
+  std::ostringstream out;
+  WriteScrubReportJson(out, report);
+  return out.str();
+}
+
+TEST(CampaignManagerTest, ScrubCampaignMatchesDirectRun) {
+  CampaignSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseCampaignSpec(kScrubSpec, spec, error)) << error;
+
+  // The direct baseline: the same ScrubConfig the campaign branch builds, run without
+  // the daemon. The report must match byte for byte (it is thread-count independent, so
+  // the lane grant cannot show through).
+  ScrubConfig config;
+  config.population.processor_count = spec.processors;
+  config.population.seed = spec.seed;
+  config.screening = spec.scenarios.front().config;
+  config.budget_fraction = spec.scrub_budget_fraction;
+  config.horizon_months = spec.scrub_horizon_months;
+  config.max_cases_per_round = spec.scrub_max_cases;
+  config.workload_sample_hours = spec.scrub_sample_hours;
+  config.threads = 1;
+  const TestSuite suite = TestSuite::BuildFull();
+  const ScrubReport baseline = FleetScrubber(&suite).Run(config);
+
+  CampaignManager manager(2);
+  const uint64_t id = manager.Submit(spec);
+  EXPECT_EQ(manager.Wait(id), CampaignState::kDone);
+  const CampaignResult* result = manager.Result(id);
+  ASSERT_NE(result, nullptr);
+  ASSERT_TRUE(result->scrub.has_value());
+  EXPECT_TRUE(result->stats.empty());  // scrub campaigns publish the report, not stats
+  EXPECT_EQ(ScrubJson(*result->scrub), ScrubJson(baseline));
+
+  // The progress ledger counted epochs, not stream shards.
+  const auto status = manager.GetStatus(id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->shards_total, baseline.timeline.size());
+  EXPECT_EQ(status->shards_done, status->shards_total);
+
+  // The protocol's result verb renders the scrub report and rejects scenario indices.
+  const ProtocolReply reply = HandleRequestLine(manager, "result " + std::to_string(id));
+  EXPECT_EQ(reply.payload, ScrubJson(baseline));
+  EXPECT_EQ(HandleRequestLine(manager, "result " + std::to_string(id) + " 0").line,
+            "err proto scrub campaigns have no scenario index");
+}
+
+TEST(CampaignManagerTest, CancelStopsAScrubCampaignAtAnEpochBoundary) {
+  CampaignManager manager(1);
+  CampaignSpec spec;
+  std::string error;
+  // A long horizon so the epoch loop, not discovery, dominates: the cancel request is
+  // observed by the next epoch_tick and the run abandons its remaining epochs.
+  ASSERT_TRUE(ParseCampaignSpec(
+      "kind=scrub processors=150000 scrub.horizon_months=1200 scrub.budget=2e-5 "
+      "scrub.max_cases=8 scrub.sample_hours=0.02",
+      spec, error))
+      << error;
+  const uint64_t id = manager.Submit(spec);
+  EXPECT_TRUE(manager.Cancel(id));
+  const auto state = manager.Wait(id);
+  ASSERT_TRUE(state.has_value());
+  // Cancelled at the boundary, or it won the race and finished; neither hangs.
+  EXPECT_TRUE(*state == CampaignState::kCancelled || *state == CampaignState::kDone);
+  if (*state == CampaignState::kCancelled) {
+    EXPECT_EQ(manager.Result(id), nullptr);  // a cancelled run publishes no report
+  }
 }
 
 TEST(CampaignManagerTest, ShutdownCancelsOutstandingCampaigns) {

@@ -11,6 +11,11 @@
 //   sdcctl trace [processor_count]                    generate+screen, trace summary
 //                                                     (per-stage span counts, sim-time
 //                                                     attribution, slowest host spans)
+//   sdcctl scrub [--budget F] [--hours H] [--fleet N] fleet-wide budgeted scrub: discovery
+//                                                     screen plus the prioritized
+//                                                     in-production epoch loop; scrub
+//                                                     report JSON to stdout
+//                                                     (docs/scrubbing.md)
 //
 // Global flags (accepted anywhere on the command line):
 //   --threads N        worker count for the parallel hot paths: fleet generation and
@@ -73,6 +78,7 @@
 #include "src/fleet/population.h"
 #include "src/fleet/stream.h"
 #include "src/report/exporters.h"
+#include "src/scrub/scrubber.h"
 #include "src/telemetry/event_log.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
@@ -377,6 +383,69 @@ int CmdProtect(const std::string& cpu_id, double hours, const GlobalOptions& opt
   return 0;
 }
 
+// Fleet-wide budgeted scrub (docs/scrubbing.md): discovery screen, then the prioritized
+// in-production epoch loop; the scrub report JSON lands on stdout. The report is a pure
+// function of the flags -- byte-identical at any --threads and across discovery modes --
+// which tools/check_scrub_json.py relies on. --hours is the production horizon in
+// simulated hours (730.56 h per 30.44-day month); --fleet and the global --processors /
+// --seed compose, with the global overrides winning as everywhere else.
+int CmdScrub(int argc, char** argv, const GlobalOptions& options) {
+  ScrubConfig config;
+  config.population.processor_count = 100000;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--budget") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "sdcctl: --budget requires an operand (fraction of fleet cycles)\n";
+        return 2;
+      }
+      const auto parsed = ParseDouble(argv[++i]);
+      if (!parsed.has_value() || *parsed < 0.0) {
+        return InvalidOperand("--budget operand", argv[i]);
+      }
+      config.budget_fraction = *parsed;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--hours") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "sdcctl: --hours requires an operand (simulated horizon hours)\n";
+        return 2;
+      }
+      const auto parsed = ParseDouble(argv[++i]);
+      if (!parsed.has_value() || *parsed <= 0.0) {
+        return InvalidOperand("--hours operand", argv[i]);
+      }
+      config.horizon_months = *parsed / (30.44 * 24.0);
+      continue;
+    }
+    if (std::strcmp(argv[i], "--fleet") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "sdcctl: --fleet requires an operand (processor count)\n";
+        return 2;
+      }
+      const auto parsed = ParseUint64(argv[++i]);
+      if (!parsed.has_value() || *parsed < 1) {
+        return InvalidOperand("--fleet operand", argv[i]);
+      }
+      config.population.processor_count = *parsed;
+      continue;
+    }
+    return InvalidOperand("scrub operand", argv[i]);
+  }
+  if (options.processors_set) {
+    config.population.processor_count = options.processors;
+  }
+  if (options.seed_set) {
+    config.population.seed = options.seed;
+  }
+  config.threads = options.threads;
+  config.metrics = options.metrics;
+  config.trace = options.trace;
+  const TestSuite suite = TestSuite::BuildFull();
+  WriteScrubReportJson(std::cout, FleetScrubber(&suite).Run(config));
+  std::cout << "\n";
+  return 0;
+}
+
 int CmdExport(const std::string& what, const GlobalOptions& options) {
   if (what == "catalog") {
     WriteCatalogJson(std::cout, StudyCatalog());
@@ -469,12 +538,20 @@ int RunClient(int argc, char** argv, const std::string& socket_path) {
 int Usage() {
   std::cerr << "usage: sdcctl [--threads N] [--metrics-out FILE] [--trace-out FILE] "
                "[--stream] [--processors N] [--seed S]\n"
-               "              <catalog|suite|sweep|screen|frequency|protect|export|metrics"
-               "|trace> [args]\n"
+               "              <catalog|suite|sweep|screen|scrub|frequency|protect|export"
+               "|metrics|trace> [args]\n"
                "  catalog\n"
                "  suite [substring]\n"
                "  sweep <cpu_id> [seconds_per_case=30]\n"
                "  screen <processor_count>\n"
+               "  scrub [--budget F] [--hours H] [--fleet N]\n"
+               "                     fleet-wide budgeted scrub (docs/scrubbing.md): screen\n"
+               "                     the fleet, then run the prioritized in-production\n"
+               "                     scrubber; report JSON to stdout. --budget = fraction\n"
+               "                     of fleet cycles spent testing (default 1e-5),\n"
+               "                     --hours = simulated horizon (default 8766 ~ 12\n"
+               "                     months), --fleet = processor count (default 100000;\n"
+               "                     --processors/--seed/--threads compose)\n"
                "  frequency <cpu_id> <testcase_id> <pcore> <tempC> [duration_s=3600]\n"
                "  protect <cpu_id> [hours=4]\n"
                "  export <catalog|screening|sweep:CPU>   (JSON to stdout)\n"
@@ -587,6 +664,9 @@ int Dispatch(int argc, char** argv, const GlobalOptions& options) {
       duration = *parsed;
     }
     return CmdFrequency(argv[2], argv[3], *pcore, *temperature, duration);
+  }
+  if (command == "scrub") {
+    return CmdScrub(argc, argv, options);
   }
   if (command == "export" && argc >= 3) {
     return CmdExport(argv[2], options);

@@ -30,6 +30,9 @@
 //                        measurable.
 //   "generate_scalar" -- the blocked generator with PopulationConfig::simd pinned to
 //                        scalar; its fleet too must match the golden fleet bitwise.
+//   "screen_series"   -- the cached screen with a SeriesRecorder attached; the ratio to
+//                        the plain "screen" row is the live-telemetry overhead, bounded
+//                        by tools/check_screening_json.py (docs/observability.md).
 //   "screen_batch"    -- ScreeningPipeline::RunBatch over K in {1,2,4,8} scenarios
 //                        (seeds 77+k, periods cycling {3,1,2,6} months) at 1/2/8
 //                        threads; the figure of merit is ns_per_processor_scenario =
@@ -55,6 +58,7 @@
 #include "src/common/simd.h"
 #include "src/fleet/pipeline.h"
 #include "src/fleet/population.h"
+#include "src/telemetry/series.h"
 #include "src/toolchain/registry.h"
 
 namespace sdc {
@@ -222,6 +226,7 @@ int Main(int argc, char** argv) {
   double cached_screen_t1 = 0.0;
   double reference_screen_t1 = 0.0;
   double scalar_screen_t1 = 0.0;
+  double series_screen_t1 = 0.0;
   double batch_k1_t1 = 0.0;
   double batch_k8_t1 = 0.0;
   double blocked_generate_t1 = 0.0;
@@ -310,6 +315,27 @@ int Main(int argc, char** argv) {
       scalar_screen_t1 = scalar_wall;
     }
 
+    // The cached screen with a live SeriesRecorder attached: sampling happens only at
+    // shard boundaries in the serial fold, so the delta against the "screen" row is the
+    // whole observability tax. Output (and the recorded sim series) must not move a bit.
+    {
+      ScreeningConfig series_config;
+      series_config.threads = threads;
+      SeriesRecorder check_recorder;
+      series_config.series = &check_recorder;
+      deterministic &= IdenticalStats(golden, pipeline.Run(fleet, series_config));
+      const double series_wall = BestWallSeconds(repeats, [&] {
+        SeriesRecorder recorder;
+        ScreeningConfig timed = series_config;
+        timed.series = &recorder;
+        (void)pipeline.Run(fleet, timed);
+      });
+      EmitJson("screen_series", "cached", threads, series_wall, processors);
+      if (threads == 1) {
+        series_screen_t1 = series_wall;
+      }
+    }
+
     // Batched engine: one pass over the fleet for K scenarios. Every slot must be
     // bitwise identical to that scenario's independent run before timing means anything.
     for (const int k_count : {1, 2, 4, 8}) {
@@ -352,12 +378,18 @@ int Main(int argc, char** argv) {
   // on absolute wall time alone).
   const double generate_speedup =
       blocked_generate_t1 > 0.0 ? reference_generate_t1 / blocked_generate_t1 : 0.0;
+  // Attached-series wall over plain wall at one thread: the telemetry overhead ratio
+  // tools/check_screening_json.py bounds (<= 1.02 at fleet scale; looser at CI smoke
+  // sizes where a single timer tick moves the ratio).
+  const double series_overhead =
+      cached_screen_t1 > 0.0 ? series_screen_t1 / cached_screen_t1 : 0.0;
   std::printf("{\"bench\": \"summary\", \"screen_speedup_cached_vs_reference\": %.2f, "
               "\"batch_amortization_k8\": %.2f, \"screen_simd_speedup\": %.2f, "
               "\"generate_speedup_blocked_vs_reference\": %.2f, "
+              "\"series_overhead\": %.4f, "
               "\"deterministic\": %s}\n",
               speedup, batch_amortization, simd_speedup, generate_speedup,
-              deterministic ? "true" : "false");
+              series_overhead, deterministic ? "true" : "false");
   if (!deterministic) {
     std::fprintf(stderr,
                  "FAIL: generator/model/scalar/batch paths diverged from the golden run "

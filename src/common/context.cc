@@ -10,7 +10,8 @@ EngineContext::EngineContext(const EngineOptions& options)
       pool_(ExactThreadCount{threads_}),
       metrics_(options.metrics),
       trace_(options.trace),
-      event_log_(options.event_log) {}
+      event_log_(options.event_log),
+      series_(options.series) {}
 
 MetricsRegistry* EngineContext::metrics() const {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -25,6 +26,11 @@ TraceRecorder* EngineContext::trace() const {
 EventLog* EngineContext::event_log() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return event_log_;
+}
+
+SeriesRecorder* EngineContext::series() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return series_;
 }
 
 MetricsRegistry* EngineContext::AttachMetrics(MetricsRegistry* metrics) {
@@ -45,6 +51,13 @@ EventLog* EngineContext::AttachEventLog(EventLog* event_log) {
   std::lock_guard<std::mutex> lock(mutex_);
   EventLog* previous = event_log_;
   event_log_ = event_log;
+  return previous;
+}
+
+SeriesRecorder* EngineContext::AttachSeries(SeriesRecorder* series) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SeriesRecorder* previous = series_;
+  series_ = series;
   return previous;
 }
 

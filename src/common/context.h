@@ -42,6 +42,7 @@ namespace sdc {
 
 class EventLog;
 class MetricsRegistry;
+class SeriesRecorder;
 class TraceRecorder;
 
 struct EngineOptions {
@@ -56,6 +57,7 @@ struct EngineOptions {
   MetricsRegistry* metrics = nullptr;
   TraceRecorder* trace = nullptr;
   EventLog* event_log = nullptr;
+  SeriesRecorder* series = nullptr;
 };
 
 class EngineContext {
@@ -75,12 +77,14 @@ class EngineContext {
   MetricsRegistry* metrics() const;
   TraceRecorder* trace() const;
   EventLog* event_log() const;
+  SeriesRecorder* series() const;
 
   // Attach a sink (nullptr detaches); returns the previously attached sink. Thread-safe;
   // in-flight passes keep their pinned sink, the next pass observes the change.
   MetricsRegistry* AttachMetrics(MetricsRegistry* metrics);
   TraceRecorder* AttachTrace(TraceRecorder* trace);
   EventLog* AttachEventLog(EventLog* event_log);
+  SeriesRecorder* AttachSeries(SeriesRecorder* series);
 
  private:
   int threads_;
@@ -90,6 +94,7 @@ class EngineContext {
   MetricsRegistry* metrics_;
   TraceRecorder* trace_;
   EventLog* event_log_;
+  SeriesRecorder* series_;
 };
 
 }  // namespace sdc

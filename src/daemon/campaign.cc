@@ -1,6 +1,7 @@
 #include "src/daemon/campaign.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <utility>
 
@@ -36,6 +37,30 @@ class CampaignGuard : public ShardConsumer {
   std::atomic<uint64_t>* shards_done_;
 };
 
+// Live detection feed for the status surface: sums each shard's scenario-0 detections
+// into the campaign's atomic as shards complete. Arrival order is schedule-dependent,
+// but the count is monotonic and exact once the pass ends -- a status gauge, not part of
+// the determinism contract (which the end-of-pass stats and series carry).
+class DetectionTally : public ShardOutcomeObserver {
+ public:
+  explicit DetectionTally(std::atomic<uint64_t>* detections) : detections_(detections) {}
+
+  void ObserveShard(const FleetShard& /*shard*/,
+                    const ScreeningStats& shard_stats) override {
+    detections_->fetch_add(shard_stats.total_detected(), std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t>* detections_;
+};
+
+// Host wall clock for the status timestamps: seconds since the Unix epoch.
+double UnixSecondsNow() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 std::string CampaignStateName(CampaignState state) {
@@ -54,8 +79,25 @@ std::string CampaignStateName(CampaignState state) {
   return "?";
 }
 
-CampaignManager::CampaignManager(int total_lanes)
-    : total_lanes_(std::max(total_lanes, 1)) {}
+CampaignManager::CampaignManager(int total_lanes, size_t event_capacity)
+    : total_lanes_(std::max(total_lanes, 1)), events_(event_capacity) {}
+
+double CampaignManager::HostSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - started_at_)
+      .count();
+}
+
+void CampaignManager::RecordTransitionLocked(EventKind kind, const Campaign& campaign) {
+  const double now = HostSeconds();
+  events_.Record(kind, now, campaign.spec.name, /*pcore=*/-1,
+                 static_cast<double>(campaign.id));
+  // Occupancy trajectory, one point per transition. Wall clock, so it lives in the
+  // recorder's host section and stays outside the determinism contract.
+  host_series_.Append("daemon.queue_depth", SeriesClock::kHost, now,
+                      static_cast<double>(admit_queue_.size()));
+  host_series_.Append("daemon.lanes_in_use", SeriesClock::kHost, now,
+                      static_cast<double>(lanes_in_use_));
+}
 
 CampaignManager::~CampaignManager() { Shutdown(); }
 
@@ -79,6 +121,8 @@ uint64_t CampaignManager::Submit(CampaignSpec spec) {
   Campaign& ref = *campaign;
   campaigns_.push_back(std::move(campaign));
   admit_queue_.push_back(ref.id);
+  ref.submit_unix = UnixSecondsNow();
+  RecordTransitionLocked(EventKind::kCampaignSubmitted, ref);
   ref.worker = std::thread([this, &ref] { RunCampaign(ref); });
   return ref.id;
 }
@@ -99,27 +143,31 @@ void CampaignManager::RunCampaign(Campaign& campaign) {
       admit_queue_.erase(
           std::find(admit_queue_.begin(), admit_queue_.end(), campaign.id));
       campaign.state = CampaignState::kCancelled;
+      campaign.finish_unix = UnixSecondsNow();
+      RecordTransitionLocked(EventKind::kCampaignFinished, campaign);
       changed_.notify_all();
       return;
     }
     admit_queue_.pop_front();
     lanes_in_use_ += campaign.lanes;
     campaign.state = CampaignState::kRunning;
+    campaign.start_unix = UnixSecondsNow();
+    RecordTransitionLocked(EventKind::kCampaignStarted, campaign);
     changed_.notify_all();
   }
 
   CampaignState terminal = CampaignState::kDone;
   std::string error;
   try {
-    // Private telemetry plus a private context: the campaign's pool holds exactly its
-    // granted lanes, resolved here once with env_overrides = false -- the environment is
-    // never consulted again for this campaign (src/common/context.h).
-    MetricsRegistry registry;
-    TraceRecorder recorder;
+    // Private context over the campaign's own telemetry members (alive beyond the pass,
+    // so live stats polls can snapshot mid-run): the pool holds exactly the granted
+    // lanes, resolved here once with env_overrides = false -- the environment is never
+    // consulted again for this campaign (src/common/context.h).
     EngineContext context(EngineOptions{.threads = campaign.lanes,
                                         .env_overrides = false,
-                                        .metrics = &registry,
-                                        .trace = &recorder});
+                                        .metrics = &campaign.registry,
+                                        .trace = &campaign.recorder,
+                                        .series = &campaign.series});
 
     PopulationConfig population;
     population.processor_count = campaign.spec.processors;
@@ -150,6 +198,8 @@ void CampaignManager::RunCampaign(Campaign& campaign) {
         return !campaign.cancel.load(std::memory_order_relaxed);
       };
       campaign.result.scrub = FleetScrubber(&suite).Run(config, context);
+      campaign.detections.store(campaign.result.scrub->detections.size(),
+                                std::memory_order_relaxed);
     } else {
       ScreeningPipeline pipeline(&suite);
       ScenarioBatch batch;
@@ -160,6 +210,8 @@ void CampaignManager::RunCampaign(Campaign& campaign) {
 
       FleetShardStream stream(population);
       StreamingScreen screen(&pipeline, batch);
+      DetectionTally tally(&campaign.detections);
+      screen.AddObserver(&tally);
       CampaignGuard guard(&campaign.cancel, &campaign.shards_done);
       {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -169,8 +221,8 @@ void CampaignManager::RunCampaign(Campaign& campaign) {
 
       campaign.result.stats = screen.TakeBatchStats();
     }
-    campaign.result.metrics = registry.Snapshot();
-    campaign.result.trace = recorder.Snapshot();
+    campaign.result.metrics = campaign.registry.Snapshot();
+    campaign.result.trace = campaign.recorder.Snapshot();
   } catch (const CampaignCancelledError&) {
     terminal = CampaignState::kCancelled;
   } catch (const ScrubCancelledError&) {
@@ -188,8 +240,26 @@ void CampaignManager::RunCampaign(Campaign& campaign) {
     lanes_in_use_ -= campaign.lanes;
     campaign.state = terminal;
     campaign.error = std::move(error);
+    campaign.finish_unix = UnixSecondsNow();
+    RecordTransitionLocked(EventKind::kCampaignFinished, campaign);
     changed_.notify_all();
   }
+}
+
+CampaignStatus CampaignManager::StatusLocked(const Campaign& campaign) const {
+  CampaignStatus status;
+  status.id = campaign.id;
+  status.name = campaign.spec.name;
+  status.state = campaign.state;
+  status.lanes = campaign.lanes;
+  status.shards_done = campaign.shards_done.load(std::memory_order_relaxed);
+  status.shards_total = campaign.shards_total;
+  status.detections = campaign.detections.load(std::memory_order_relaxed);
+  status.submit_unix = campaign.submit_unix;
+  status.start_unix = campaign.start_unix;
+  status.finish_unix = campaign.finish_unix;
+  status.error = campaign.error;
+  return status;
 }
 
 std::optional<CampaignStatus> CampaignManager::GetStatus(uint64_t id) const {
@@ -198,15 +268,7 @@ std::optional<CampaignStatus> CampaignManager::GetStatus(uint64_t id) const {
   if (campaign == nullptr) {
     return std::nullopt;
   }
-  CampaignStatus status;
-  status.id = campaign->id;
-  status.name = campaign->spec.name;
-  status.state = campaign->state;
-  status.lanes = campaign->lanes;
-  status.shards_done = campaign->shards_done.load(std::memory_order_relaxed);
-  status.shards_total = campaign->shards_total;
-  status.error = campaign->error;
-  return status;
+  return StatusLocked(*campaign);
 }
 
 std::vector<CampaignStatus> CampaignManager::List() const {
@@ -214,17 +276,48 @@ std::vector<CampaignStatus> CampaignManager::List() const {
   std::lock_guard<std::mutex> lock(mutex_);
   statuses.reserve(campaigns_.size());
   for (const auto& campaign : campaigns_) {
-    CampaignStatus status;
-    status.id = campaign->id;
-    status.name = campaign->spec.name;
-    status.state = campaign->state;
-    status.lanes = campaign->lanes;
-    status.shards_done = campaign->shards_done.load(std::memory_order_relaxed);
-    status.shards_total = campaign->shards_total;
-    status.error = campaign->error;
-    statuses.push_back(std::move(status));
+    statuses.push_back(StatusLocked(*campaign));
   }
   return statuses;
+}
+
+std::optional<CampaignStats> CampaignManager::GetStats(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Campaign* campaign = FindLocked(id);
+  if (campaign == nullptr) {
+    return std::nullopt;
+  }
+  // Sink locks nest inside the manager's (workers take them without it), so snapshotting
+  // a running campaign here cannot deadlock.
+  CampaignStats stats;
+  stats.status = StatusLocked(*campaign);
+  stats.series = campaign->series.Snapshot();
+  stats.metrics = campaign->registry.Snapshot();
+  return stats;
+}
+
+DaemonStats CampaignManager::GetDaemonStats() const {
+  DaemonStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.total_lanes = total_lanes_;
+    stats.lanes_in_use = lanes_in_use_;
+    stats.queue_depth = admit_queue_.size();
+    stats.campaigns = campaigns_.size();
+  }
+  stats.events_recorded = events_.total_recorded();
+  stats.events_dropped = events_.dropped_events();
+  stats.host_series = host_series_.Snapshot();
+  return stats;
+}
+
+MetricsSnapshot CampaignManager::AggregateMetrics() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot merged;
+  for (const auto& campaign : campaigns_) {
+    merged.MergeFrom(campaign->registry.Snapshot());
+  }
+  return merged;
 }
 
 bool CampaignManager::Cancel(uint64_t id) {

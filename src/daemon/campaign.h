@@ -22,6 +22,7 @@
 #define SDC_SRC_DAEMON_CAMPAIGN_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -35,7 +36,9 @@
 #include "src/daemon/spec.h"
 #include "src/fleet/pipeline.h"
 #include "src/scrub/scrubber.h"
+#include "src/telemetry/event_log.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/series.h"
 #include "src/telemetry/trace.h"
 
 namespace sdc {
@@ -57,7 +60,27 @@ struct CampaignStatus {
   int lanes = 1;               // granted lane count (clamped to the daemon budget)
   uint64_t shards_done = 0;    // stream shards consumed (scrub campaigns: epochs done)
   uint64_t shards_total = 0;   // 0 until the pass starts (scrub campaigns: total epochs)
+  // Live detection count: screen campaigns accumulate scenario 0's detections shard by
+  // shard while running; scrub campaigns publish theirs when the report lands. Monotonic
+  // per campaign, exact once terminal -- a status gauge, not a determinism surface.
+  uint64_t detections = 0;
+  // Host wall-clock timestamps, seconds since the Unix epoch (nondeterministic by
+  // contract). start_unix stays 0 until the lane grant, finish_unix until terminal.
+  double submit_unix = 0.0;
+  double start_unix = 0.0;
+  double finish_unix = 0.0;
   std::string error;           // non-empty only for kFailed
+
+  // Completed fraction of the progress ledger in [0, 1]; 0 while the denominator is
+  // still unknown (a done campaign with an empty ledger reports 1).
+  double progress() const {
+    if (shards_total == 0) {
+      return state == CampaignState::kDone ? 1.0 : 0.0;
+    }
+    const double fraction =
+        static_cast<double>(shards_done) / static_cast<double>(shards_total);
+    return fraction > 1.0 ? 1.0 : fraction;
+  }
 };
 
 // What a completed campaign produced: per-scenario screening stats plus the campaign's
@@ -71,10 +94,34 @@ struct CampaignResult {
   std::optional<ScrubReport> scrub;  // kind=scrub campaigns only
 };
 
+// Live observability bundle for one campaign: its status plus point-in-time snapshots of
+// its private time-series and metrics. Valid in every state -- polling a running
+// campaign sees whatever the pass has sampled so far, which is exactly what the `stats`
+// protocol verb and `sdcctl top` consume.
+struct CampaignStats {
+  CampaignStatus status;
+  SeriesSnapshot series;
+  MetricsSnapshot metrics;
+};
+
+// Daemon-wide health surface: lane and queue occupancy, the campaign-lifecycle event
+// ledger, and the manager's host-clock occupancy series (one point per transition).
+struct DaemonStats {
+  int total_lanes = 0;
+  int lanes_in_use = 0;
+  uint64_t queue_depth = 0;     // campaigns still waiting for their lane grant
+  uint64_t campaigns = 0;       // ever submitted (ids are dense, so also the max id)
+  uint64_t events_recorded = 0;
+  uint64_t events_dropped = 0;  // evicted from the bounded event log, never silently
+  SeriesSnapshot host_series;   // "daemon.queue_depth" / "daemon.lanes_in_use"
+};
+
 class CampaignManager {
  public:
   // `total_lanes` is the daemon's lane budget (already resolved; must be >= 1).
-  explicit CampaignManager(int total_lanes);
+  // `event_capacity` bounds the campaign-lifecycle event log (sdcd --event-capacity):
+  // once full, the oldest events are evicted and counted as dropped.
+  explicit CampaignManager(int total_lanes, size_t event_capacity = 4096);
   ~CampaignManager();
 
   CampaignManager(const CampaignManager&) = delete;
@@ -89,6 +136,21 @@ class CampaignManager {
   // Snapshot of one campaign / every campaign in submission order.
   std::optional<CampaignStatus> GetStatus(uint64_t id) const;
   std::vector<CampaignStatus> List() const;
+
+  // Status plus live series/metrics snapshots; nullopt for unknown ids. Works in every
+  // state -- a running campaign reports whatever its pass has recorded so far.
+  std::optional<CampaignStats> GetStats(uint64_t id) const;
+
+  // Daemon-wide health: lanes, queue, the event ledger, host occupancy series.
+  DaemonStats GetDaemonStats() const;
+
+  // Every campaign's private registry merged in id order (counters and same-shape
+  // histograms sum, gauges last-write-wins, timers fold through TimerStat::MergeFrom):
+  // the body of the daemon-wide `prom` exposition.
+  MetricsSnapshot AggregateMetrics() const;
+
+  // Campaign-lifecycle event log (submitted / started / finished).
+  const EventLog& events() const { return events_; }
 
   // Requests cancellation: a queued campaign never starts, a running one stops at its
   // next shard boundary (remaining shards are skipped, generation included). Returns
@@ -114,9 +176,18 @@ class CampaignManager {
     int lanes = 1;
     std::atomic<uint64_t> shards_done{0};
     uint64_t shards_total = 0;
+    std::atomic<uint64_t> detections{0};
     std::atomic<bool> cancel{false};
+    double submit_unix = 0.0;  // host timestamps, guarded by mutex_
+    double start_unix = 0.0;
+    double finish_unix = 0.0;
     std::string error;
     CampaignResult result;
+    // Private telemetry, owned by the campaign (not the pass) so live stats polls can
+    // snapshot mid-run; all three sinks are internally synchronized.
+    MetricsRegistry registry;
+    TraceRecorder recorder;
+    SeriesRecorder series;
     std::thread worker;
   };
 
@@ -124,6 +195,12 @@ class CampaignManager {
   // terminal state, release the lanes.
   void RunCampaign(Campaign& campaign);
   Campaign* FindLocked(uint64_t id) const;
+  CampaignStatus StatusLocked(const Campaign& campaign) const;
+  // Stamps one lifecycle transition while holding mutex_: records the event (host
+  // seconds since manager start, value = campaign id) and appends the daemon occupancy
+  // series points. Lock order is manager -> EventLog/SeriesRecorder, never the reverse.
+  void RecordTransitionLocked(EventKind kind, const Campaign& campaign);
+  double HostSeconds() const;
 
   mutable std::mutex mutex_;
   // Signalled on every admission, terminal transition, and cancellation request.
@@ -134,6 +211,12 @@ class CampaignManager {
   std::deque<uint64_t> admit_queue_;  // FIFO: only the front may take lanes
   std::vector<std::unique_ptr<Campaign>> campaigns_;
   bool shutting_down_ = false;
+  // Daemon-level observability: the lifecycle event log (bounded; evictions counted)
+  // and the host-clock occupancy series. Host time is measured from construction.
+  const std::chrono::steady_clock::time_point started_at_ =
+      std::chrono::steady_clock::now();
+  EventLog events_;
+  SeriesRecorder host_series_;
 };
 
 }  // namespace sdc

@@ -9,13 +9,22 @@
 // Verbs:
 //   ping                     -> ok pong
 //   submit <campaign spec>   -> ok id=N                  (spec: src/daemon/spec.h)
-//   status <id>              -> ok id=N name=... state=... lanes=L shards=D/T [error=...]
+//   status <id>              -> ok id=N name=... state=... lanes=L shards=D/T
+//                               progress=F detections=K submitted=T started=T
+//                               finished=T [error=...]
+//   status                   -> ok lanes=U/T queued=Q campaigns=N events=R dropped=D
+//                               (the daemon-wide health line)
+//   stats <id>               -> ok <status line> bytes=N + campaign series JSON (live:
+//                               works in any state, snapshots what the pass recorded)
 //   list                     -> ok count=K bytes=N       + one status line per campaign
 //   cancel <id>              -> ok cancelled id=N
 //   wait <id>                -> ok state=<terminal>      (blocks)
 //   result <id> [k]          -> ok bytes=N               + scenario k screening stats JSON
 //   metrics <id>             -> ok bytes=N               + campaign metrics JSON, no timers
 //   trace <id>               -> ok bytes=N               + campaign sim-trace JSON, no host
+//   prom                     -> ok bytes=N               + daemon-wide Prometheus text
+//                               (every campaign's metrics merged, plus daemon health and
+//                               per-campaign {id,name}-labelled occupancy gauges)
 //   shutdown                 -> ok bye                   (server stops accepting)
 //
 // Error codes mirror the CLI's operand discipline: `proto` (malformed request line) and

@@ -13,6 +13,7 @@
 #include "src/common/rng.h"
 #include "src/common/simd.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/series.h"
 
 namespace sdc {
 
@@ -553,13 +554,39 @@ void ScreeningPipeline::ScreenShardRangeBatch(
   }
 }
 
+namespace {
+
+// One cumulative sample of the screening trajectory, taken at a fleet-grain boundary of
+// the serial axis. Both execution modes call exactly this with the same (boundary,
+// cumulative-stats) pairs, which is what makes the series byte-identical across
+// streaming and materialized runs.
+void AppendScreeningSeriesPoint(SeriesRecorder* series, uint64_t end_serial,
+                                const ScreeningStats& cumulative) {
+  const auto x = static_cast<double>(end_serial);
+  const auto detected = static_cast<double>(cumulative.total_detected());
+  series->Append("screening.tested", SeriesClock::kSim, x,
+                 static_cast<double>(cumulative.tested));
+  series->Append("screening.detected", SeriesClock::kSim, x, detected);
+  series->Append("screening.escapes", SeriesClock::kSim, x,
+                 static_cast<double>(cumulative.faulty) - detected);
+}
+
+// Screening shards are kScreeningShardGrain wide; samples are taken only where a shard
+// end lands on a kFleetShardGrain multiple (or the fleet's end), so the materialized
+// fold samples exactly the stream-shard boundaries of the streaming mode.
+bool IsSeriesBoundary(uint64_t end_serial, uint64_t fleet_size) {
+  return end_serial % kFleetShardGrain == 0 || end_serial == fleet_size;
+}
+
+}  // namespace
+
 ScreeningStats ScreeningPipeline::Run(const FleetPopulation& fleet,
                                       const ScreeningConfig& config) const {
   // Context-free run: SDC_THREADS is consulted exactly once (context construction) and
   // SDC_SIMD exactly once (here); sinks come from the config alone -- the legacy
   // resolution, byte for byte.
   EngineContext context(EngineOptions{.threads = config.threads});
-  return RunWith(fleet, config, context, config.metrics, config.trace,
+  return RunWith(fleet, config, context, config.metrics, config.trace, config.series,
                  ResolveSimdLevel(config.simd));
 }
 
@@ -569,16 +596,17 @@ ScreeningStats ScreeningPipeline::Run(const FleetPopulation& fleet,
   MetricsRegistry* metrics =
       config.metrics != nullptr ? config.metrics : context.metrics();
   TraceRecorder* trace = config.trace != nullptr ? config.trace : context.trace();
+  SeriesRecorder* series = config.series != nullptr ? config.series : context.series();
   const SimdLevel simd = config.simd == SimdLevel::kAuto ? context.simd()
                                                          : ClampSimdLevel(config.simd);
-  return RunWith(fleet, config, context, metrics, trace, simd);
+  return RunWith(fleet, config, context, metrics, trace, series, simd);
 }
 
 ScreeningStats ScreeningPipeline::RunWith(const FleetPopulation& fleet,
                                           const ScreeningConfig& config,
                                           EngineContext& context,
                                           MetricsRegistry* metrics, TraceRecorder* trace,
-                                          SimdLevel simd) const {
+                                          SeriesRecorder* series, SimdLevel simd) const {
   const Rng base(config.seed);
   MetricsRegistry::ScopedTimer run_timer(metrics, "screening.run.wall");
   TraceRecorder::ScopedHostSpan run_span(trace, "screening.run", "screen",
@@ -608,8 +636,11 @@ ScreeningStats ScreeningPipeline::RunWith(const FleetPopulation& fleet,
     MetricsDelta delta;
     TraceDelta trace;
   };
-  ShardResult total = pool.ParallelReduce<ShardResult>(
-      0, fleet.size(), kScreeningShardGrain, ShardResult{},
+  // ParallelReduce is ParallelMap plus an in-shard-order merge on the calling thread
+  // (src/common/parallel.h); the fold is spelled out here so the series sink can sample
+  // the cumulative stats at fleet-grain boundaries of the same ordered merge.
+  std::vector<ShardResult> shard_results = pool.ParallelMap<ShardResult>(
+      0, fleet.size(), kScreeningShardGrain,
       [&](uint64_t shard, uint64_t begin, uint64_t end) {
         const auto shard_start = std::chrono::steady_clock::now();
         ShardResult result;
@@ -626,12 +657,21 @@ ScreeningStats ScreeningPipeline::RunWith(const FleetPopulation& fleet,
           metrics->RecordTimerSeconds("screening.shard.wall", elapsed.count());
         }
         return result;
-      },
-      [](ShardResult& accumulator, ShardResult& shard_result) {
-        accumulator.stats.MergeFrom(std::move(shard_result.stats));
-        accumulator.delta.MergeFrom(shard_result.delta);
-        accumulator.trace.MergeFrom(std::move(shard_result.trace));
       });
+  ShardResult total;
+  for (size_t shard = 0; shard < shard_results.size(); ++shard) {
+    ShardResult& shard_result = shard_results[shard];
+    total.stats.MergeFrom(std::move(shard_result.stats));
+    total.delta.MergeFrom(shard_result.delta);
+    total.trace.MergeFrom(std::move(shard_result.trace));
+    if (series != nullptr) {
+      const uint64_t end_serial =
+          std::min<uint64_t>((shard + 1) * kScreeningShardGrain, fleet.size());
+      if (IsSeriesBoundary(end_serial, fleet.size())) {
+        AppendScreeningSeriesPoint(series, end_serial, total.stats);
+      }
+    }
+  }
   if (metrics != nullptr) {
     metrics->MergeDelta(total.delta);
   }
@@ -673,6 +713,7 @@ std::vector<ScreeningStats> ScreeningPipeline::RunBatch(const FleetPopulation& f
     trace_sinks[k] = batch.scenarios[k].trace;
   }
   return RunBatchWith(fleet, batch, context, metrics, trace_sinks,
+                      batch.scenarios[0].series,
                       ResolveSimdLevel(BatchSimdRequest(batch)));
 }
 
@@ -696,13 +737,16 @@ std::vector<ScreeningStats> ScreeningPipeline::RunBatch(const FleetPopulation& f
     trace_sinks[k] = batch.scenarios[k].trace != nullptr ? batch.scenarios[k].trace
                                                          : context_trace;
   }
-  return RunBatchWith(fleet, batch, context, metrics, trace_sinks, simd);
+  SeriesRecorder* series = batch.scenarios[0].series != nullptr
+                               ? batch.scenarios[0].series
+                               : context.series();
+  return RunBatchWith(fleet, batch, context, metrics, trace_sinks, series, simd);
 }
 
 std::vector<ScreeningStats> ScreeningPipeline::RunBatchWith(
     const FleetPopulation& fleet, const ScenarioBatch& batch, EngineContext& context,
     std::span<MetricsRegistry* const> metrics, std::span<TraceRecorder* const> trace_sinks,
-    SimdLevel simd) const {
+    SeriesRecorder* series, SimdLevel simd) const {
   const size_t k_count = batch.scenarios.size();
   const auto run_start = std::chrono::steady_clock::now();
   ThreadPool& pool = context.pool();
@@ -735,12 +779,10 @@ std::vector<ScreeningStats> ScreeningPipeline::RunBatchWith(
     std::vector<MetricsDelta> deltas;
     std::vector<TraceDelta> traces;
   };
-  ShardResult accumulator;
-  accumulator.stats.resize(k_count);
-  accumulator.deltas.resize(k_count);
-  accumulator.traces.resize(k_count);
-  ShardResult total = pool.ParallelReduce<ShardResult>(
-      0, fleet.size(), kScreeningShardGrain, std::move(accumulator),
+  // Spelled-out ParallelMap + ordered fold (same reduction ParallelReduce performs), so
+  // scenario 0's cumulative stats can feed the series sink at fleet-grain boundaries.
+  std::vector<ShardResult> shard_results = pool.ParallelMap<ShardResult>(
+      0, fleet.size(), kScreeningShardGrain,
       [&](uint64_t shard, uint64_t begin, uint64_t end) {
         const auto shard_start = std::chrono::steady_clock::now();
         ShardResult result;
@@ -770,14 +812,26 @@ std::vector<ScreeningStats> ScreeningPipeline::RunBatchWith(
           }
         }
         return result;
-      },
-      [](ShardResult& acc, ShardResult& shard_result) {
-        for (size_t k = 0; k < acc.stats.size(); ++k) {
-          acc.stats[k].MergeFrom(std::move(shard_result.stats[k]));
-          acc.deltas[k].MergeFrom(shard_result.deltas[k]);
-          acc.traces[k].MergeFrom(std::move(shard_result.traces[k]));
-        }
       });
+  ShardResult total;
+  total.stats.resize(k_count);
+  total.deltas.resize(k_count);
+  total.traces.resize(k_count);
+  for (size_t shard = 0; shard < shard_results.size(); ++shard) {
+    ShardResult& shard_result = shard_results[shard];
+    for (size_t k = 0; k < k_count; ++k) {
+      total.stats[k].MergeFrom(std::move(shard_result.stats[k]));
+      total.deltas[k].MergeFrom(shard_result.deltas[k]);
+      total.traces[k].MergeFrom(std::move(shard_result.traces[k]));
+    }
+    if (series != nullptr) {
+      const uint64_t end_serial =
+          std::min<uint64_t>((shard + 1) * kScreeningShardGrain, fleet.size());
+      if (IsSeriesBoundary(end_serial, fleet.size())) {
+        AppendScreeningSeriesPoint(series, end_serial, total.stats[0]);
+      }
+    }
+  }
   const std::chrono::duration<double> run_elapsed =
       std::chrono::steady_clock::now() - run_start;
   for (size_t k = 0; k < k_count; ++k) {
@@ -967,6 +1021,11 @@ void StreamingScreen::BeginStreamWithContext(EngineContext* context,
   // double-merge a shard's delta.
   MetricsRegistry* context_metrics = context != nullptr ? context->metrics() : nullptr;
   TraceRecorder* context_trace = context != nullptr ? context->trace() : nullptr;
+  SeriesRecorder* context_series = context != nullptr ? context->series() : nullptr;
+  pinned_series_ = !scenarios_.empty() && scenarios_.front().series != nullptr
+                       ? scenarios_.front().series
+                       : context_series;
+  processors_total_ = config.processor_count;
   pinned_metrics_.assign(k_count, nullptr);
   pinned_trace_.assign(k_count, nullptr);
   for (size_t k = 0; k < k_count; ++k) {
@@ -1056,6 +1115,14 @@ void StreamingScreen::EndStream() {
       if (pinned_trace_[k] != nullptr) {
         pinned_trace_[k]->MergeDelta(std::move(shard_traces_[shard][k]));
       }
+    }
+    if (pinned_series_ != nullptr) {
+      // Stream shards end exactly at the materialized fold's fleet-grain boundaries, and
+      // scenario 0's cumulative stats match shard for shard, so these are the same
+      // points RunWith appends -- byte-identical across execution modes.
+      const uint64_t end_serial =
+          std::min<uint64_t>((shard + 1) * kFleetShardGrain, processors_total_);
+      AppendScreeningSeriesPoint(pinned_series_, end_serial, stats_[0]);
     }
   }
   for (size_t k = 0; k < k_count; ++k) {

@@ -104,6 +104,14 @@ struct ScreeningConfig {
   // override it (src/common/simd.h). Every level produces bit-identical stats -- this is
   // a speed knob, never a behavior change.
   SimdLevel simd = SimdLevel::kAuto;
+  // Optional time-series sink: cumulative "screening.tested" / "screening.detected" /
+  // "screening.escapes" trajectories over the fleet's serial axis, one point per
+  // kFleetShardGrain of serials. Points are appended during the shard-ordered fold on
+  // the driving thread, and the sample boundaries are fleet-grain aligned in BOTH
+  // execution modes, so the series is byte-identical at any thread count and across
+  // streaming vs. materialized runs (docs/observability.md). In a ScenarioBatch only
+  // scenario 0's sink is sampled. Null disables sampling.
+  SeriesRecorder* series = nullptr;
 };
 
 // K screening scenarios evaluated against ONE fleet in ONE pass (docs/performance.md).
@@ -254,13 +262,14 @@ class ScreeningPipeline {
   // level; the pool is context.pool(). Neither body reads the environment.
   ScreeningStats RunWith(const FleetPopulation& fleet, const ScreeningConfig& config,
                          EngineContext& context, MetricsRegistry* metrics,
-                         TraceRecorder* trace, SimdLevel simd) const;
+                         TraceRecorder* trace, SeriesRecorder* series,
+                         SimdLevel simd) const;
   std::vector<ScreeningStats> RunBatchWith(const FleetPopulation& fleet,
                                            const ScenarioBatch& batch,
                                            EngineContext& context,
                                            std::span<MetricsRegistry* const> metrics,
                                            std::span<TraceRecorder* const> traces,
-                                           SimdLevel simd) const;
+                                           SeriesRecorder* series, SimdLevel simd) const;
 
   // The screening kernel: screens serials [view.begin, view.end) against `rng`,
   // accumulating into `stats` (counters add, so one stats object may accumulate several
@@ -403,6 +412,11 @@ class StreamingScreen : public ShardConsumer {
   // ConsumeShard / EndStream instead of re-reading scenarios_[k].
   std::vector<MetricsRegistry*> pinned_metrics_;
   std::vector<TraceRecorder*> pinned_trace_;
+  // Series sink for scenario 0 (the batch contract ScreeningConfig::series documents),
+  // pinned like the other sinks; EndStream appends one cumulative point per stream shard
+  // during its ordered fold, at exactly the fleet-grain boundaries RunWith samples.
+  SeriesRecorder* pinned_series_ = nullptr;
+  uint64_t processors_total_ = 0;  // for the final (partial-shard) sample boundary
   // Per-stream-shard, per-scenario partials, merged in shard order by EndStream.
   std::vector<std::vector<ScreeningStats>> shard_stats_;
   std::vector<std::vector<MetricsDelta>> shard_deltas_;

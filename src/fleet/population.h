@@ -29,6 +29,7 @@ namespace sdc {
 class EngineContext;
 class MetricsRegistry;
 class Rng;
+class SeriesRecorder;
 class TraceRecorder;
 
 // Fixed shard width of fleet generation and of the streaming pipeline built on top of it
@@ -93,6 +94,12 @@ struct PopulationConfig {
   // for the drive and materialize stages. Null disables recording at the cost of one
   // pointer test per shard (docs/observability.md).
   TraceRecorder* trace = nullptr;
+  // Optional time-series sink ("fleet.generate.*" cumulative trajectories, one point per
+  // stream shard, x = last serial covered): points are appended during the shard-ordered
+  // delta merge after the parallel pass, so the series -- order, values, and ring
+  // evictions -- is byte-identical at any thread count (docs/observability.md). Null
+  // disables sampling.
+  SeriesRecorder* series = nullptr;
 };
 
 // Per-shard generation tallies. Cheap integer counters that shard consumers and the

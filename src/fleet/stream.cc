@@ -9,6 +9,7 @@
 #include "src/common/parallel.h"
 #include "src/common/rng.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/series.h"
 #include "src/telemetry/trace.h"
 
 namespace sdc {
@@ -91,6 +92,10 @@ StreamReport FleetShardStream::DriveWith(std::span<ShardConsumer* const> consume
       config_.trace != nullptr
           ? config_.trace
           : (consumer_context != nullptr ? consumer_context->trace() : nullptr);
+  SeriesRecorder* series =
+      config_.series != nullptr
+          ? config_.series
+          : (consumer_context != nullptr ? consumer_context->series() : nullptr);
   MetricsRegistry::ScopedTimer drive_timer(metrics, "fleet.stream.wall");
   TraceRecorder::ScopedHostSpan drive_span(trace, "fleet.stream.drive", "generate",
                                            kTraceTrackGenerate);
@@ -118,6 +123,14 @@ StreamReport FleetShardStream::DriveWith(std::span<ShardConsumer* const> consume
   std::vector<LaneState> lanes(static_cast<size_t>(pool.thread_count()));
   std::vector<MetricsDelta> deltas(metrics != nullptr ? shards : 0);
   std::vector<TraceDelta> traces(trace != nullptr ? shards : 0);
+  // Per-shard sample for the time-series sink: filled concurrently (shards own disjoint
+  // slots), folded into cumulative points in shard order below -- the same discipline
+  // that keeps the metrics deltas deterministic.
+  struct ShardSample {
+    uint64_t processors = 0;
+    uint64_t faulty = 0;
+  };
+  std::vector<ShardSample> samples(series != nullptr ? shards : 0);
 
   pool.ParallelStream(
       0, config_.processor_count, kFleetShardGrain,
@@ -140,6 +153,9 @@ StreamReport FleetShardStream::DriveWith(std::span<ShardConsumer* const> consume
         }
         if (metrics != nullptr) {
           deltas[shard] = DeltaFromTally(state.buffer.tally, end - begin);
+        }
+        if (series != nullptr) {
+          samples[shard] = {end - begin, state.buffer.tally.faulty};
         }
         if (trace != nullptr) {
           // Sim clock: processor serial space. ts = first serial, dur = shard width, so
@@ -170,6 +186,23 @@ StreamReport FleetShardStream::DriveWith(std::span<ShardConsumer* const> consume
   if (trace != nullptr) {
     for (TraceDelta& delta : traces) {
       trace->MergeDelta(std::move(delta));
+    }
+  }
+  if (series != nullptr) {
+    // Cumulative trajectory over the fleet's serial axis, one point per shard, appended
+    // in shard order on the driving thread: byte-identical at any thread count.
+    uint64_t processors = 0;
+    uint64_t faulty = 0;
+    uint64_t end_serial = 0;
+    for (const ShardSample& sample : samples) {
+      processors += sample.processors;
+      faulty += sample.faulty;
+      end_serial += sample.processors;
+      const auto x = static_cast<double>(end_serial);
+      series->Append("fleet.generate.processors", SeriesClock::kSim, x,
+                     static_cast<double>(processors));
+      series->Append("fleet.generate.faulty", SeriesClock::kSim, x,
+                     static_cast<double>(faulty));
     }
   }
   for (ShardConsumer* consumer : consumers) {

@@ -1,6 +1,8 @@
 #include "src/report/exporters.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <map>
 
 #include "src/report/json_writer.h"
 
@@ -336,6 +338,154 @@ void WriteScrubReportJson(std::ostream& out, const ScrubReport& report) {
   json.KeyValue("retention_factor", report.capacity.RetentionFactor());
   json.EndObject();
   json.EndObject();
+}
+
+namespace {
+
+void WriteSeriesSection(JsonWriter& json, const char* section,
+                        const std::map<std::string, SeriesData, std::less<>>& series,
+                        bool nondeterministic) {
+  json.Key(section).BeginObject();
+  for (const auto& [name, data] : series) {
+    json.Key(name).BeginObject();
+    json.Key("points").BeginArray();
+    for (const SeriesPoint& point : data.points) {
+      json.BeginArray();
+      json.Value(point.x);
+      json.Value(point.value);
+      json.EndArray();
+    }
+    json.EndArray();
+    json.KeyValue("dropped", data.dropped);
+    json.KeyValue("total_points", data.total_points);
+    if (nondeterministic) {
+      json.KeyValue("nondeterministic", true);
+    }
+    json.EndObject();
+  }
+  json.EndObject();
+}
+
+std::string PromEscapeLabel(std::string_view value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') {
+      escaped.push_back('\\');
+      escaped.push_back(c);
+    } else if (c == '\n') {
+      escaped += "\\n";
+    } else {
+      escaped.push_back(c);
+    }
+  }
+  return escaped;
+}
+
+// Renders {k1="v1",k2="v2"} (empty string when there are no labels). `extra` appends one
+// more pair -- how histogram buckets get their "le" next to the caller's labels.
+std::string PromLabelSetExtra(std::span<const std::pair<std::string, std::string>> labels,
+                              std::string_view extra_key = {},
+                              std::string_view extra_value = {}) {
+  std::string rendered;
+  for (const auto& [key, value] : labels) {
+    rendered += rendered.empty() ? "{" : ",";
+    rendered += key;
+    rendered += "=\"";
+    rendered += PromEscapeLabel(value);
+    rendered += "\"";
+  }
+  if (!extra_key.empty()) {
+    rendered += rendered.empty() ? "{" : ",";
+    rendered += extra_key;
+    rendered += "=\"";
+    rendered += PromEscapeLabel(extra_value);
+    rendered += "\"";
+  }
+  if (!rendered.empty()) {
+    rendered += "}";
+  }
+  return rendered;
+}
+
+}  // namespace
+
+void WriteSeriesJson(std::ostream& out, const SeriesSnapshot& snapshot,
+                     bool include_host) {
+  JsonWriter json(out);
+  json.BeginObject();
+  WriteSeriesSection(json, "sim", snapshot.sim, /*nondeterministic=*/false);
+  if (include_host) {
+    WriteSeriesSection(json, "host", snapshot.host, /*nondeterministic=*/true);
+  }
+  json.KeyValue("hostSeriesIncluded", include_host);
+  json.EndObject();
+}
+
+std::string PromLabelSet(std::span<const std::pair<std::string, std::string>> labels) {
+  return PromLabelSetExtra(labels);
+}
+
+// Prometheus sample values: integers render exactly, doubles with round-trip precision
+// (the same %.17g the JSON writer uses, so a value is one set of bytes everywhere).
+void WritePromSampleValue(std::ostream& out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out << buffer;
+}
+
+std::string PromMetricName(std::string_view name) {
+  std::string prom = "sdc_";
+  prom.reserve(prom.size() + name.size());
+  for (char c : name) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+    prom.push_back(keep ? c : '_');
+  }
+  return prom;
+}
+
+void WriteMetricsProm(std::ostream& out, const MetricsSnapshot& snapshot,
+                      std::span<const std::pair<std::string, std::string>> labels) {
+  const std::string label_set = PromLabelSet(labels);
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PromMetricName(name) + "_total";
+    out << "# TYPE " << prom << " counter\n";
+    out << prom << label_set << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PromMetricName(name);
+    out << "# TYPE " << prom << " gauge\n";
+    out << prom << label_set << " ";
+    WritePromSampleValue(out, value);
+    out << "\n";
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    const std::string prom = PromMetricName(name);
+    out << "# TYPE " << prom << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t bin = 0; bin < histogram.bin_count(); ++bin) {
+      cumulative += histogram.count(bin);
+      char upper[64];
+      std::snprintf(upper, sizeof(upper), "%.17g",
+                    histogram.lo() + histogram.width() * static_cast<double>(bin + 1));
+      out << prom << "_bucket" << PromLabelSetExtra(labels, "le", upper) << " "
+          << cumulative << "\n";
+    }
+    out << prom << "_bucket" << PromLabelSetExtra(labels, "le", "+Inf") << " "
+        << histogram.total() << "\n";
+    out << prom << "_count" << label_set << " " << histogram.total() << "\n";
+  }
+  // Wall-clock timers: summary-style sum/count. Host-dependent, nondeterministic by
+  // contract -- scrape-to-scrape monotonicity still holds, which check_prom.py verifies.
+  for (const auto& [name, timer] : snapshot.timers) {
+    const std::string prom = PromMetricName(name) + "_seconds";
+    out << "# TYPE " << prom << " summary\n";
+    out << prom << "_sum" << label_set << " ";
+    WritePromSampleValue(out, timer.total_seconds);
+    out << "\n";
+    out << prom << "_count" << label_set << " " << timer.count << "\n";
+  }
 }
 
 }  // namespace sdc

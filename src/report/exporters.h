@@ -7,12 +7,17 @@
 #define SDC_SRC_REPORT_EXPORTERS_H_
 
 #include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/fault/catalog.h"
 #include "src/fleet/pipeline.h"
 #include "src/scrub/scrubber.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/series.h"
 #include "src/telemetry/trace.h"
 #include "src/toolchain/framework.h"
 
@@ -51,6 +56,37 @@ void WriteTraceJson(std::ostream& out, const TraceSnapshot& snapshot,
 // function of the ScrubConfig (byte-identical at any thread count and discovery mode),
 // which tools/check_scrub_json.py relies on.
 void WriteScrubReportJson(std::ostream& out, const ScrubReport& report);
+
+// A time-series snapshot: {"sim": {...}, "host": {...}} with each series rendered as
+// {"points": [[x, value], ...], "dropped", "total_points"}. The sim section obeys the
+// determinism contract (byte-identical at any thread count and across streaming vs.
+// materialized execution -- tests/series_test.cc compares these exact bytes); host
+// series measure wall clock, are flagged nondeterministic, and can be excluded with
+// include_host = false.
+void WriteSeriesJson(std::ostream& out, const SeriesSnapshot& snapshot,
+                     bool include_host = true);
+
+// Sanitized Prometheus metric name: "sdc_" + `name` with every byte outside
+// [a-zA-Z0-9_] replaced by '_' ("fleet.generate.processors" ->
+// "sdc_fleet_generate_processors").
+std::string PromMetricName(std::string_view name);
+
+// One rendered Prometheus label set ({k1="v1",...}; "" when empty), values escaped per
+// the text-exposition rules. Shared by WriteMetricsProm and the daemon's hand-built
+// campaign samples (src/daemon/protocol.cc).
+std::string PromLabelSet(std::span<const std::pair<std::string, std::string>> labels);
+
+// Round-trip (%.17g) rendering of one Prometheus sample value -- the same bytes the JSON
+// writer would emit for the same double.
+void WritePromSampleValue(std::ostream& out, double value);
+
+// Prometheus text-exposition (version 0.0.4) rendering of a metrics snapshot, for
+// `sdcctl --prom-out` and the daemon's `prom` verb. Counters gain the "_total" suffix,
+// histograms emit cumulative le-buckets plus "_count", and wall-clock timers emit
+// summary-style "_seconds_sum"/"_seconds_count" pairs. `labels` (e.g. {{"id", "3"}}) is
+// rendered on every sample line; tools/check_prom.py lints this exact format.
+void WriteMetricsProm(std::ostream& out, const MetricsSnapshot& snapshot,
+                      std::span<const std::pair<std::string, std::string>> labels = {});
 
 }  // namespace sdc
 

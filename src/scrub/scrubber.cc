@@ -12,6 +12,7 @@
 #include "src/fault/catalog.h"
 #include "src/fault/machine.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/series.h"
 #include "src/telemetry/trace.h"
 
 namespace sdc {
@@ -169,7 +170,7 @@ ScrubReport FleetScrubber::Run(const ScrubConfig& config) const {
   EngineOptions options;
   options.threads = config.threads;
   EngineContext context(options);
-  return RunWith(config, context, config.metrics, config.trace);
+  return RunWith(config, context, config.metrics, config.trace, config.series);
 }
 
 ScrubReport FleetScrubber::Run(const ScrubConfig& config, EngineContext& context) const {
@@ -177,11 +178,13 @@ ScrubReport FleetScrubber::Run(const ScrubConfig& config, EngineContext& context
   MetricsRegistry* metrics =
       config.metrics != nullptr ? config.metrics : context.metrics();
   TraceRecorder* trace = config.trace != nullptr ? config.trace : context.trace();
-  return RunWith(config, context, metrics, trace);
+  SeriesRecorder* series = config.series != nullptr ? config.series : context.series();
+  return RunWith(config, context, metrics, trace, series);
 }
 
 ScrubReport FleetScrubber::RunWith(const ScrubConfig& config, EngineContext& context,
-                                   MetricsRegistry* metrics, TraceRecorder* trace) const {
+                                   MetricsRegistry* metrics, TraceRecorder* trace,
+                                   SeriesRecorder* series) const {
   ScrubReport report;
   report.fleet_processors = config.population.processor_count;
   report.budget_fraction = config.budget_fraction;
@@ -328,6 +331,7 @@ ScrubReport FleetScrubber::RunWith(const ScrubConfig& config, EngineContext& con
   if (config.epoch_tick && !config.epoch_tick(0, epochs)) {
     throw ScrubCancelledError{};
   }
+  uint64_t sessions_funded_total = 0;  // running total for the series sink
 
   // --- The epoch loop: serial planning, parallel execution, serial fold. ---
   for (uint64_t epoch = 0; epoch < epochs; ++epoch) {
@@ -513,6 +517,19 @@ ScrubReport FleetScrubber::RunWith(const ScrubConfig& config, EngineContext& con
       trace_delta.Add(std::move(span));
     }
     report.timeline.push_back(point);
+    if (series != nullptr) {
+      // Serial epoch loop: cumulative budget-ledger trajectory, one point per epoch,
+      // deterministic at any thread count by construction.
+      sessions_funded_total += point.sessions_funded;
+      series->Append("scrub.budget", SeriesClock::kSim, point.month,
+                     report.total_budget_seconds);
+      series->Append("scrub.spent", SeriesClock::kSim, point.month,
+                     report.total_spent_seconds());
+      series->Append("scrub.detections", SeriesClock::kSim, point.month,
+                     static_cast<double>(report.detections.size()));
+      series->Append("scrub.sessions_funded", SeriesClock::kSim, point.month,
+                     static_cast<double>(sessions_funded_total));
+    }
     if (config.epoch_tick && !config.epoch_tick(epoch + 1, epochs)) {
       throw ScrubCancelledError{};
     }

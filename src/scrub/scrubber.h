@@ -106,6 +106,12 @@ struct ScrubConfig {
   // start -- the PR 7 precedence).
   MetricsRegistry* metrics = nullptr;
   TraceRecorder* trace = nullptr;
+  // Optional time-series sink: cumulative "scrub.budget" / "scrub.spent" /
+  // "scrub.detections" / "scrub.sessions_funded" trajectories, one point per epoch
+  // (x = the epoch's end month). The epoch loop is serial, so the series is
+  // byte-identical at any thread count and across discovery modes. Resolution follows
+  // the other sinks (config > context > off). Null disables sampling.
+  SeriesRecorder* series = nullptr;
   // Worker threads for the context-free Run overload: 0 = hardware concurrency.
   int threads = 0;
 };
@@ -236,7 +242,8 @@ class FleetScrubber {
 
  private:
   ScrubReport RunWith(const ScrubConfig& config, EngineContext& context,
-                      MetricsRegistry* metrics, TraceRecorder* trace) const;
+                      MetricsRegistry* metrics, TraceRecorder* trace,
+                      SeriesRecorder* series) const;
 
   const TestSuite* suite_;
 };

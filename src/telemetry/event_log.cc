@@ -24,6 +24,12 @@ std::string EventKindName(EventKind kind) {
       return "cooling-boosted";
     case EventKind::kBoundaryRaised:
       return "boundary-raised";
+    case EventKind::kCampaignSubmitted:
+      return "campaign-submitted";
+    case EventKind::kCampaignStarted:
+      return "campaign-started";
+    case EventKind::kCampaignFinished:
+      return "campaign-finished";
   }
   return "?";
 }

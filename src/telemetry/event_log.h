@@ -28,6 +28,11 @@ enum class EventKind {
   kBackoffReleased,
   kCoolingBoosted,     // fan/pump stepped up
   kBoundaryRaised,     // adaptive boundary learned upward
+  // Campaign lifecycle (the sdcd daemon's audit trail; time_seconds is host seconds
+  // since daemon start for these, value is the campaign id).
+  kCampaignSubmitted,
+  kCampaignStarted,    // lanes granted, pass started
+  kCampaignFinished,   // reached a terminal state (done / cancelled / failed)
 };
 
 std::string EventKindName(EventKind kind);

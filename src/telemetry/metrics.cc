@@ -78,6 +78,26 @@ uint64_t MetricsSnapshot::CounterOr(std::string_view name, uint64_t fallback) co
   return it == counters.end() ? fallback : it->second;
 }
 
+void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
+  for (const auto& [name, n] : other.counters) {
+    counters[name] += n;
+  }
+  for (const auto& [name, value] : other.gauges) {
+    gauges[name] = value;
+  }
+  for (const auto& [name, histogram] : other.histograms) {
+    const auto it = histograms.find(name);
+    if (it == histograms.end()) {
+      histograms.emplace(name, histogram);
+    } else {
+      it->second.MergeFrom(histogram);
+    }
+  }
+  for (const auto& [name, timer] : other.timers) {
+    timers[name].MergeFrom(timer);
+  }
+}
+
 void MetricsSnapshot::DumpText(std::ostream& out) const {
   for (const auto& [name, n] : counters) {
     out << "counter " << name << " = " << n << "\n";

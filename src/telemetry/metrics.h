@@ -86,6 +86,13 @@ struct MetricsSnapshot {
 
   uint64_t CounterOr(std::string_view name, uint64_t fallback = 0) const;
 
+  // Folds another snapshot into this one: counters and same-shape histograms sum, gauges
+  // are last-write-wins (other's value lands after this one's), and timers fold through
+  // TimerStat::MergeFrom -- min stays the true minimum even when either side is empty.
+  // This is how the sdcd daemon aggregates per-campaign registries into one fleet-wide
+  // Prometheus exposition (src/daemon/protocol.cc).
+  void MergeFrom(const MetricsSnapshot& other);
+
   // One line per metric ("counter fleet.generate.processors = 100000"); timers last,
   // marked with their unit. Meant for the bench harnesses' stdout.
   void DumpText(std::ostream& out) const;

@@ -116,8 +116,12 @@ TEST(ProtocolTest, MalformedRequestsGetProtoErrors) {
   EXPECT_EQ(HandleRequestLine(manager, "").line, "err proto empty request");
   EXPECT_EQ(HandleRequestLine(manager, "frobnicate").line,
             "err proto unknown verb 'frobnicate'");
-  EXPECT_EQ(HandleRequestLine(manager, "status").line,
-            "err proto status needs a campaign id");
+  // Id-less status is the daemon health line, not an error; every other id verb still
+  // requires one.
+  EXPECT_EQ(HandleRequestLine(manager, "stats").line,
+            "err proto stats needs a campaign id");
+  EXPECT_EQ(HandleRequestLine(manager, "wait").line,
+            "err proto wait needs a campaign id");
   EXPECT_EQ(HandleRequestLine(manager, "status 1x").line,
             "err proto invalid campaign id '1x'");
   EXPECT_EQ(HandleRequestLine(manager, "status -1").line,
@@ -132,12 +136,116 @@ TEST(ProtocolTest, MalformedRequestsGetProtoErrors) {
 TEST(ProtocolTest, UnknownIdAndNotDoneAreRuntimeErrors) {
   CampaignManager manager(1);
   EXPECT_EQ(HandleRequestLine(manager, "status 7").line, "err unknown-id no campaign 7");
+  EXPECT_EQ(HandleRequestLine(manager, "stats 7").line, "err unknown-id no campaign 7");
   EXPECT_EQ(HandleRequestLine(manager, "cancel 7").line, "err unknown-id no campaign 7");
   EXPECT_EQ(HandleRequestLine(manager, "result 7").line, "err unknown-id no campaign 7");
   EXPECT_EQ(HandleRequestLine(manager, "ping").line, "ok pong");
   const ProtocolReply list = HandleRequestLine(manager, "list");
   EXPECT_EQ(list.line, "ok count=0 bytes=0");
   EXPECT_TRUE(list.payload.empty());
+}
+
+TEST(ProtocolTest, IdLessStatusReportsDaemonHealth) {
+  CampaignManager manager(3);
+  EXPECT_EQ(HandleRequestLine(manager, "status").line,
+            "ok lanes=0/3 queued=0 campaigns=0 events=0 dropped=0");
+  HandleRequestLine(manager, "submit name=h processors=20000 lanes=1");
+  HandleRequestLine(manager, "wait 1");
+  const std::string health = HandleRequestLine(manager, "status").line;
+  // One campaign through the full lifecycle: submitted + started + finished = 3 events.
+  EXPECT_EQ(health, "ok lanes=0/3 queued=0 campaigns=1 events=3 dropped=0") << health;
+}
+
+TEST(ProtocolTest, StatusLineCarriesProgressDetectionsAndTimestamps) {
+  CampaignManager manager(1);
+  HandleRequestLine(manager, "submit name=t processors=20000 seed=5");
+  HandleRequestLine(manager, "wait 1");
+  const std::string line = HandleRequestLine(manager, "status 1").line;
+  EXPECT_NE(line.find(" progress=1.0000"), std::string::npos) << line;
+  EXPECT_NE(line.find(" detections="), std::string::npos) << line;
+  // All three host timestamps are set once the campaign is done, and they order.
+  CampaignStatus status;
+  {
+    const auto statuses = manager.List();
+    ASSERT_EQ(statuses.size(), 1u);
+    status = statuses[0];
+  }
+  EXPECT_GT(status.submit_unix, 0.0);
+  EXPECT_GE(status.start_unix, status.submit_unix);
+  EXPECT_GE(status.finish_unix, status.start_unix);
+  EXPECT_DOUBLE_EQ(status.progress(), 1.0);
+  manager.Shutdown();
+}
+
+TEST(ProtocolTest, StatsVerbReturnsLiveSeriesInAnyState) {
+  CampaignManager manager(2);
+  HandleRequestLine(manager, "submit name=s processors=50000 lanes=2");
+  // Valid immediately -- queued or running -- not just after completion.
+  const ProtocolReply early = HandleRequestLine(manager, "stats 1");
+  EXPECT_TRUE(early.line.rfind("ok id=1 name=s", 0) == 0) << early.line;
+  EXPECT_FALSE(early.payload.empty());
+  EXPECT_EQ(early.payload.front(), '{');
+  HandleRequestLine(manager, "wait 1");
+  const ProtocolReply done = HandleRequestLine(manager, "stats 1");
+  EXPECT_NE(done.line.find("state=done"), std::string::npos) << done.line;
+  // A finished screen campaign's series has the full screening trajectory.
+  EXPECT_NE(done.payload.find("screening.tested"), std::string::npos);
+  EXPECT_NE(done.payload.find("fleet.generate.faulty"), std::string::npos);
+  manager.Shutdown();
+}
+
+TEST(ProtocolTest, PromVerbEmitsDaemonWideExposition) {
+  CampaignManager manager(2);
+  HandleRequestLine(manager, "submit name=pa processors=20000 lanes=1");
+  HandleRequestLine(manager, "submit name=pb processors=20000 lanes=1");
+  HandleRequestLine(manager, "wait 1");
+  HandleRequestLine(manager, "wait 2");
+  const ProtocolReply prom = HandleRequestLine(manager, "prom");
+  EXPECT_EQ(prom.line, "ok bytes=" + std::to_string(prom.payload.size()));
+  // Aggregated engine counters, daemon health, and one labelled sample per campaign.
+  EXPECT_NE(prom.payload.find("# TYPE sdc_daemon_lanes gauge"), std::string::npos);
+  EXPECT_NE(prom.payload.find("sdc_daemon_campaigns_total 2"), std::string::npos);
+  EXPECT_NE(prom.payload.find("sdc_campaign_progress{id=\"1\",name=\"pa\"} 1"),
+            std::string::npos)
+      << prom.payload;
+  EXPECT_NE(prom.payload.find("sdc_campaign_progress{id=\"2\",name=\"pb\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.payload.find("sdc_screening_tested_total"), std::string::npos);
+  manager.Shutdown();
+}
+
+TEST(CampaignManagerTest, TinyEventCapacityDropsOldestAndCounts) {
+  // Three campaigns x three lifecycle transitions = 9 events against a 2-slot ring: the
+  // log must retain the newest 2 and surface dropped=7 in DaemonStats (and from there
+  // the health line and sdc_daemon_events_dropped_total).
+  CampaignManager manager(1, /*event_capacity=*/2);
+  for (int i = 0; i < 3; ++i) {
+    HandleRequestLine(manager,
+                      "submit name=d" + std::to_string(i) + " processors=20000");
+    HandleRequestLine(manager, "wait " + std::to_string(i + 1));
+  }
+  const DaemonStats stats = manager.GetDaemonStats();
+  EXPECT_EQ(stats.events_recorded, 9u);
+  EXPECT_EQ(stats.events_dropped, 7u);
+  const std::string health = HandleRequestLine(manager, "status").line;
+  EXPECT_NE(health.find("events=9 dropped=7"), std::string::npos) << health;
+  const ProtocolReply prom = HandleRequestLine(manager, "prom");
+  EXPECT_NE(prom.payload.find("sdc_daemon_events_dropped_total 7"), std::string::npos);
+  manager.Shutdown();
+}
+
+TEST(CampaignManagerTest, DaemonStatsTracksHostSeries) {
+  CampaignManager manager(2);
+  HandleRequestLine(manager, "submit name=hs processors=20000 lanes=1");
+  HandleRequestLine(manager, "wait 1");
+  const DaemonStats stats = manager.GetDaemonStats();
+  // Lifecycle transitions append host-clock occupancy samples; they live in the host
+  // section by contract (nondeterministic, excluded from byte-compares).
+  ASSERT_EQ(stats.host_series.host.count("daemon.lanes_in_use"), 1u);
+  ASSERT_EQ(stats.host_series.host.count("daemon.queue_depth"), 1u);
+  EXPECT_TRUE(stats.host_series.sim.empty());
+  EXPECT_EQ(stats.host_series.host.at("daemon.lanes_in_use").points.size(), 3u);
+  manager.Shutdown();
 }
 
 TEST(ProtocolTest, SubmitWaitResultRoundTrip) {

@@ -136,6 +136,87 @@ TEST(MetricsRegistryTest, ConcurrentUpdatesAreSerialized) {
   EXPECT_EQ(snapshot.timers.at("t").count, kItems);
 }
 
+// Regression pin for TimerStat's min handling: the first sample must become the min
+// even though min_seconds starts at 0, both through Record and through MergeFrom into a
+// default-constructed stat (the path MetricsSnapshot::MergeFrom takes for a timer name
+// the destination has never seen).
+TEST(TimerStatTest, FirstRecordSetsMinNotZero) {
+  TimerStat stat;
+  stat.Record(5.0);
+  EXPECT_EQ(stat.count, 1u);
+  EXPECT_DOUBLE_EQ(stat.min_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(stat.max_seconds, 5.0);
+  stat.Record(2.0);
+  stat.Record(9.0);
+  EXPECT_EQ(stat.count, 3u);
+  EXPECT_DOUBLE_EQ(stat.min_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(stat.max_seconds, 9.0);
+  EXPECT_DOUBLE_EQ(stat.total_seconds, 16.0);
+}
+
+TEST(TimerStatTest, MergeIntoEmptyAdoptsOtherMin) {
+  TimerStat other;
+  other.Record(3.0);
+  other.Record(7.0);
+  TimerStat empty;
+  empty.MergeFrom(other);
+  EXPECT_EQ(empty.count, 2u);
+  EXPECT_DOUBLE_EQ(empty.min_seconds, 3.0);  // not min(0, 3)
+  EXPECT_DOUBLE_EQ(empty.max_seconds, 7.0);
+  // Merging an empty stat in is a no-op, including on the min.
+  TimerStat untouched = empty;
+  empty.MergeFrom(TimerStat{});
+  EXPECT_EQ(empty.count, untouched.count);
+  EXPECT_DOUBLE_EQ(empty.min_seconds, untouched.min_seconds);
+}
+
+TEST(TimerStatTest, MergeKeepsTrueExtremes) {
+  TimerStat a;
+  a.Record(4.0);
+  TimerStat b;
+  b.Record(1.0);
+  b.Record(6.0);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_DOUBLE_EQ(a.min_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(a.max_seconds, 6.0);
+  EXPECT_DOUBLE_EQ(a.total_seconds, 11.0);
+}
+
+// MetricsSnapshot::MergeFrom is how the sdcd daemon folds per-campaign registries into
+// one exposition document; every section must combine by its own rule.
+TEST(MetricsSnapshotTest, MergeFromCombinesEverySection) {
+  MetricsRegistry first;
+  first.Add("shared", 2);
+  first.Add("only_first");
+  first.Set("g", 1.0);
+  first.Observe("h", 0.5, 0.0, 1.0, 4);
+  first.RecordTimerSeconds("t", 4.0);
+
+  MetricsRegistry second;
+  second.Add("shared", 3);
+  second.Add("only_second", 7);
+  second.Set("g", 9.0);
+  second.Observe("h", 0.9, 0.0, 1.0, 4);
+  second.RecordTimerSeconds("t", 1.0);
+  second.RecordTimerSeconds("t2", 2.0);
+
+  MetricsSnapshot merged = first.Snapshot();
+  merged.MergeFrom(second.Snapshot());
+  EXPECT_EQ(merged.CounterOr("shared"), 5u);
+  EXPECT_EQ(merged.CounterOr("only_first"), 1u);
+  EXPECT_EQ(merged.CounterOr("only_second"), 7u);
+  EXPECT_DOUBLE_EQ(merged.gauges.at("g"), 9.0);  // last-write-wins
+  EXPECT_EQ(merged.histograms.at("h").total(), 2u);
+  const TimerStat& timer = merged.timers.at("t");
+  EXPECT_EQ(timer.count, 2u);
+  EXPECT_DOUBLE_EQ(timer.min_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(timer.max_seconds, 4.0);
+  // t2 arrives via the default-construct-then-merge path; min must be 2, not 0.
+  EXPECT_EQ(merged.timers.at("t2").count, 1u);
+  EXPECT_DOUBLE_EQ(merged.timers.at("t2").min_seconds, 2.0);
+}
+
 TEST(EventLogTest, BridgesRecordsIntoMetrics) {
   MetricsRegistry registry;
   EventLog log;

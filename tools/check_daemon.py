@@ -13,6 +13,10 @@ End to end through the real socket:
 4. Exit-status discipline: malformed specs and protocol misuse exit 2 through the
    client, runtime conditions (unknown id, not-done) exit 1 -- the same contract as the
    local CLI's strict operand parsing.
+5. Observability: the id-less `status` daemon health line, the extended campaign status
+   line (progress/detections/host timestamps), the `stats` live-series document (its
+   screening.tested trajectory must end at the fleet size), and one `sdcctl top` poll
+   showing every campaign.
 
 Usage: check_daemon.py <sdcd-binary> <sdcctl-binary> [processors]
 Default fleet size is 100,000; CI's release job runs 1,000,000.
@@ -164,7 +168,32 @@ def main() -> int:
         client(ctl, socket, "submit", "processors=10x", expect=2)
         client(ctl, socket, "frobnicate", expect=2)           # unknown verb
         client(ctl, socket, "status", "99999", expect=1)      # unknown id
-        client(ctl, socket, "status", expect=2)               # missing id
+        client(ctl, socket, "stats", expect=2)                # stats needs an id
+
+        # 5. Observability surfaces. Id-less status is the daemon health line; a
+        # campaign's status line carries progress/detections/timestamps; `stats` returns
+        # the live series document; `top` renders one table per poll without a tty.
+        health = client(ctl, socket, "status").strip()
+        assert health.startswith("ok lanes="), health
+        for token in ("queued=", "campaigns=", "events=", "dropped="):
+            assert f" {token}" in health, health
+        status_line = client(ctl, socket, "status", id_a).strip()
+        for token in (" progress=1.0000", " detections=", " submitted=", " started=",
+                      " finished="):
+            assert token in status_line, status_line
+        series_doc = json.loads(client(ctl, socket, "stats", id_a))
+        assert "screening.tested" in series_doc["sim"], sorted(series_doc["sim"])
+        assert "fleet.generate.faulty" in series_doc["sim"], sorted(series_doc["sim"])
+        points = series_doc["sim"]["screening.tested"]["points"]
+        assert points and points[-1][1] == processors, points[-1:]
+        top = client(ctl, socket, "top", "--iterations", "1", "--interval-ms", "50")
+        top_lines = top.splitlines()
+        assert top_lines[0].startswith("sdcd "), top_lines[:1]
+        assert top_lines[1].split()[:3] == ["id", "name", "state"], top_lines[1]
+        done_rows = [line for line in top_lines if " done " in line]
+        cancelled_rows = [line for line in top_lines if " cancelled " in line]
+        assert len(done_rows) == 5, top       # overlapped+serial pairs and the blocker
+        assert len(cancelled_rows) == 1, top  # the cancel victim
 
         client(ctl, socket, "shutdown")
         assert daemon.wait(timeout=10) == 0, "sdcd exited non-zero after shutdown"

@@ -31,6 +31,14 @@
 //                      Chrome/Perfetto trace-event JSON (docs/observability.md) to FILE
 //                      after the command finishes. FILE may be `-` for stdout, with the
 //                      same stdout/stderr discipline as --metrics-out.
+//   --prom-out FILE    write the same metrics snapshot as Prometheus text exposition
+//                      (docs/observability.md) instead of JSON; composes with
+//                      --metrics-out (one run, both renderings) and follows the same
+//                      `-`/file discipline.
+//   --series-out FILE  attach a SeriesRecorder to the command's hot paths and write the
+//                      time-series snapshot JSON (docs/observability.md) to FILE after
+//                      the command finishes; same `-`/file discipline. Sim series are
+//                      byte-identical at any --threads and across --stream.
 //   --stream           run the fleet commands (screen, metrics, export screening) as a
 //                      fused generate->screen shard pass (docs/streaming.md): peak memory
 //                      is O(threads x shard) instead of O(fleet), and every emitted
@@ -48,10 +56,12 @@
 //                      Composes with --stream; every row is byte-identical to a separate
 //                      single-scenario run.
 //   --socket PATH      client mode: forward the command as a protocol verb to the sdcd
-//                      daemon listening at PATH (docs/daemon.md) -- submit, status, list,
-//                      wait, cancel, result, metrics, trace, ping, shutdown. Campaign
-//                      results fetched this way are byte-identical to the one-shot
-//                      streaming run of the same spec.
+//                      daemon listening at PATH (docs/daemon.md) -- submit, status,
+//                      stats, list, wait, cancel, result, metrics, trace, prom, ping,
+//                      shutdown. Campaign results fetched this way are byte-identical to
+//                      the one-shot streaming run of the same spec. The `top` command
+//                      (client mode only) polls status+list and renders a refreshing
+//                      per-campaign table: state, progress, detections, shards/s, ETA.
 //
 // Numeric operands are parsed strictly (src/common/parse.h): empty input, trailing
 // garbage, overflow, and negative values where an unsigned count is expected are usage
@@ -59,11 +69,16 @@
 //
 // Everything is deterministic; see README.md for the library behind each command.
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/analysis/repro.h"
@@ -81,6 +96,7 @@
 #include "src/scrub/scrubber.h"
 #include "src/telemetry/event_log.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/series.h"
 #include "src/telemetry/trace.h"
 
 namespace sdc {
@@ -93,6 +109,9 @@ struct GlobalOptions {
   MetricsRegistry* metrics = nullptr;  // non-null when a snapshot will be written
   std::string trace_out;     // --trace-out target; empty = no trace export
   TraceRecorder* trace = nullptr;  // non-null when a trace will be written or summarized
+  std::string prom_out;      // --prom-out target; empty = no Prometheus export
+  std::string series_out;    // --series-out target; empty = no series export
+  SeriesRecorder* series = nullptr;  // non-null when a series snapshot will be written
   bool stream = false;       // --stream: fused streaming pipeline for the fleet commands
   uint64_t processors = 0;   // --processors override for the fleet commands
   bool processors_set = false;
@@ -115,6 +134,7 @@ void ApplyFleetOverrides(PopulationConfig& config, const GlobalOptions& options)
   config.threads = options.threads;
   config.metrics = options.metrics;
   config.trace = options.trace;
+  config.series = options.series;
 }
 
 // Generate+screen through either path. Streaming fuses generation and screening into one
@@ -226,6 +246,9 @@ int CmdScreenSweep(uint64_t processor_count, std::vector<SweepScenario> scenario
   for (SweepScenario& scenario : scenarios) {
     scenario.config.metrics = options.metrics;
     scenario.config.trace = options.trace;
+    // The batch series contract samples scenario 0 only; setting every scenario keeps
+    // this loop uniform and the extras are ignored.
+    scenario.config.series = options.series;
     batch.scenarios.push_back(scenario.config);
   }
   std::vector<ScreeningStats> stats;
@@ -265,6 +288,7 @@ int CmdScreen(uint64_t processor_count, const GlobalOptions& options) {
   screening_config.threads = options.threads;
   screening_config.metrics = options.metrics;
   screening_config.trace = options.trace;
+  screening_config.series = options.series;
   const ScreeningStats stats =
       GenerateAndScreen(population_config, pipeline, screening_config, options.stream);
   TextTable table({"stage", "detections", "rate"});
@@ -292,6 +316,7 @@ int CmdMetrics(uint64_t processor_count, const GlobalOptions& options) {
   screening_config.threads = options.threads;
   screening_config.metrics = options.metrics;
   screening_config.trace = options.trace;
+  screening_config.series = options.series;
   (void)GenerateAndScreen(population_config, pipeline, screening_config, options.stream);
   return 0;
 }
@@ -309,6 +334,7 @@ int CmdTrace(uint64_t processor_count, const GlobalOptions& options) {
   screening_config.threads = options.threads;
   screening_config.metrics = options.metrics;
   screening_config.trace = options.trace;
+  screening_config.series = options.series;
   const ScreeningStats stats =
       GenerateAndScreen(population_config, pipeline, screening_config, options.stream);
   SummarizeTrace(options.trace->Snapshot()).DumpText(std::cout);
@@ -440,6 +466,7 @@ int CmdScrub(int argc, char** argv, const GlobalOptions& options) {
   config.threads = options.threads;
   config.metrics = options.metrics;
   config.trace = options.trace;
+  config.series = options.series;
   const TestSuite suite = TestSuite::BuildFull();
   WriteScrubReportJson(std::cout, FleetScrubber(&suite).Run(config));
   std::cout << "\n";
@@ -490,6 +517,178 @@ int CmdExport(const std::string& what, const GlobalOptions& options) {
   }
   std::cerr << "export targets: catalog | screening | sweep:<cpu_id>\n";
   return 2;
+}
+
+// One row of the `top` table, parsed from a protocol status line (the key=value form
+// FormatCampaignStatus renders). Unknown keys are skipped, so the client tolerates
+// daemons that add fields.
+struct TopRow {
+  uint64_t id = 0;
+  std::string name;
+  std::string state;
+  int lanes = 0;
+  uint64_t shards_done = 0;
+  uint64_t shards_total = 0;
+  uint64_t detections = 0;
+  double progress = 0.0;
+};
+
+bool ParseTopRow(const std::string& line, TopRow& row) {
+  std::istringstream tokens(line);
+  std::string token;
+  bool saw_id = false;
+  while (tokens >> token) {
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      continue;
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "id") {
+      const auto parsed = ParseUint64(value.c_str());
+      if (!parsed.has_value()) {
+        return false;
+      }
+      row.id = *parsed;
+      saw_id = true;
+    } else if (key == "name") {
+      row.name = value;
+    } else if (key == "state") {
+      row.state = value;
+    } else if (key == "lanes") {
+      const auto parsed = ParseInt(value.c_str());
+      row.lanes = parsed.has_value() ? *parsed : 0;
+    } else if (key == "shards") {
+      const size_t slash = value.find('/');
+      if (slash == std::string::npos) {
+        return false;
+      }
+      const auto done = ParseUint64(value.substr(0, slash).c_str());
+      const auto total = ParseUint64(value.substr(slash + 1).c_str());
+      if (!done.has_value() || !total.has_value()) {
+        return false;
+      }
+      row.shards_done = *done;
+      row.shards_total = *total;
+    } else if (key == "detections") {
+      const auto parsed = ParseUint64(value.c_str());
+      row.detections = parsed.has_value() ? *parsed : 0;
+    } else if (key == "progress") {
+      const auto parsed = ParseDouble(value.c_str());
+      row.progress = parsed.has_value() ? *parsed : 0.0;
+    }
+  }
+  return saw_id;
+}
+
+// `sdcctl --socket PATH top`: live campaign table over a running sdcd. Each poll fetches
+// the daemon-wide status line plus `list` and renders one screen: state, progress,
+// detections, client-side shards/s (ledger delta across successive polls), and the ETA
+// that rate implies. --iterations 0 polls until interrupted or the daemon goes away;
+// tests pass a finite count. ANSI clear codes are emitted only on a tty, so redirected
+// output is a plain append-only log of refreshes.
+int CmdTop(int argc, char** argv, const std::string& socket_path) {
+  uint64_t iterations = 0;
+  uint64_t interval_ms = 1000;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--iterations") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "sdcctl: --iterations requires an operand\n";
+        return 2;
+      }
+      const auto parsed = ParseUint64(argv[++i]);
+      if (!parsed.has_value()) {
+        return InvalidOperand("--iterations operand", argv[i]);
+      }
+      iterations = *parsed;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--interval-ms") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "sdcctl: --interval-ms requires an operand\n";
+        return 2;
+      }
+      const auto parsed = ParseUint64(argv[++i]);
+      if (!parsed.has_value() || *parsed == 0) {
+        return InvalidOperand("--interval-ms operand", argv[i]);
+      }
+      interval_ms = *parsed;
+      continue;
+    }
+    return InvalidOperand("top operand", argv[i]);
+  }
+
+  DaemonClient client(socket_path);
+  std::string error;
+  if (!client.Connect(error)) {
+    std::cerr << "sdcctl: " << error << "\n";
+    return 1;
+  }
+  const bool tty = ::isatty(STDOUT_FILENO) != 0;
+  std::map<uint64_t, uint64_t> last_done;  // campaign id -> shards_done last poll
+  for (uint64_t poll = 0; iterations == 0 || poll < iterations; ++poll) {
+    if (poll > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    std::string health_line;
+    std::string health_payload;
+    if (!client.Request("status", health_line, health_payload, error)) {
+      std::cerr << "sdcctl: " << error << "\n";
+      return 1;
+    }
+    std::string list_line;
+    std::string list_payload;
+    if (!client.Request("list", list_line, list_payload, error)) {
+      std::cerr << "sdcctl: " << error << "\n";
+      return 1;
+    }
+    if (health_line.rfind("err ", 0) == 0 || list_line.rfind("err ", 0) == 0) {
+      const std::string& err_line =
+          health_line.rfind("err ", 0) == 0 ? health_line : list_line;
+      std::cerr << "sdcctl: daemon: " << err_line.substr(4) << "\n";
+      return 1;
+    }
+    if (tty) {
+      std::cout << "\x1b[H\x1b[2J";  // cursor home + clear: one refreshing screen
+    }
+    std::cout << "sdcd " << socket_path << " -- "
+              << (health_line.rfind("ok ", 0) == 0 ? health_line.substr(3) : health_line)
+              << "\n";
+    TextTable table(
+        {"id", "name", "state", "lanes", "shards", "prog", "det", "shards/s", "eta(s)"});
+    std::istringstream lines(list_payload);
+    std::string status_line;
+    while (std::getline(lines, status_line)) {
+      TopRow row;
+      if (!ParseTopRow(status_line, row)) {
+        continue;
+      }
+      // Client-side rate from the ledger delta across polls; a campaign's first
+      // appearance (and non-running states) show "-".
+      std::string rate_text = "-";
+      std::string eta_text = "-";
+      const auto previous = last_done.find(row.id);
+      if (previous != last_done.end() && row.state == "running") {
+        const double rate = static_cast<double>(row.shards_done - previous->second) *
+                            1000.0 / static_cast<double>(interval_ms);
+        rate_text = FormatDouble(rate, 1);
+        if (rate > 0.0) {
+          eta_text = FormatDouble(
+              static_cast<double>(row.shards_total - row.shards_done) / rate, 1);
+        }
+      }
+      last_done[row.id] = row.shards_done;
+      table.AddRow({std::to_string(row.id), row.name, row.state,
+                    std::to_string(row.lanes),
+                    std::to_string(row.shards_done) + "/" +
+                        std::to_string(row.shards_total),
+                    FormatDouble(row.progress * 100.0, 1) + "%",
+                    std::to_string(row.detections), rate_text, eta_text});
+    }
+    table.Print(std::cout);
+    std::cout.flush();
+  }
+  return 0;
 }
 
 // Client mode (--socket): forwards one protocol verb verbatim to a running sdcd
@@ -564,6 +763,12 @@ int Usage() {
                "  --trace-out FILE   write the run's Chrome/Perfetto trace-event JSON to\n"
                "                     FILE (`-` = stdout, same discipline); load it in\n"
                "                     ui.perfetto.dev or chrome://tracing\n"
+               "  --prom-out FILE    write the run's metrics as Prometheus text exposition\n"
+               "                     to FILE (`-` = stdout, same discipline); composes\n"
+               "                     with --metrics-out (one run, both renderings)\n"
+               "  --series-out FILE  write the run's time-series snapshot JSON to FILE\n"
+               "                     (`-` = stdout, same discipline); sim series are\n"
+               "                     byte-identical at any --threads and across --stream\n"
                "  --stream           run the fleet commands (screen, metrics, export\n"
                "                     screening) as one fused generate->screen pass with\n"
                "                     O(threads x shard) peak memory instead of\n"
@@ -583,9 +788,12 @@ int Usage() {
                "                     locally. Commands become protocol verbs\n"
                "                     (docs/daemon.md):\n"
                "                       submit <key=value ...>   enqueue a campaign\n"
-               "                       status <id> | list | wait <id> | cancel <id>\n"
-               "                       result <id> [k] | metrics <id> | trace <id>\n"
-               "                       ping | shutdown\n";
+               "                       status [id] | stats <id> | list | wait <id>\n"
+               "                       cancel <id> | result <id> [k] | metrics <id>\n"
+               "                       trace <id> | prom | ping | shutdown\n"
+               "                       top [--iterations N] [--interval-ms M]\n"
+               "                         refreshing per-campaign table (state, progress,\n"
+               "                         detections, shards/s, ETA); N=0 polls forever\n";
   return 2;
 }
 
@@ -721,6 +929,22 @@ int Main(int argc, char** argv) {
       options.trace_out = argv[++i];
       continue;
     }
+    if (std::strcmp(argv[i], "--prom-out") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "sdcctl: --prom-out requires an operand\n";
+        return 2;
+      }
+      options.prom_out = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--series-out") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "sdcctl: --series-out requires an operand\n";
+        return 2;
+      }
+      options.series_out = argv[++i];
+      continue;
+    }
     if (std::strcmp(argv[i], "--stream") == 0) {
       options.stream = true;
       continue;
@@ -783,9 +1007,17 @@ int Main(int argc, char** argv) {
     return Usage();
   }
   // Client mode bypasses local dispatch entirely: the daemon owns execution; this process
-  // only frames the request and maps the reply to an exit status.
+  // only frames the request and maps the reply to an exit status. `top` is the one
+  // client-side command: it polls status+list itself rather than forwarding a verb.
   if (!options.socket_path.empty()) {
+    if (std::strcmp(argv[1], "top") == 0) {
+      return CmdTop(argc, argv, options.socket_path);
+    }
     return RunClient(argc, argv, options.socket_path);
+  }
+  if (std::strcmp(argv[1], "top") == 0) {
+    std::cerr << "sdcctl: top requires --socket (a running sdcd to watch)\n";
+    return 2;
   }
   // --sweep only batches the `screen` command; rejecting it elsewhere beats silently
   // running a single-scenario pass the user thought was a sweep.
@@ -799,7 +1031,7 @@ int Main(int argc, char** argv) {
   }
 
   MetricsRegistry registry;
-  if (!options.metrics_out.empty()) {
+  if (!options.metrics_out.empty() || !options.prom_out.empty()) {
     options.metrics = &registry;
   }
   // The `trace` summary command needs a recorder even without an export target.
@@ -807,17 +1039,22 @@ int Main(int argc, char** argv) {
   if (!options.trace_out.empty() || std::strcmp(argv[1], "trace") == 0) {
     options.trace = &trace_recorder;
   }
+  SeriesRecorder series_recorder;
+  if (!options.series_out.empty()) {
+    options.series = &series_recorder;
+  }
   // With a snapshot bound for stdout, human-readable output moves to stderr so stdout
   // carries exactly the JSON document(s).
   std::streambuf* saved_cout = nullptr;
-  if (options.metrics_out == "-" || options.trace_out == "-") {
+  if (options.metrics_out == "-" || options.trace_out == "-" ||
+      options.prom_out == "-" || options.series_out == "-") {
     saved_cout = std::cout.rdbuf(std::cerr.rdbuf());
   }
   const int status = Dispatch(argc, argv, options);
   if (saved_cout != nullptr) {
     std::cout.rdbuf(saved_cout);
   }
-  if (options.metrics != nullptr && status == 0) {
+  if (!options.metrics_out.empty() && status == 0) {
     if (options.metrics_out == "-") {
       WriteMetricsJson(std::cout, registry.Snapshot());
       std::cout << "\n";
@@ -844,6 +1081,33 @@ int Main(int argc, char** argv) {
         return 1;
       }
       WriteTraceJson(out, trace_recorder.Snapshot());
+      out << "\n";
+    }
+  }
+  if (!options.prom_out.empty() && status == 0) {
+    if (options.prom_out == "-") {
+      WriteMetricsProm(std::cout, registry.Snapshot());
+    } else {
+      std::ofstream out(options.prom_out);
+      if (!out) {
+        std::cerr << "sdcctl: cannot open prom output file: " << options.prom_out << "\n";
+        return 1;
+      }
+      WriteMetricsProm(out, registry.Snapshot());
+    }
+  }
+  if (!options.series_out.empty() && status == 0) {
+    if (options.series_out == "-") {
+      WriteSeriesJson(std::cout, series_recorder.Snapshot());
+      std::cout << "\n";
+    } else {
+      std::ofstream out(options.series_out);
+      if (!out) {
+        std::cerr << "sdcctl: cannot open series output file: " << options.series_out
+                  << "\n";
+        return 1;
+      }
+      WriteSeriesJson(out, series_recorder.Snapshot());
       out << "\n";
     }
   }

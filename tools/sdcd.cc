@@ -1,6 +1,6 @@
 // sdcd: persistent screening daemon (docs/daemon.md).
 //
-//   sdcd --socket PATH [--lanes N]
+//   sdcd --socket PATH [--lanes N] [--event-capacity N]
 //
 // Serves concurrent screening campaigns over a Unix-domain stream socket at PATH, each
 // campaign a fused generate->screen pass (docs/streaming.md) on a private EngineContext.
@@ -32,18 +32,24 @@ namespace sdc {
 namespace {
 
 int Usage() {
-  std::cerr << "usage: sdcd --socket PATH [--lanes N]\n"
-               "  --socket PATH  Unix-domain socket to listen on (created at startup,\n"
-               "                 removed on shutdown; a stale socket at PATH is replaced)\n"
-               "  --lanes N      total ThreadPool lanes shared by concurrent campaigns;\n"
-               "                 0 = hardware concurrency. SDC_THREADS overrides N --\n"
-               "                 consulted once here, never after startup\n";
+  std::cerr << "usage: sdcd --socket PATH [--lanes N] [--event-capacity N]\n"
+               "  --socket PATH       Unix-domain socket to listen on (created at\n"
+               "                      startup, removed on shutdown; a stale socket at\n"
+               "                      PATH is replaced)\n"
+               "  --lanes N           total ThreadPool lanes shared by concurrent\n"
+               "                      campaigns; 0 = hardware concurrency. SDC_THREADS\n"
+               "                      overrides N -- consulted once here, never after\n"
+               "                      startup\n"
+               "  --event-capacity N  retained campaign-lifecycle events (default 4096,\n"
+               "                      must be >= 1); older events are evicted and\n"
+               "                      surfaced as dropped=N in the daemon status line\n";
   return 2;
 }
 
 int Main(int argc, char** argv) {
   std::string socket_path;
   int lanes = 0;
+  uint64_t event_capacity = 4096;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--socket") == 0) {
       if (i + 1 >= argc) {
@@ -71,6 +77,20 @@ int Main(int argc, char** argv) {
       ++i;
       continue;
     }
+    if (std::strcmp(argv[i], "--event-capacity") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "sdcd: --event-capacity requires an operand\n";
+        return 2;
+      }
+      const auto parsed = ParseUint64(argv[i + 1]);
+      if (!parsed.has_value() || *parsed == 0) {
+        std::cerr << "sdcd: invalid --event-capacity operand: '" << argv[i + 1] << "'\n";
+        return 2;
+      }
+      event_capacity = *parsed;
+      ++i;
+      continue;
+    }
     std::cerr << "sdcd: unknown argument: '" << argv[i] << "'\n";
     return Usage();
   }
@@ -80,7 +100,8 @@ int Main(int argc, char** argv) {
 
   // The only environment read of the daemon's lifetime: campaigns run with
   // env_overrides = false on lanes partitioned from this budget.
-  CampaignManager manager(ResolveThreadCount(lanes));
+  CampaignManager manager(ResolveThreadCount(lanes),
+                          static_cast<size_t>(event_capacity));
   DaemonServer server(&manager, socket_path);
   std::string error;
   if (!server.Start(error)) {
